@@ -1,0 +1,27 @@
+# Convenience targets for the Tetris reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench figures examples clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+figures:
+	$(PYTHON) -m repro figures -o figures/
+
+examples:
+	@for f in examples/*.py; do \
+		echo "== $$f"; \
+		$(PYTHON) $$f || exit 1; \
+	done
+
+clean:
+	rm -rf figures/ .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

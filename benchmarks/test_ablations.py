@@ -1,0 +1,93 @@
+"""Section 5.3.1 ablations: where do the gains come from?
+
+Paper: task durations improve ~20% (from avoiding over-allocation);
+restricting Tetris to CPU+memory (so it over-allocates I/O like the
+baselines) forfeits roughly two-thirds of the gains; SRTF alone and
+packing alone are each worse than the combination.
+"""
+
+from conftest import (
+    DEPLOY_MACHINES,
+    deploy_trace,
+    print_table,
+)
+
+from repro.experiments.harness import ExperimentConfig, run_comparison
+from repro.metrics.comparison import improvement_percent
+from repro.schedulers.packing_only import PackingOnlyScheduler
+from repro.schedulers.slot_fair import SlotFairScheduler
+from repro.schedulers.srtf import SRTFScheduler
+from repro.schedulers.tetris import TetrisConfig, TetrisScheduler
+
+
+def test_ablations(benchmark):
+    def regenerate():
+        return run_comparison(
+            deploy_trace(),
+            {
+                "slot-fair": SlotFairScheduler,
+                "tetris": TetrisScheduler,
+                "tetris-cpu-mem": lambda: TetrisScheduler(
+                    TetrisConfig(considered_dims=("cpu", "mem"))
+                ),
+                "srtf-only": SRTFScheduler,
+                "packing-only": PackingOnlyScheduler,
+            },
+            # no tracker here: the ablation isolates the *scheduling
+            # heuristics*; reclamation would blur their differences
+            ExperimentConfig(num_machines=DEPLOY_MACHINES, seed=1,
+                             use_tracker=False),
+        )
+
+    results = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    fair = results["slot-fair"]
+
+    rows = []
+    for name, result in results.items():
+        rows.append(
+            (
+                name,
+                result.mean_jct,
+                result.makespan,
+                result.collector.mean_task_duration(),
+                improvement_percent(fair.mean_jct, result.mean_jct),
+                improvement_percent(fair.makespan, result.makespan),
+            )
+        )
+    print_table(
+        "Section 5.3.1 ablations (gains are % vs slot-fair)",
+        ["scheduler", "mean JCT", "makespan", "task dur",
+         "JCT gain %", "makespan gain %"],
+        rows,
+    )
+
+    tetris = results["tetris"]
+
+    # avoiding over-allocation shortens tasks
+    assert (
+        tetris.collector.mean_task_duration()
+        < fair.collector.mean_task_duration()
+    )
+    # CPU+mem-only Tetris forfeits most of the gain (paper: roughly
+    # two-thirds of the gains come from avoiding I/O over-allocation)
+    full_gain = improvement_percent(fair.mean_jct, tetris.mean_jct)
+    partial_gain = improvement_percent(
+        fair.mean_jct, results["tetris-cpu-mem"].mean_jct
+    )
+    assert partial_gain < 0.5 * full_gain, (partial_gain, full_gain)
+    # both single-heuristic variants and the combination beat the fair
+    # baseline decisively ...
+    for variant in ("tetris", "srtf-only", "packing-only"):
+        gain = improvement_percent(
+            fair.mean_jct, results[variant].mean_jct
+        )
+        assert gain > 25.0, (variant, gain)
+    # ... and the combination is within 15% of the better half on each
+    # metric (on this synthetic workload the two halves nearly tie; see
+    # EXPERIMENTS.md for the deviation note)
+    assert tetris.mean_jct <= 1.15 * min(
+        results["srtf-only"].mean_jct, results["packing-only"].mean_jct
+    )
+    assert tetris.makespan <= 1.15 * min(
+        results["srtf-only"].makespan, results["packing-only"].makespan
+    )

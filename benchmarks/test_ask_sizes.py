@@ -1,0 +1,56 @@
+"""Section 4.4: asks stay succinct.
+
+The paper rejects encoding per-(task, candidate-machine) demands in the
+AM -> RM ask ("it would be too large") in favor of input sizes +
+locations from which the RM infers placement-dependent demands.  This
+benchmark measures both encodings on real generated jobs.
+"""
+
+from conftest import print_table
+
+from repro.cluster.cluster import Cluster
+from repro.integration.asks import build_ask, naive_ask_size_bytes
+from repro.workload.trace import materialize_trace
+from repro.workload.tracegen import WorkloadSuiteConfig, generate_workload_suite
+
+CLUSTER_SIZES = (100, 1000, 5000)
+
+
+def test_ask_encoding_sizes(benchmark):
+    cluster = Cluster(16, machines_per_rack=4)
+    trace = generate_workload_suite(
+        WorkloadSuiteConfig(num_jobs=8, task_scale=1.0, seed=5)
+    )
+    jobs = materialize_trace(trace, cluster, seed=5)
+
+    def regenerate():
+        asks = [build_ask(job) for job in jobs]
+        succinct = sum(a.encoded_size_bytes() for a in asks)
+        naive = {
+            machines: sum(
+                naive_ask_size_bytes(job, machines) for job in jobs
+            )
+            for machines in CLUSTER_SIZES
+        }
+        return succinct, naive
+
+    succinct, naive = benchmark(regenerate)
+
+    rows = [("Tetris ask (any cluster size)", succinct / 1024.0, 1.0)]
+    for machines in CLUSTER_SIZES:
+        rows.append(
+            (f"naive per-placement, {machines} machines",
+             naive[machines] / 1024.0,
+             naive[machines] / succinct)
+        )
+    print_table(
+        "Section 4.4: total ask bytes for 8 jobs "
+        "(paper: per-placement asks 'would be too large')",
+        ["encoding", "KiB", "x succinct"],
+        rows,
+    )
+
+    # the succinct encoding is orders of magnitude smaller and does not
+    # grow with the cluster
+    assert naive[1000] > 100 * succinct
+    assert naive[5000] == 50 * naive[100]

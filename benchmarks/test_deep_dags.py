@@ -1,0 +1,63 @@
+"""Deep DAGs (Bing/Scope-style, Table 1): packing gains persist, and the
+barrier knob matters more when every job has many barriers.
+
+The paper's Bing cluster runs Scope scripts with large DAG depth; deep
+chains mean many barriers per job, so straggler promotion (Section 3.5)
+gets more opportunities than on two-stage map-reduce.
+"""
+
+from conftest import print_table
+
+from repro.experiments.harness import ExperimentConfig, run_comparison
+from repro.metrics.comparison import improvement_percent
+from repro.schedulers.drf import DRFScheduler
+from repro.schedulers.slot_fair import SlotFairScheduler
+from repro.schedulers.tetris import TetrisConfig, TetrisScheduler
+from repro.workload.tracegen import BingTraceConfig, generate_bing_trace
+
+MACHINES = 20
+
+
+def test_deep_dag_workload(benchmark):
+    trace = generate_bing_trace(
+        BingTraceConfig(num_jobs=40, arrival_horizon=1200,
+                        max_map_tasks=120, seed=13)
+    )
+
+    def regenerate():
+        return run_comparison(
+            trace,
+            {
+                "tetris": TetrisScheduler,
+                "tetris-no-barrier": lambda: TetrisScheduler(
+                    TetrisConfig(barrier_knob=0.0)
+                ),
+                "slot-fair": SlotFairScheduler,
+                "drf": DRFScheduler,
+            },
+            ExperimentConfig(num_machines=MACHINES, seed=13,
+                             use_tracker=True),
+        )
+
+    results = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+
+    rows = [
+        (name, r.mean_jct, r.makespan)
+        for name, r in results.items()
+    ]
+    print_table(
+        "Deep-DAG (Bing-style) workload",
+        ["scheduler", "mean JCT", "makespan"],
+        rows,
+    )
+    for baseline in ("slot-fair", "drf"):
+        gain = improvement_percent(
+            results[baseline].mean_jct, results["tetris"].mean_jct
+        )
+        print(f"Tetris JCT gain vs {baseline}: {gain:.1f}%")
+        assert gain > 10.0, (baseline, gain)
+    # barrier promotion never hurts on barrier-rich DAGs
+    assert (
+        results["tetris"].mean_jct
+        <= results["tetris-no-barrier"].mean_jct * 1.05
+    )

@@ -1,0 +1,62 @@
+"""Figure 10 / Section 5.3.3: the barrier knob.
+
+Paper: promoting stragglers of a nearly-finished stage helps when the
+threshold is high (b ~ 0.9); b < 0.75 preferentially treats too many
+tasks, taking resources from other jobs, and is worse than not using
+barrier promotion at all (b -> 1 / disabled).
+"""
+
+from conftest import (
+    DEPLOY_MACHINES,
+    deploy_trace,
+    print_table,
+)
+
+from repro.experiments.harness import ExperimentConfig, run_comparison
+from repro.metrics.comparison import improvement_percent
+from repro.schedulers.drf import DRFScheduler
+from repro.schedulers.tetris import TetrisConfig, TetrisScheduler
+
+BARRIERS = (0.0, 0.5, 0.75, 0.9, 0.95)
+
+
+def test_fig10_barrier_knob_sweep(benchmark):
+    def regenerate():
+        schedulers = {"drf": DRFScheduler}
+        for b in BARRIERS:
+            schedulers[f"b={b}"] = (
+                lambda knob=b: TetrisScheduler(
+                    TetrisConfig(barrier_knob=knob)
+                )
+            )
+        return run_comparison(
+            deploy_trace(),
+            schedulers,
+            ExperimentConfig(num_machines=DEPLOY_MACHINES, seed=1,
+                             use_tracker=True),
+        )
+
+    results = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    drf = results["drf"]
+
+    gains = {}
+    for b in BARRIERS:
+        r = results[f"b={b}"]
+        gains[b] = (
+            improvement_percent(drf.mean_jct, r.mean_jct),
+            improvement_percent(drf.makespan, r.makespan),
+        )
+    print_table(
+        "Figure 10: gains vs DRF by barrier knob "
+        "(paper: b~0.9 best; aggressive promotion hurts)",
+        ["knob b", "JCT gain %", "makespan gain %"],
+        [(b, j, m) for b, (j, m) in gains.items()],
+    )
+
+    # every setting still improves on DRF
+    for b, (jct_gain, _) in gains.items():
+        assert jct_gain > 0, (b, jct_gain)
+    # a high threshold is at least as good as aggressive promotion
+    assert gains[0.9][0] >= gains[0.5][0] - 5.0
+    # and the recommended b=0.9 is competitive with disabling it
+    assert gains[0.9][0] >= gains[0.0][0] - 10.0

@@ -1,0 +1,62 @@
+"""Figure 11 / Section 5.3.3: gains grow with cluster load.
+
+Paper: halving the number of servers doubles load; at 4x the original
+load Tetris improves makespan by well over 50% and average completion
+time by over 40%.  At trivial load there is nothing to pack and gains
+shrink.
+"""
+
+from conftest import deploy_trace, print_table
+
+from repro.experiments.harness import ExperimentConfig, run_comparison
+from repro.metrics.comparison import improvement_percent
+from repro.schedulers.slot_fair import SlotFairScheduler
+from repro.schedulers.tetris import TetrisScheduler
+
+#: machine counts: 40 is light load for this trace, 10 is ~4x that load
+MACHINE_COUNTS = (40, 20, 10)
+
+
+def test_fig11_gains_vs_cluster_load(benchmark):
+    trace = deploy_trace()
+
+    def regenerate():
+        out = {}
+        for machines in MACHINE_COUNTS:
+            out[machines] = run_comparison(
+                trace,
+                {"tetris": TetrisScheduler, "slot-fair": SlotFairScheduler},
+                ExperimentConfig(num_machines=machines, seed=1,
+                                 use_tracker=True),
+            )
+        return out
+
+    by_load = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+
+    rows = []
+    gains = {}
+    for machines in MACHINE_COUNTS:
+        runs = by_load[machines]
+        jct_gain = improvement_percent(
+            runs["slot-fair"].mean_jct, runs["tetris"].mean_jct
+        )
+        makespan_gain = improvement_percent(
+            runs["slot-fair"].makespan, runs["tetris"].makespan
+        )
+        gains[machines] = (jct_gain, makespan_gain)
+        rows.append(
+            (f"{machines} machines (load x{MACHINE_COUNTS[0]/machines:.0f})",
+             jct_gain, makespan_gain)
+        )
+    print_table(
+        "Figure 11: Tetris gains vs slot-fair as load grows "
+        "(paper: gains increase with load)",
+        ["configuration", "JCT gain %", "makespan gain %"],
+        rows,
+    )
+
+    # gains at the highest load clearly exceed gains at the lightest
+    light = gains[MACHINE_COUNTS[0]]
+    heavy = gains[MACHINE_COUNTS[-1]]
+    assert heavy[0] > light[0], (light, heavy)
+    assert heavy[0] > 20.0

@@ -1,0 +1,66 @@
+"""Figure 4 / Section 5.2: Tetris vs Capacity Scheduler and DRF on the
+deployment workload.
+
+Paper: median JCT improvement ~30%, the top decile improves by >50%,
+and makespan drops ~30% vs CS (slightly less vs DRF).
+"""
+
+import numpy as np
+from conftest import (
+    DEPLOY_MACHINES,
+    deploy_trace,
+    print_series,
+    print_table,
+    standard_comparison,
+)
+
+from repro.metrics.comparison import (
+    cdf_points,
+    improvement_distribution,
+    improvement_percent,
+)
+
+
+def test_fig4_deployment_comparison(benchmark):
+    def regenerate():
+        return standard_comparison(
+            deploy_trace(), DEPLOY_MACHINES, seed=1
+        )
+
+    results = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    tetris = results["tetris"]
+
+    # Figure 4a: CDF of per-job completion-time improvement
+    for baseline in ("capacity", "drf"):
+        dist = improvement_distribution(
+            results[baseline].completion_by_name(),
+            tetris.completion_by_name(),
+        )
+        cdf = cdf_points(dist, num_points=11)
+        print_series(
+            f"Figure 4a: JCT improvement CDF vs {baseline} "
+            "(% at 0,10,...,100th pct)",
+            {baseline: [v for v, _ in cdf]},
+        )
+        median = float(np.median(dist))
+        top_decile = float(np.percentile(dist, 90))
+        print(f"median improvement vs {baseline}: {median:.1f}%  "
+              f"p90: {top_decile:.1f}%")
+        assert median > 10.0, (baseline, median)
+        assert top_decile > 30.0, (baseline, top_decile)
+
+    # Figure 4b: makespan reduction
+    rows = [
+        (
+            baseline,
+            improvement_percent(results[baseline].makespan, tetris.makespan),
+        )
+        for baseline in ("capacity", "drf")
+    ]
+    print_table(
+        "Figure 4b: makespan reduction (paper: ~30% vs CS, ~28% vs DRF)",
+        ["baseline", "reduction %"],
+        rows,
+    )
+    for baseline, reduction in rows:
+        assert reduction > 5.0, (baseline, reduction)

@@ -1,0 +1,86 @@
+"""Figure 7 / Section 5.3.1: simulated CDF of JCT improvement on the
+Facebook-statistics trace.
+
+Paper: ~40% average improvement vs the fair scheduler and ~30% vs DRF;
+the top quintile improves >70%; gains reach ~90% of the simple upper
+bound; fewer than 4% of jobs slow down.
+"""
+
+import numpy as np
+from conftest import (
+    FB_MACHINES,
+    fb_trace,
+    print_series,
+    print_table,
+)
+
+from repro.cluster.cluster import Cluster
+from repro.experiments.harness import ExperimentConfig, run_comparison
+from repro.metrics.comparison import (
+    cdf_points,
+    improvement_distribution,
+    improvement_percent,
+)
+from repro.schedulers.drf import DRFScheduler
+from repro.schedulers.slot_fair import SlotFairScheduler
+from repro.schedulers.tetris import TetrisScheduler
+from repro.schedulers.upper_bound import aggregate_upper_bound
+from repro.workload.trace import materialize_trace
+
+
+def test_fig7_simulated_jct_improvement(benchmark):
+    trace = fb_trace()
+
+    def regenerate():
+        runs = run_comparison(
+            trace,
+            {
+                "tetris": TetrisScheduler,
+                "slot-fair": SlotFairScheduler,
+                "drf": DRFScheduler,
+            },
+            ExperimentConfig(num_machines=FB_MACHINES, seed=7,
+                             use_tracker=True),
+        )
+        cluster = Cluster(FB_MACHINES, seed=7)
+        jobs = materialize_trace(trace, cluster, seed=7)
+        ub = aggregate_upper_bound(
+            jobs, cluster.total_capacity(), cluster.machine_capacity()
+        )
+        return runs, ub
+
+    runs, ub = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    tetris = runs["tetris"]
+
+    rows = []
+    for baseline in ("slot-fair", "drf"):
+        base = runs[baseline]
+        dist = improvement_distribution(
+            base.completion_by_name(), tetris.completion_by_name()
+        )
+        cdf = cdf_points(dist, num_points=11)
+        print_series(
+            f"Figure 7: JCT improvement CDF vs {baseline}",
+            {baseline: [v for v, _ in cdf]},
+        )
+        mean_gain = improvement_percent(base.mean_jct, tetris.mean_jct)
+        ub_gain = improvement_percent(base.mean_jct, ub.mean_jct)
+        slowed = sum(1 for v in dist if v < 0) / len(dist)
+        rows.append(
+            (baseline, mean_gain, ub_gain,
+             100 * mean_gain / ub_gain if ub_gain > 0 else 0.0,
+             100 * slowed, float(np.percentile(dist, 80)))
+        )
+    print_table(
+        "Figure 7 summary (paper: ~40%/~30% gains; ~90% of UB; <4% of "
+        "jobs slowed; top quintile >70%)",
+        ["baseline", "mean gain %", "UB gain %", "% of UB",
+         "% jobs slowed", "p80 gain %"],
+        rows,
+    )
+
+    for baseline, mean_gain, ub_gain, frac_ub, slowed, p80 in rows:
+        assert mean_gain > 15.0, (baseline, mean_gain)
+        assert frac_ub > 30.0, (baseline, frac_ub)
+        assert slowed < 35.0, (baseline, slowed)
+        assert p80 > mean_gain, (baseline, p80)

@@ -1,0 +1,90 @@
+"""Core-operation micro-benchmarks.
+
+Not a paper figure — these time the hot paths that make the whole
+reproduction tractable in pure Python: the vectorized fluid-rate
+recomputation, flow advancement, and the stage-index candidate lookup.
+They guard against performance regressions as the library evolves.
+"""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.resources import DEFAULT_MODEL
+from repro.schedulers.stage_index import StageIndex
+from repro.sim.fluid import FlowSpec, FlowTable
+from repro.workload.job import Job
+from repro.workload.stage import Stage
+from repro.workload.task import Task, TaskInput, TaskWork
+
+
+def loaded_flow_table(num_machines=100, flows_per_machine=8):
+    table = FlowTable(
+        DEFAULT_MODEL,
+        [
+            DEFAULT_MODEL.vector(cpu=16, mem=48, diskr=200, diskw=200,
+                                 netin=125, netout=125).data
+            for _ in range(num_machines)
+        ],
+    )
+    for machine in range(num_machines):
+        for k in range(flows_per_machine):
+            dim = ("cpu", "diskr", "diskw", "netin")[k % 4]
+            table.add_flow(
+                FlowSpec(work=1e6, nominal_rate=30 + k,
+                         slots=((machine, dim),))
+            )
+    return table
+
+
+def test_fluid_rate_recomputation(benchmark):
+    table = loaded_flow_table()
+
+    def recompute():
+        table._rates_dirty = True
+        return table.time_to_next_completion()
+
+    result = benchmark(recompute)
+    assert result > 0
+
+
+def test_fluid_advance(benchmark):
+    table = loaded_flow_table()
+
+    def advance():
+        table._rates_dirty = True
+        return table.advance(0.001)
+
+    completed = benchmark(advance)
+    assert completed == []
+
+
+def test_slot_demand_observation(benchmark):
+    table = loaded_flow_table()
+    demand = benchmark(table.slot_demand)
+    assert demand.shape[0] == 100
+
+
+def test_stage_index_candidate_lookup(benchmark):
+    cluster = Cluster(50, seed=0)
+    tasks = []
+    for i in range(5000):
+        block = cluster.blockstore.add_block(64.0)
+        tasks.append(
+            Task(
+                DEFAULT_MODEL.vector(cpu=1, mem=1),
+                TaskWork(cpu_core_seconds=10.0),
+                inputs=[TaskInput(64.0, block.replicas)],
+            )
+        )
+    stage = Stage("big", tasks)
+    Job([stage])
+    index = StageIndex()
+    index.add_stage(stage)
+
+    def lookup():
+        local = index.local_candidate(stage, 7)
+        any_ = index.any_candidate(stage)
+        return local, any_
+
+    local, any_ = benchmark(lookup)
+    assert any_ is not None

@@ -1,0 +1,107 @@
+"""Section 5.3.3 sensitivity analyses: remote penalty and the epsilon
+(alignment vs. SRTF) weighting.
+
+Paper: gains change little for remote penalties between ~5% and 30%,
+dropping outside that band (over-using remote resources, or leaving
+them fallow); for the combined score, m = epsilon * p_bar / a_bar near
+1 is the right operating point — m = 0 hurts completion time, very
+large m hurts makespan.
+"""
+
+from conftest import (
+    DEPLOY_MACHINES,
+    deploy_trace,
+    print_table,
+)
+
+from repro.experiments.harness import ExperimentConfig, run_comparison
+from repro.metrics.comparison import improvement_percent
+from repro.schedulers.slot_fair import SlotFairScheduler
+from repro.schedulers.tetris import TetrisConfig, TetrisScheduler
+
+PENALTIES = (0.0, 0.1, 0.3, 0.8)
+MULTIPLIERS = (0.0, 0.5, 1.0, 4.0)
+
+
+def test_remote_penalty_sensitivity(benchmark):
+    def regenerate():
+        schedulers = {"slot-fair": SlotFairScheduler}
+        for p in PENALTIES:
+            schedulers[f"rp={p}"] = (
+                lambda penalty=p: TetrisScheduler(
+                    TetrisConfig(remote_penalty=penalty)
+                )
+            )
+        return run_comparison(
+            deploy_trace(),
+            schedulers,
+            # heuristic-isolation runs: no tracker reclamation
+            ExperimentConfig(num_machines=DEPLOY_MACHINES, seed=1,
+                             use_tracker=False),
+        )
+
+    results = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    fair = results["slot-fair"]
+
+    gains = {
+        p: improvement_percent(
+            fair.mean_jct, results[f"rp={p}"].mean_jct
+        )
+        for p in PENALTIES
+    }
+    print_table(
+        "Remote penalty sensitivity (paper: flat between ~5% and 30%)",
+        ["penalty", "JCT gain %"],
+        sorted(gains.items()),
+    )
+    # the plateau: 10% and 30% within a few points of each other
+    assert abs(gains[0.1] - gains[0.3]) < 12.0
+    # and every setting still shows real gains
+    for p, g in gains.items():
+        assert g > 5.0, (p, g)
+
+
+def test_epsilon_multiplier_sensitivity(benchmark):
+    def regenerate():
+        schedulers = {"slot-fair": SlotFairScheduler}
+        for m in MULTIPLIERS:
+            schedulers[f"m={m}"] = (
+                lambda mult=m: TetrisScheduler(
+                    TetrisConfig(srtf_multiplier=mult)
+                )
+            )
+        return run_comparison(
+            deploy_trace(),
+            schedulers,
+            # heuristic-isolation runs: no tracker reclamation
+            ExperimentConfig(num_machines=DEPLOY_MACHINES, seed=1,
+                             use_tracker=False),
+        )
+
+    results = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    fair = results["slot-fair"]
+
+    rows = []
+    gains = {}
+    for m in MULTIPLIERS:
+        r = results[f"m={m}"]
+        jct_gain = improvement_percent(fair.mean_jct, r.mean_jct)
+        makespan_gain = improvement_percent(fair.makespan, r.makespan)
+        gains[m] = (jct_gain, makespan_gain)
+        rows.append((m, jct_gain, makespan_gain))
+    print_table(
+        "Epsilon multiplier sensitivity "
+        "(paper: m=0 hurts JCT; gains stabilize by m~1)",
+        ["m", "JCT gain %", "makespan gain %"],
+        rows,
+    )
+
+    # the recommended m=1 sits within a few points of the best JCT gain
+    # observed anywhere on the sweep (on this synthetic workload the
+    # SRTF and packing halves nearly tie, so the curve is flat — see the
+    # deviation note in EXPERIMENTS.md)
+    best = max(j for j, _ in gains.values())
+    assert gains[1.0][0] > best - 10.0
+    # and the sweep is stable: no setting collapses the gains
+    for m, (jct_gain, _) in gains.items():
+        assert jct_gain > 20.0, (m, jct_gain)

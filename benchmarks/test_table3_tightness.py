@@ -1,0 +1,54 @@
+"""Table 3 / Section 2.2.2: tightness of resources over time.
+
+Paper (Facebook cluster, fair scheduler): multiple resources become
+tight — CPU and memory are often above 60% of capacity, disk and
+network spike above high thresholds a nontrivial fraction of the time —
+and different resources are tight at different times, motivating
+multi-resource packing.
+"""
+
+from conftest import (
+    DEPLOY_MACHINES,
+    deploy_trace,
+    print_table,
+)
+
+from repro.analysis.tightness import utilization_tightness
+from repro.experiments.harness import ExperimentConfig, run_trace
+from repro.schedulers.slot_fair import SlotFairScheduler
+
+
+def test_table3_resource_tightness(benchmark):
+    def regenerate():
+        result = run_trace(
+            deploy_trace(),
+            SlotFairScheduler(),
+            ExperimentConfig(num_machines=DEPLOY_MACHINES, seed=1,
+                             use_tracker=True),
+        )
+        return result, utilization_tightness(
+            result.collector.timeline, thresholds=(0.6, 0.8, 0.95)
+        )
+
+    result, tightness = benchmark.pedantic(regenerate, rounds=1,
+                                           iterations=1)
+
+    print_table(
+        "Table 3: P(resource usage above fraction of capacity) under the "
+        "fair scheduler",
+        ["resource", ">60%", ">80%", ">95%"],
+        [
+            (res, vals[0.6], vals[0.8], vals[0.95])
+            for res, vals in sorted(tightness.items())
+        ],
+    )
+
+    # at least two distinct resources get tight at some point
+    tight_resources = [
+        res for res, vals in tightness.items() if vals[0.6] > 0.02
+    ]
+    assert len(tight_resources) >= 2, tightness
+    # and they are not always tight simultaneously: total time above 60%
+    # varies across resources
+    fractions = sorted(vals[0.6] for vals in tightness.values())
+    assert fractions[-1] > fractions[0]

@@ -1,0 +1,60 @@
+"""Table 8 / Section 5.3.1: alternative packing heuristics.
+
+Paper: cosine similarity (the normalized dot product) gives the best
+combination of completion-time and makespan gains; L2-Norm-Diff does
+well on makespan but lags on job speed-up; the FFD variants trail.
+"""
+
+from conftest import (
+    DEPLOY_MACHINES,
+    deploy_trace,
+    print_table,
+)
+
+from repro.experiments.harness import ExperimentConfig, run_comparison
+from repro.metrics.comparison import improvement_percent
+from repro.schedulers.alignment import ALIGNMENT_SCORERS
+from repro.schedulers.slot_fair import SlotFairScheduler
+from repro.schedulers.tetris import TetrisConfig, TetrisScheduler
+
+
+def test_table8_alignment_heuristics(benchmark):
+    def regenerate():
+        schedulers = {"slot-fair": SlotFairScheduler}
+        for name in ALIGNMENT_SCORERS:
+            schedulers[name] = (
+                lambda scorer=name: TetrisScheduler(
+                    TetrisConfig(scorer=scorer)
+                )
+            )
+        return run_comparison(
+            deploy_trace(),
+            schedulers,
+            ExperimentConfig(num_machines=DEPLOY_MACHINES, seed=1,
+                             use_tracker=True),
+        )
+
+    results = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    fair = results["slot-fair"]
+
+    gains = {}
+    for name in ALIGNMENT_SCORERS:
+        gains[name] = (
+            improvement_percent(fair.mean_jct, results[name].mean_jct),
+            improvement_percent(fair.makespan, results[name].makespan),
+        )
+    print_table(
+        "Table 8: alignment heuristics (gains % vs slot-fair; paper "
+        "declares cosine best overall)",
+        ["heuristic", "JCT gain %", "makespan gain %"],
+        [(name, j, m) for name, (j, m) in sorted(gains.items())],
+    )
+
+    # every heuristic still beats the fair scheduler (they all avoid
+    # over-allocation; the scorer only shapes packing quality)
+    for name, (jct_gain, makespan_gain) in gains.items():
+        assert jct_gain > 0, (name, jct_gain)
+    # cosine is at or near the top on the combined criterion
+    combined = {n: j + m for n, (j, m) in gains.items()}
+    ranked = sorted(combined, key=combined.get, reverse=True)
+    assert ranked.index("cosine") <= 1, combined

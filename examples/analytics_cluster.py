@@ -1,0 +1,84 @@
+"""A production-style analytics cluster: four schedulers head-to-head.
+
+Reproduces the texture of the paper's Section 5.2 deployment experiment:
+a mixed workload of large/medium/small map-reduce jobs with diverse
+CPU/memory/IO profiles, run under Tetris, the Hadoop Fair and Capacity
+schedulers, and DRF.  Prints per-scheduler summaries, the distribution
+of per-job improvements, and where each scheduler's cluster spends its
+resources.
+
+Run:
+    python examples/analytics_cluster.py
+"""
+
+import numpy as np
+
+from repro import (
+    CapacityScheduler,
+    DRFScheduler,
+    ExperimentConfig,
+    SlotFairScheduler,
+    TetrisScheduler,
+    WorkloadSuiteConfig,
+    generate_workload_suite,
+    run_comparison,
+)
+from repro.metrics.comparison import improvement_distribution
+
+
+def main() -> None:
+    trace = generate_workload_suite(
+        WorkloadSuiteConfig(num_jobs=40, task_scale=0.05,
+                            arrival_horizon=1000, seed=7)
+    )
+    results = run_comparison(
+        trace,
+        {
+            "tetris": TetrisScheduler,
+            "slot-fair": SlotFairScheduler,
+            "capacity": CapacityScheduler,
+            "drf": DRFScheduler,
+        },
+        ExperimentConfig(num_machines=20, seed=7, use_tracker=True),
+    )
+
+    print(f"{'scheduler':<12}{'mean JCT':>10}{'p90 JCT':>10}"
+          f"{'makespan':>10}{'task dur':>10}")
+    for name, result in results.items():
+        jcts = list(result.collector.completion_times().values())
+        print(
+            f"{name:<12}{result.mean_jct:>10.1f}"
+            f"{np.percentile(jcts, 90):>10.1f}"
+            f"{result.makespan:>10.1f}"
+            f"{result.collector.mean_task_duration():>10.1f}"
+        )
+
+    print("\nper-job completion-time improvement of Tetris (percent):")
+    tetris_jcts = results["tetris"].completion_by_name()
+    for baseline in ("slot-fair", "capacity", "drf"):
+        dist = improvement_distribution(
+            results[baseline].completion_by_name(), tetris_jcts
+        )
+        print(
+            f"  vs {baseline:<10} median {np.median(dist):6.1f}%   "
+            f"p90 {np.percentile(dist, 90):6.1f}%   "
+            f"jobs slowed {100 * np.mean(np.array(dist) < 0):4.1f}%"
+        )
+
+    print("\npeak demand utilization per resource "
+          "(over 1.0 = over-allocation):")
+    resources = ("cpu", "mem", "diskr", "diskw", "netin", "netout")
+    header = "".join(f"{r:>9}" for r in resources)
+    print(f"{'scheduler':<12}{header}")
+    for name, result in results.items():
+        peaks = {
+            r: max(p.demand_utilization[r]
+                   for p in result.collector.timeline)
+            for r in resources
+        }
+        row = "".join(f"{peaks[r]:>9.2f}" for r in resources)
+        print(f"{name:<12}{row}")
+
+
+if __name__ == "__main__":
+    main()

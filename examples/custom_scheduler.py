@@ -1,0 +1,107 @@
+"""Writing your own scheduler against the library's public API.
+
+The scheduler interface is three callbacks plus one decision method
+(:class:`repro.schedulers.base.Scheduler`).  This example implements a
+classic **worst-fit** scheduler — place each task on the machine with
+the most free capacity, spreading load — in ~40 lines, and races it
+against Tetris and FIFO.  Worst-fit checks the full demand vector, so
+it shares Tetris's biggest win (no over-allocation) and both crush
+FIFO; whether packing or spreading wins the remainder depends on the
+workload's fragmentation pressure (see benchmarks/test_ablations.py).
+
+Run:
+    python examples/custom_scheduler.py
+"""
+
+from typing import List, Optional
+
+from repro import (
+    ExperimentConfig,
+    FifoScheduler,
+    TetrisScheduler,
+    WorkloadSuiteConfig,
+    generate_workload_suite,
+    run_comparison,
+)
+from repro.schedulers.base import Placement, Scheduler
+from repro.schedulers.stage_index import StageIndex
+
+
+class WorstFitScheduler(Scheduler):
+    """Place each runnable task on the emptiest machine that fits it.
+
+    Checks the full demand vector (so it never over-allocates, like
+    Tetris) but spreads instead of packing — the classic anti-pattern
+    the bin-packing literature warns about.
+    """
+
+    name = "worst-fit"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.index = StageIndex()
+
+    def on_job_arrival(self, job, time):
+        super().on_job_arrival(job, time)
+        self.index.add_job(job)
+
+    def on_stage_released(self, stage, time):
+        self.index.add_stage(stage)
+
+    def on_task_finished(self, task, time):
+        super().on_task_finished(task, time)
+        self.index.forget(task)
+
+    def schedule(self, time, machine_ids=None) -> List[Placement]:
+        placements: List[Placement] = []
+        # emptiest machines first: that IS the worst-fit order
+        for machine_id in self.iter_machine_ids(machine_ids):
+            free = self.cluster.machine(machine_id).free_clamped()
+            while True:
+                placed = False
+                for job in self.runnable_jobs():
+                    task = self.pick_task_with_locality(
+                        self.index, job, machine_id
+                    )
+                    if task is None:
+                        continue
+                    booked = self.booked_demands(task, machine_id)
+                    if not booked.fits_in(free):
+                        continue
+                    self.index.claim(task)
+                    placements.append(Placement(task, machine_id, booked))
+                    free = (free - booked).clamp_nonnegative()
+                    placed = True
+                    break
+                if not placed:
+                    break
+        return placements
+
+
+def main() -> None:
+    trace = generate_workload_suite(
+        WorkloadSuiteConfig(num_jobs=25, task_scale=0.05,
+                            arrival_horizon=600, seed=5)
+    )
+    results = run_comparison(
+        trace,
+        {
+            "tetris": TetrisScheduler,
+            "worst-fit": WorstFitScheduler,
+            "fifo": FifoScheduler,
+        },
+        ExperimentConfig(num_machines=16, seed=5),
+    )
+    print(f"{'scheduler':<12}{'mean JCT':>10}{'makespan':>10}")
+    for name, result in results.items():
+        print(f"{name:<12}{result.mean_jct:>10.1f}{result.makespan:>10.1f}")
+    print(
+        "\nBoth full-vector schedulers avoid over-allocation and beat "
+        "FIFO\ndecisively; the packing-vs-spreading margin between them "
+        "depends on\nhow hard the workload fragments (sweep the load to "
+        "see it move)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Exploring the fairness-performance trade-off knob.
+
+Tetris exposes one knob f in [0, 1): available resources go to the best
+packing candidate among the (1 - f) fraction of jobs furthest below
+their fair share.  f = 0 is throughput-greedy; f -> 1 is strictly fair.
+The paper's headline: f ~ 0.25 buys nearly all the efficiency at almost
+no fairness cost.
+
+This example sweeps the knob, reporting efficiency (mean JCT, makespan)
+and fairness (how many jobs run slower than under the fair scheduler,
+and by how much).
+
+Run:
+    python examples/fairness_tradeoff.py
+"""
+
+from repro import (
+    ExperimentConfig,
+    SlotFairScheduler,
+    TetrisConfig,
+    TetrisScheduler,
+    WorkloadSuiteConfig,
+    generate_workload_suite,
+    run_trace,
+)
+from repro.metrics.fairness import slowdown_summary
+
+KNOBS = (0.0, 0.25, 0.5, 0.75, 0.99)
+
+
+def main() -> None:
+    trace = generate_workload_suite(
+        WorkloadSuiteConfig(num_jobs=30, task_scale=0.05,
+                            arrival_horizon=800, seed=21)
+    )
+    config = ExperimentConfig(num_machines=16, seed=21, use_tracker=True)
+
+    fair = run_trace(trace, SlotFairScheduler(), config)
+    print(f"baseline (slot-fair): mean JCT {fair.mean_jct:.1f}s, "
+          f"makespan {fair.makespan:.1f}s\n")
+
+    print(f"{'knob f':>8}{'mean JCT':>10}{'makespan':>10}"
+          f"{'% slowed':>10}{'max slow':>10}")
+    for f in KNOBS:
+        result = run_trace(
+            trace, TetrisScheduler(TetrisConfig(fairness_knob=f)), config
+        )
+        summary = slowdown_summary(
+            fair.completion_by_name(),
+            result.completion_by_name(),
+            threshold=0.05,
+        )
+        print(
+            f"{f:>8.2f}{result.mean_jct:>10.1f}{result.makespan:>10.1f}"
+            f"{100 * summary.fraction_slowed:>9.1f}%"
+            f"{100 * summary.max_slowdown:>9.1f}%"
+        )
+
+    print(
+        "\nReading the table: small f is fastest; as f grows the schedule "
+        "approaches\nthe fair one (fewer jobs slowed) while most of the "
+        "efficiency survives,\nbecause even a fairness-constrained job "
+        "choice leaves many tasks to pick\nthe best-packing one from "
+        "(Section 3.4)."
+    )
+
+
+if __name__ == "__main__":
+    main()

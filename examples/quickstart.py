@@ -1,0 +1,50 @@
+"""Quickstart: schedule a small workload with Tetris and a baseline.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import (
+    DRFScheduler,
+    ExperimentConfig,
+    TetrisScheduler,
+    WorkloadSuiteConfig,
+    generate_workload_suite,
+    run_trace,
+)
+
+
+def main() -> None:
+    # 1. Generate a workload: 15 map-reduce jobs drawn from the paper's
+    #    deployment suite (Section 5.1), arriving over ~8 minutes.
+    trace = generate_workload_suite(
+        WorkloadSuiteConfig(num_jobs=15, task_scale=0.05,
+                            arrival_horizon=500, seed=42)
+    )
+    total_tasks = sum(s.num_tasks for job in trace for s in job.stages)
+    print(f"workload: {len(trace)} jobs, {total_tasks} tasks")
+
+    # 2. Run it on a simulated 20-machine cluster under two schedulers.
+    #    Each run materializes a fresh cluster, so the comparison is fair.
+    config = ExperimentConfig(num_machines=20, seed=42, use_tracker=True)
+    tetris = run_trace(trace, TetrisScheduler(), config)
+    drf = run_trace(trace, DRFScheduler(), config)
+
+    # 3. Compare.
+    print(f"\n{'metric':<22}{'Tetris':>12}{'DRF':>12}")
+    for label, t_value, d_value in [
+        ("mean JCT (s)", tetris.mean_jct, drf.mean_jct),
+        ("median JCT (s)", tetris.collector.median_jct(),
+         drf.collector.median_jct()),
+        ("makespan (s)", tetris.makespan, drf.makespan),
+        ("mean task dur (s)", tetris.collector.mean_task_duration(),
+         drf.collector.mean_task_duration()),
+    ]:
+        print(f"{label:<22}{t_value:>12.1f}{d_value:>12.1f}")
+
+    speedup = drf.mean_jct / tetris.mean_jct
+    print(f"\nTetris completes the average job {speedup:.2f}x faster.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Non-job cluster activity: data ingestion and evacuation (Section 4.3)."""
+
+from repro.activity.ingestion import ClusterActivity, evacuation, ingestion
+
+__all__ = ["ClusterActivity", "ingestion", "evacuation"]

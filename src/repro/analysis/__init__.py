@@ -1,0 +1,30 @@
+"""Workload analysis: the statistics of Section 2.2 (Figure 2, Tables 2-3)."""
+
+from repro.analysis.correlation import demand_correlation_matrix, demand_matrix
+from repro.analysis.tightness import (
+    machine_usage_tightness,
+    utilization_tightness,
+)
+from repro.analysis.heatmap import demand_heatmap, demand_cov
+from repro.analysis.model import AuditReport, Violation, audit_engine, audit_schedule
+from repro.analysis.wastage import (
+    excess_holding,
+    holding_report,
+    resource_holding_integral,
+)
+
+__all__ = [
+    "demand_matrix",
+    "demand_correlation_matrix",
+    "utilization_tightness",
+    "machine_usage_tightness",
+    "demand_heatmap",
+    "demand_cov",
+    "AuditReport",
+    "Violation",
+    "audit_engine",
+    "audit_schedule",
+    "excess_holding",
+    "holding_report",
+    "resource_holding_integral",
+]

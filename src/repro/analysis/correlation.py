@@ -1,0 +1,59 @@
+"""Cross-resource demand correlation (Table 2).
+
+The paper's Table 2 shows that tasks' demands for different resources
+are barely correlated — the root of the complementarity that packing
+exploits.  These helpers compute the same matrix for any set of tasks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.workload.task import Task
+
+__all__ = ["demand_matrix", "demand_correlation_matrix"]
+
+#: Table 2's four resources, aggregated from the six-dimension model
+AGGREGATES: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("cores", ("cpu",)),
+    ("memory", ("mem",)),
+    ("disk", ("diskr", "diskw")),
+    ("network", ("netin", "netout")),
+)
+
+
+def demand_matrix(tasks: Sequence[Task]) -> np.ndarray:
+    """Rows = tasks, columns = (cores, memory, disk, network) demands."""
+    rows = []
+    for task in tasks:
+        row = [
+            sum(task.demands.get(dim) for dim in dims)
+            for _, dims in AGGREGATES
+        ]
+        rows.append(row)
+    return np.asarray(rows, dtype=float)
+
+
+def demand_correlation_matrix(
+    tasks: Sequence[Task],
+) -> Dict[Tuple[str, str], float]:
+    """Pairwise Pearson correlations between resource demands.
+
+    Returns the upper triangle keyed by resource-name pairs, matching
+    the layout of Table 2.
+    """
+    matrix = demand_matrix(tasks)
+    if matrix.shape[0] < 2:
+        raise ValueError("need at least two tasks")
+    names = [name for name, _ in AGGREGATES]
+    corr = np.corrcoef(matrix, rowvar=False)
+    out: Dict[Tuple[str, str], float] = {}
+    for i in range(len(names)):
+        for j in range(i + 1, len(names)):
+            value = corr[i, j]
+            out[(names[i], names[j])] = (
+                float(value) if np.isfinite(value) else 0.0
+            )
+    return out

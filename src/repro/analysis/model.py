@@ -1,0 +1,252 @@
+"""The Section 3.1 analytical model, as an executable schedule auditor.
+
+The paper casts task scheduling as an optimization problem with four
+constraint families.  This module verifies a *realized* schedule (from a
+finished :class:`~repro.sim.engine.Engine` run) against them:
+
+- **capacity** (eq. 1): at no instant may a machine's *booked*
+  allocation exceed capacity on a dimension.  Baseline schedulers
+  knowingly violate this on the dimensions they ignore — the auditor
+  reports per-dimension violations, so a test can assert that Tetris is
+  clean while slot-fair is not;
+- **single uninterrupted execution** (eq. 4): every task runs exactly
+  once, on one machine, with no gaps (the model forbids preemption);
+- **precedence**: a task starts only after its arrival and after every
+  parent stage finished (the barrier semantics behind eq. 4's release
+  structure);
+- **duration lower bound** (eq. 5): a task can never beat the duration
+  implied by its peak rates — realized duration >= nominal duration.
+
+Auditing every simulation in the test suite is the closest practical
+substitute for solving the (APX-hard) model: it proves the simulator
+and schedulers inhabit the model's feasible region.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro.resources import ResourceVector
+from repro.workload.job import Job
+from repro.workload.task import Task, TaskState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+
+__all__ = ["Violation", "AuditReport", "audit_engine", "audit_schedule"]
+
+#: slack for floating-point comparisons, in resource units / seconds
+TOLERANCE = 1e-6
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One constraint violation."""
+
+    kind: str  # "capacity" | "execution" | "precedence" | "duration"
+    message: str
+    dimension: Optional[str] = None
+    machine_id: Optional[int] = None
+    task_id: Optional[int] = None
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"[{self.kind}] {self.message}"
+
+
+@dataclass
+class AuditReport:
+    """All violations found in a schedule."""
+
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def of_kind(self, kind: str) -> List[Violation]:
+        return [v for v in self.violations if v.kind == kind]
+
+    def violated_dimensions(self) -> set:
+        """Dimensions with at least one capacity violation."""
+        return {
+            v.dimension for v in self.of_kind("capacity") if v.dimension
+        }
+
+    def __len__(self) -> int:
+        return len(self.violations)
+
+
+def _check_capacity(
+    placements: Sequence[Tuple[Task, int, float, ResourceVector]],
+    capacities: Dict[int, ResourceVector],
+    report: AuditReport,
+) -> None:
+    """Interval sweep of booked allocations per machine (eq. 1)."""
+    by_machine: Dict[int, List[Tuple[float, int, ResourceVector]]] = (
+        defaultdict(list)
+    )
+    for task, machine_id, start, booked in placements:
+        finish = task.finish_time
+        if finish is None or task.start_time is None:
+            continue
+        # with failure injection the log also holds failed attempts;
+        # only the successful one matches the task's final start time
+        if abs(start - task.start_time) > TOLERANCE:
+            continue
+        by_machine[machine_id].append((start, +1, booked))
+        by_machine[machine_id].append((finish, -1, booked))
+    for machine_id, events in by_machine.items():
+        capacity = capacities[machine_id]
+        # releases before acquisitions at equal timestamps
+        events.sort(key=lambda e: (e[0], e[1]))
+        current = ResourceVector.zeros_like(capacity)
+        for time, sign, booked in events:
+            if sign > 0:
+                current.add_inplace(booked)
+            else:
+                current.sub_inplace(booked)
+            over = current.data - capacity.data
+            for k, name in enumerate(capacity.model.names):
+                if over[k] > TOLERANCE:
+                    report.violations.append(
+                        Violation(
+                            kind="capacity",
+                            message=(
+                                f"machine {machine_id} booked "
+                                f"{current.data[k]:.2f} {name} "
+                                f"(capacity {capacity.data[k]:.2f}) "
+                                f"at t={time:.2f}"
+                            ),
+                            dimension=name,
+                            machine_id=machine_id,
+                        )
+                    )
+
+
+def _check_execution(jobs: Sequence[Job], report: AuditReport) -> None:
+    """Every task finished exactly once, with consistent timestamps."""
+    for job in jobs:
+        for task in job.all_tasks():
+            if task.state is not TaskState.FINISHED:
+                report.violations.append(
+                    Violation(
+                        kind="execution",
+                        message=f"task {task.task_id} never finished",
+                        task_id=task.task_id,
+                    )
+                )
+                continue
+            if (
+                task.start_time is None
+                or task.finish_time is None
+                or task.machine_id is None
+                or task.finish_time < task.start_time - TOLERANCE
+            ):
+                report.violations.append(
+                    Violation(
+                        kind="execution",
+                        message=(
+                            f"task {task.task_id} has inconsistent "
+                            f"execution record"
+                        ),
+                        task_id=task.task_id,
+                    )
+                )
+
+
+def _check_precedence(jobs: Sequence[Job], report: AuditReport) -> None:
+    """Arrival times and stage barriers respected."""
+    for job in jobs:
+        for stage in job.dag:
+            release = job.arrival_time
+            if stage.parents:
+                parent_finishes = [
+                    t.finish_time
+                    for p in stage.parents
+                    for t in p.tasks
+                    if t.finish_time is not None
+                ]
+                if parent_finishes:
+                    release = max(release, max(parent_finishes))
+            for task in stage.tasks:
+                if task.start_time is None:
+                    continue
+                if task.start_time < release - TOLERANCE:
+                    report.violations.append(
+                        Violation(
+                            kind="precedence",
+                            message=(
+                                f"task {task.task_id} of stage "
+                                f"{stage.name!r} started at "
+                                f"{task.start_time:.2f} before its "
+                                f"release at {release:.2f}"
+                            ),
+                            task_id=task.task_id,
+                        )
+                    )
+
+
+def _check_durations(jobs: Sequence[Job], report: AuditReport) -> None:
+    """No task beats the eq. (5) peak-rate lower bound."""
+    for job in jobs:
+        for task in job.all_tasks():
+            if task.duration is None:
+                continue
+            lower = task.nominal_duration()
+            if task.duration < lower - max(TOLERANCE, 1e-3 * lower):
+                report.violations.append(
+                    Violation(
+                        kind="duration",
+                        message=(
+                            f"task {task.task_id} ran in "
+                            f"{task.duration:.3f}s, below its peak-rate "
+                            f"bound {lower:.3f}s"
+                        ),
+                        task_id=task.task_id,
+                    )
+                )
+
+
+def audit_schedule(
+    jobs: Sequence[Job],
+    placements: Sequence[Tuple[Task, int, float, ResourceVector]],
+    capacities: Dict[int, ResourceVector],
+    include_capacity: bool = True,
+) -> AuditReport:
+    """Audit a realized schedule against the Section 3.1 constraints.
+
+    ``include_capacity=False`` skips the booked-capacity sweep (eq. 1):
+    with the resource tracker enabled, the scheduler deliberately books
+    reclaimed fluid head-room beyond peak sums (Section 4.1), so that
+    check only expresses an invariant for tracker-less runs.
+    """
+    report = AuditReport()
+    _check_execution(jobs, report)
+    _check_precedence(jobs, report)
+    _check_durations(jobs, report)
+    if include_capacity:
+        _check_capacity(placements, capacities, report)
+    return report
+
+
+def audit_engine(
+    engine: "Engine", include_capacity: Optional[bool] = None
+) -> AuditReport:
+    """Audit a finished engine run.
+
+    By default the booked-capacity check is included exactly when the
+    run had no resource tracker (see :func:`audit_schedule`).
+    """
+    if include_capacity is None:
+        include_capacity = engine.tracker is None
+    capacities = {
+        m.machine_id: m.capacity for m in engine.cluster.machines
+    }
+    return audit_schedule(
+        engine.jobs,
+        engine.placement_log,
+        capacities,
+        include_capacity=include_capacity,
+    )

@@ -1,0 +1,65 @@
+"""Resource tightness: how often is a resource nearly saturated?
+
+Table 3 reports, for the Facebook cluster, the probability that each
+resource's usage exceeds 60/80/95% of capacity; Table 6 repeats the
+measurement per scheduler on the testbed (with an over-100% column that
+only over-allocating schedulers can hit).  Both reduce to the same
+computation over a utilization timeline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+import numpy as np
+
+from repro.metrics.collector import TimelinePoint
+
+__all__ = ["utilization_tightness", "machine_usage_tightness"]
+
+
+def utilization_tightness(
+    timeline: Sequence[TimelinePoint],
+    thresholds: Sequence[float] = (0.6, 0.8, 0.95),
+    resources: Sequence[str] = (),
+) -> Dict[str, Dict[float, float]]:
+    """P(utilization > threshold) per resource over a cluster timeline.
+
+    Uses the *demand* utilization (booked/attempted usage), which is the
+    quantity that exceeds 1.0 under over-allocation.
+    """
+    if not timeline:
+        raise ValueError("empty timeline")
+    if not resources:
+        resources = sorted(timeline[0].demand_utilization)
+    out: Dict[str, Dict[float, float]] = {}
+    for resource in resources:
+        series = np.array(
+            [p.demand_utilization.get(resource, 0.0) for p in timeline]
+        )
+        out[resource] = {
+            float(th): float((series > th).mean()) for th in thresholds
+        }
+    return out
+
+
+def machine_usage_tightness(
+    samples: Mapping[str, np.ndarray],
+    thresholds: Sequence[float] = (0.6, 0.8, 1.0),
+) -> Dict[str, Dict[float, float]]:
+    """P(a machine's usage of a resource exceeds a capacity fraction).
+
+    ``samples`` maps a resource name to an array of per-machine,
+    per-sample utilization fractions (any shape).  This is the Table 6
+    view: machine-level rather than cluster-aggregate, so fragmentation
+    and hotspots show up.
+    """
+    out: Dict[str, Dict[float, float]] = {}
+    for resource, values in samples.items():
+        arr = np.asarray(values, dtype=float).reshape(-1)
+        if arr.size == 0:
+            raise ValueError(f"no samples for resource {resource!r}")
+        out[resource] = {
+            float(th): float((arr > th).mean()) for th in thresholds
+        }
+    return out

@@ -1,0 +1,294 @@
+"""Command-line interface: generate traces, run and compare schedulers.
+
+Examples::
+
+    python -m repro generate --kind suite --jobs 30 -o trace.json
+    python -m repro run trace.json --scheduler tetris --machines 20
+    python -m repro compare trace.json --machines 20 \
+        --schedulers tetris,slot-fair,drf
+    python -m repro sweep trace.json --knob fairness \
+        --values 0,0.25,0.5,0.75
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.analysis.model import audit_engine
+from repro.experiments.harness import ExperimentConfig, run_trace
+from repro.metrics.comparison import improvement_percent
+from repro.schedulers.capacity import CapacityScheduler
+from repro.schedulers.drf import DRFScheduler
+from repro.schedulers.fifo import FifoScheduler
+from repro.schedulers.flow_network import FlowNetworkScheduler
+from repro.schedulers.packing_only import PackingOnlyScheduler
+from repro.schedulers.slot_fair import SlotFairScheduler
+from repro.schedulers.srtf import SRTFScheduler
+from repro.schedulers.tetris import TetrisConfig, TetrisScheduler
+from repro.workload.trace import load_trace, save_trace
+from repro.workload.tracegen import (
+    BingTraceConfig,
+    FacebookTraceConfig,
+    WorkloadSuiteConfig,
+    generate_bing_trace,
+    generate_facebook_trace,
+    generate_workload_suite,
+)
+
+__all__ = ["main", "SCHEDULERS"]
+
+SCHEDULERS: Dict[str, Callable[[], object]] = {
+    "tetris": TetrisScheduler,
+    "slot-fair": SlotFairScheduler,
+    "capacity": CapacityScheduler,
+    "drf": DRFScheduler,
+    "fifo": FifoScheduler,
+    "flow-network": FlowNetworkScheduler,
+    "srtf-only": SRTFScheduler,
+    "packing-only": PackingOnlyScheduler,
+}
+
+
+def _make_scheduler(name: str, args: argparse.Namespace):
+    if name == "tetris" and (
+        getattr(args, "fairness_knob", None) is not None
+        or getattr(args, "barrier_knob", None) is not None
+    ):
+        config = TetrisConfig(
+            fairness_knob=(
+                args.fairness_knob if args.fairness_knob is not None else 0.25
+            ),
+            barrier_knob=(
+                args.barrier_knob if args.barrier_knob is not None else 0.9
+            ),
+        )
+        return TetrisScheduler(config)
+    try:
+        return SCHEDULERS[name]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown scheduler {name!r}; choose from {sorted(SCHEDULERS)}"
+        )
+
+
+def _experiment_config(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(
+        num_machines=args.machines,
+        seed=args.seed,
+        use_tracker=not args.no_tracker,
+    )
+
+
+def _print_summary(name: str, result) -> None:
+    s = result.summary()
+    print(
+        f"{name:<14} jobs={int(s['jobs']):>4}  "
+        f"mean JCT={s['mean_jct']:>9.1f}s  "
+        f"median={s['median_jct']:>9.1f}s  "
+        f"makespan={s['makespan']:>9.1f}s  "
+        f"task dur={s['mean_task_duration']:>7.1f}s"
+    )
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind == "suite":
+        trace = generate_workload_suite(
+            WorkloadSuiteConfig(
+                num_jobs=args.jobs,
+                task_scale=args.task_scale,
+                arrival_horizon=args.horizon,
+                seed=args.seed,
+            )
+        )
+    elif args.kind == "facebook":
+        trace = generate_facebook_trace(
+            FacebookTraceConfig(
+                num_jobs=args.jobs,
+                arrival_horizon=args.horizon,
+                seed=args.seed,
+            )
+        )
+    else:
+        trace = generate_bing_trace(
+            BingTraceConfig(
+                num_jobs=args.jobs,
+                arrival_horizon=args.horizon,
+                seed=args.seed,
+            )
+        )
+    save_trace(trace, args.output)
+    tasks = sum(s.num_tasks for j in trace for s in j.stages)
+    print(f"wrote {len(trace)} jobs ({tasks} tasks) to {args.output}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    trace = load_trace(args.trace)
+    scheduler = _make_scheduler(args.scheduler, args)
+    result = run_trace(trace, scheduler, _experiment_config(args))
+    _print_summary(args.scheduler, result)
+    if args.audit:
+        # re-run with a kept engine to audit; run_trace does not expose
+        # the engine, so audit on a fresh engine run
+        from repro.sim.engine import Engine
+        from repro.workload.trace import materialize_trace
+
+        config = _experiment_config(args)
+        cluster = config.make_cluster()
+        jobs = materialize_trace(trace, cluster, seed=config.seed)
+        engine = Engine(
+            cluster,
+            _make_scheduler(args.scheduler, args),
+            jobs,
+            config=config.make_engine_config(),
+        )
+        engine.run()
+        report = audit_engine(engine)
+        if report.ok:
+            print("audit: schedule satisfies all Section 3.1 constraints")
+        else:
+            dims = sorted(report.violated_dimensions())
+            print(
+                f"audit: {len(report)} violations "
+                f"(over-allocated dimensions: {dims})"
+            )
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    trace = load_trace(args.trace)
+    names = [n.strip() for n in args.schedulers.split(",") if n.strip()]
+    results = {}
+    for name in names:
+        results[name] = run_trace(
+            trace, _make_scheduler(name, args), _experiment_config(args)
+        )
+        _print_summary(name, results[name])
+    if args.baseline and args.baseline in results:
+        base = results[args.baseline]
+        print(f"\nimprovement over {args.baseline}:")
+        for name, result in results.items():
+            if name == args.baseline:
+                continue
+            print(
+                f"  {name:<14} "
+                f"JCT {improvement_percent(base.mean_jct, result.mean_jct):6.1f}%  "
+                f"makespan "
+                f"{improvement_percent(base.makespan, result.makespan):6.1f}%"
+            )
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    trace = load_trace(args.trace)
+    values = [float(v) for v in args.values.split(",")]
+    print(f"{'value':>8}{'mean JCT':>12}{'makespan':>12}")
+    for value in values:
+        if args.knob == "fairness":
+            scheduler = TetrisScheduler(TetrisConfig(fairness_knob=value))
+        elif args.knob == "barrier":
+            scheduler = TetrisScheduler(TetrisConfig(barrier_knob=value))
+        elif args.knob == "remote-penalty":
+            scheduler = TetrisScheduler(TetrisConfig(remote_penalty=value))
+        else:
+            raise SystemExit(f"unknown knob {args.knob!r}")
+        result = run_trace(trace, scheduler, _experiment_config(args))
+        print(f"{value:>8.2f}{result.mean_jct:>12.1f}{result.makespan:>12.1f}")
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import render_all
+
+    written = render_all(args.output, quick=not args.full)
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import generate_report
+
+    path = generate_report(
+        args.output, quick=not args.full, seed=args.seed
+    )
+    print(f"wrote {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Tetris (SIGCOMM 2014) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a workload trace")
+    gen.add_argument("--kind", choices=("suite", "facebook", "bing"),
+                     default="suite")
+    gen.add_argument("--jobs", type=int, default=40)
+    gen.add_argument("--task-scale", type=float, default=0.05)
+    gen.add_argument("--horizon", type=float, default=1000.0)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("-o", "--output", required=True)
+    gen.set_defaults(func=cmd_generate)
+
+    def common(p):
+        p.add_argument("trace", help="trace JSON from `repro generate`")
+        p.add_argument("--machines", type=int, default=20)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--no-tracker", action="store_true",
+                       help="disable the resource tracker")
+
+    run = sub.add_parser("run", help="run one scheduler on a trace")
+    common(run)
+    run.add_argument("--scheduler", default="tetris",
+                     choices=sorted(SCHEDULERS))
+    run.add_argument("--fairness-knob", type=float, default=None)
+    run.add_argument("--barrier-knob", type=float, default=None)
+    run.add_argument("--audit", action="store_true",
+                     help="verify the Section 3.1 constraints afterwards")
+    run.set_defaults(func=cmd_run)
+
+    cmp_ = sub.add_parser("compare", help="race several schedulers")
+    common(cmp_)
+    cmp_.add_argument("--schedulers", default="tetris,slot-fair,drf")
+    cmp_.add_argument("--baseline", default="slot-fair")
+    cmp_.set_defaults(func=cmd_compare)
+
+    sweep = sub.add_parser("sweep", help="sweep a Tetris knob")
+    common(sweep)
+    sweep.add_argument("--knob", default="fairness",
+                       choices=("fairness", "barrier", "remote-penalty"))
+    sweep.add_argument("--values", default="0,0.25,0.5,0.75")
+    sweep.set_defaults(func=cmd_sweep)
+
+    figs = sub.add_parser(
+        "figures", help="render the paper's figures as SVG files"
+    )
+    figs.add_argument("-o", "--output", default="figures")
+    figs.add_argument("--full", action="store_true",
+                      help="benchmark-scale runs (slower)")
+    figs.set_defaults(func=cmd_figures)
+
+    report = sub.add_parser(
+        "report", help="run the core experiments, write a Markdown report"
+    )
+    report.add_argument("-o", "--output", default="report.md")
+    report.add_argument("--full", action="store_true",
+                        help="benchmark-scale runs (slower)")
+    report.add_argument("--seed", type=int, default=1)
+    report.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

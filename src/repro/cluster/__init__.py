@@ -1,0 +1,8 @@
+"""Cluster substrate: machines, racks, block store."""
+
+from repro.cluster.machine import Machine
+from repro.cluster.topology import Topology
+from repro.cluster.blockstore import Block, BlockStore
+from repro.cluster.cluster import Cluster
+
+__all__ = ["Machine", "Topology", "Block", "BlockStore", "Cluster"]

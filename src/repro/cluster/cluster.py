@@ -1,0 +1,121 @@
+"""The cluster: machines + topology + block store."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.blockstore import BlockStore
+from repro.cluster.machine import Machine
+from repro.cluster.topology import Topology
+from repro.resources import (
+    DEFAULT_MODEL,
+    FB_MACHINE_CAPACITY,
+    ResourceModel,
+    ResourceVector,
+)
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """A homogeneous cluster of machines.
+
+    Parameters
+    ----------
+    num_machines:
+        Machine count (the paper deploys on 250; simulations replay a
+        thousands-machine Facebook cluster).
+    machine_capacity:
+        Per-machine capacity vector; defaults to the Facebook profile.
+    machines_per_rack / oversubscription:
+        Topology parameters.
+    seed:
+        Seeds the block store's replica placement.
+    """
+
+    def __init__(
+        self,
+        num_machines: int,
+        machine_capacity: Optional[ResourceVector] = None,
+        machines_per_rack: int = 16,
+        oversubscription: float = 1.33,
+        replication: int = 3,
+        seed: int = 0,
+        machine_capacities: Optional[Sequence[ResourceVector]] = None,
+    ):
+        if machine_capacities is not None:
+            capacities = list(machine_capacities)
+            if len(capacities) != num_machines:
+                raise ValueError(
+                    f"got {len(capacities)} capacities for "
+                    f"{num_machines} machines"
+                )
+        else:
+            if machine_capacity is None:
+                machine_capacity = FB_MACHINE_CAPACITY
+            capacities = [machine_capacity] * num_machines
+        self.model: ResourceModel = capacities[0].model
+        self.topology = Topology(
+            num_machines,
+            machines_per_rack=machines_per_rack,
+            oversubscription=oversubscription,
+        )
+        self.machines: List[Machine] = [
+            Machine(i, cap) for i, cap in enumerate(capacities)
+        ]
+        self.blockstore = BlockStore(
+            self.topology,
+            replication=replication,
+            rng=np.random.default_rng(seed),
+        )
+
+    # -- aggregate views -------------------------------------------------------
+    @property
+    def num_machines(self) -> int:
+        return len(self.machines)
+
+    def machine(self, machine_id: int) -> Machine:
+        return self.machines[machine_id]
+
+    def total_capacity(self) -> ResourceVector:
+        total = ResourceVector.zeros_like(self.machines[0].capacity)
+        for m in self.machines:
+            total.add_inplace(m.capacity)
+        return total
+
+    def total_allocated(self) -> ResourceVector:
+        total = self.model.zeros()
+        for m in self.machines:
+            total.add_inplace(m.allocated)
+        return total
+
+    def machine_capacity(self) -> ResourceVector:
+        """Reference machine capacity — the first machine's.
+
+        Used as a normalization scale; with heterogeneous machines,
+        per-machine calculations should use
+        ``cluster.machine(i).capacity`` instead.
+        """
+        return self.machines[0].capacity
+
+    @property
+    def is_homogeneous(self) -> bool:
+        reference = self.machines[0].capacity
+        return all(m.capacity == reference for m in self.machines)
+
+    def total_running_tasks(self) -> int:
+        return sum(m.num_running for m in self.machines)
+
+    def machines_with_free(
+        self, demands: ResourceVector
+    ) -> List[Machine]:
+        """Machines that can fit ``demands`` on every dimension."""
+        return [m for m in self.machines if m.can_fit(demands)]
+
+    def __repr__(self) -> str:
+        return (
+            f"Cluster(machines={self.num_machines}, "
+            f"racks={self.topology.num_racks})"
+        )

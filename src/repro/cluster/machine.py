@@ -1,0 +1,86 @@
+"""Machines: capacity, placed tasks, and allocation bookkeeping.
+
+A machine records the *peak demands* of the tasks placed on it (its
+``allocated`` vector).  Whether a scheduler respects the full vector when
+placing is the scheduler's business: slot and DRF schedulers only check a
+subset of dimensions, so ``allocated`` can exceed capacity in the fluid
+dimensions — that is exactly the over-allocation pathology the paper
+describes, and the fluid simulator turns it into contention and slowdown.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.resources import ResourceVector
+from repro.workload.task import Task
+
+__all__ = ["Machine"]
+
+
+class Machine:
+    """One machine in the cluster."""
+
+    __slots__ = (
+        "machine_id",
+        "capacity",
+        "allocated",
+        "running",
+        "observed_usage",
+        "_placed_demands",
+    )
+
+    def __init__(self, machine_id: int, capacity: ResourceVector):
+        self.machine_id = machine_id
+        self.capacity = capacity.copy()
+        self.allocated = ResourceVector.zeros_like(capacity)
+        self.running: Set[Task] = set()
+        #: last usage sample reported by the resource tracker (includes
+        #: non-task activity such as ingestion); starts at zero
+        self.observed_usage = ResourceVector.zeros_like(capacity)
+        self._placed_demands: Dict[int, ResourceVector] = {}
+
+    # -- placement ------------------------------------------------------------
+    def place(self, task: Task, demands: Optional[ResourceVector] = None) -> None:
+        """Record a task's placement with its placement-adjusted demands."""
+        if task in self.running:
+            raise RuntimeError(f"{task!r} already running on {self!r}")
+        if demands is None:
+            demands = task.demands_on(self.machine_id)
+        self.running.add(task)
+        self._placed_demands[task.task_id] = demands
+        self.allocated.add_inplace(demands)
+
+    def remove(self, task: Task) -> None:
+        if task not in self.running:
+            raise RuntimeError(f"{task!r} not running on {self!r}")
+        self.running.discard(task)
+        demands = self._placed_demands.pop(task.task_id)
+        self.allocated.sub_inplace(demands)
+
+    def placed_demands(self, task: Task) -> ResourceVector:
+        return self._placed_demands[task.task_id]
+
+    # -- capacity queries -------------------------------------------------------
+    def free(self) -> ResourceVector:
+        """Capacity minus booked peak demands (may be negative when
+        a scheduler over-allocated a fluid dimension)."""
+        return self.capacity - self.allocated
+
+    def free_clamped(self) -> ResourceVector:
+        return self.free().clamp_nonnegative()
+
+    def can_fit(self, demands: ResourceVector) -> bool:
+        """Full-vector admission check (what Tetris enforces)."""
+        return (self.allocated + demands).fits_in(self.capacity)
+
+    def utilization(self) -> ResourceVector:
+        """Booked peak demands as a fraction of capacity, per dimension."""
+        return self.allocated.normalized_by(self.capacity)
+
+    @property
+    def num_running(self) -> int:
+        return len(self.running)
+
+    def __repr__(self) -> str:
+        return f"Machine(id={self.machine_id}, running={len(self.running)})"

@@ -1,0 +1,5 @@
+"""Allocation enforcement: token buckets on disk and network I/O."""
+
+from repro.enforcement.token_bucket import IoGate, TokenBucket
+
+__all__ = ["TokenBucket", "IoGate"]

@@ -1,0 +1,21 @@
+"""Demand estimation and machine-level resource tracking (Section 4.1)."""
+
+from repro.estimation.estimator import (
+    DemandEstimator,
+    NoisyEstimator,
+    OracleEstimator,
+    ProfilingEstimator,
+)
+from repro.estimation.history import StageStatistics, TemplateHistory
+from repro.estimation.tracker import ResourceTracker, TrackerConfig
+
+__all__ = [
+    "DemandEstimator",
+    "OracleEstimator",
+    "NoisyEstimator",
+    "ProfilingEstimator",
+    "StageStatistics",
+    "TemplateHistory",
+    "ResourceTracker",
+    "TrackerConfig",
+]

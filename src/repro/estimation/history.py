@@ -1,0 +1,87 @@
+"""Per-(job template, stage) demand statistics.
+
+Recurring jobs rerun the same computation hourly or daily on new data
+(Section 4.1); the statistics of a stage's tasks carry over between runs,
+and within a run the first few finished tasks of a stage predict the rest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.resources import ResourceModel, ResourceVector
+
+__all__ = ["StageStatistics", "TemplateHistory"]
+
+
+@dataclass
+class StageStatistics:
+    """Streaming mean/variance of observed task demand vectors."""
+
+    model: ResourceModel
+    count: int = 0
+    _mean: Optional[np.ndarray] = None
+    _m2: Optional[np.ndarray] = None
+
+    def observe(self, demands: ResourceVector) -> None:
+        x = demands.data
+        if self._mean is None:
+            self._mean = np.zeros_like(x)
+            self._m2 = np.zeros_like(x)
+        self.count += 1
+        delta = x - self._mean
+        self._mean = self._mean + delta / self.count
+        self._m2 = self._m2 + delta * (x - self._mean)
+
+    def mean(self) -> Optional[ResourceVector]:
+        if self.count == 0:
+            return None
+        return ResourceVector(self.model, self._mean.copy())
+
+    def std(self) -> Optional[ResourceVector]:
+        if self.count < 2:
+            return None
+        return ResourceVector(
+            self.model, np.sqrt(self._m2 / (self.count - 1))
+        )
+
+    def coefficient_of_variation(self) -> Optional[np.ndarray]:
+        std = self.std()
+        mean = self.mean()
+        if std is None or mean is None:
+            return None
+        with np.errstate(divide="ignore", invalid="ignore"):
+            cov = np.where(mean.data > 0, std.data / mean.data, 0.0)
+        return cov
+
+
+class TemplateHistory:
+    """Statistics store keyed on (job template, stage name)."""
+
+    def __init__(self, model: ResourceModel):
+        self.model = model
+        self._stats: Dict[Tuple[str, str], StageStatistics] = {}
+
+    def observe(
+        self, template: str, stage_name: str, demands: ResourceVector
+    ) -> None:
+        key = (template, stage_name)
+        if key not in self._stats:
+            self._stats[key] = StageStatistics(self.model)
+        self._stats[key].observe(demands)
+
+    def mean(
+        self, template: str, stage_name: str
+    ) -> Optional[ResourceVector]:
+        stats = self._stats.get((template, stage_name))
+        return stats.mean() if stats else None
+
+    def count(self, template: str, stage_name: str) -> int:
+        stats = self._stats.get((template, stage_name))
+        return stats.count if stats else 0
+
+    def __len__(self) -> int:
+        return len(self._stats)

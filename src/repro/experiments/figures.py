@@ -1,0 +1,242 @@
+"""Render the paper's figures as SVG files.
+
+``render_all(output_dir)`` regenerates the line/bar figures of the
+evaluation from fresh simulation runs and writes standalone SVGs (the
+benchmark suite prints the same data as tables; this module draws it).
+Exposed on the command line as ``python -m repro figures -o figs/``.
+
+The ``quick`` profile (default) runs a reduced workload so a full
+render finishes in about a minute of pure Python; ``quick=False`` uses
+the benchmark-scale configuration.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List
+
+from repro.experiments.harness import ExperimentConfig, run_comparison
+from repro.experiments.motivating import drf_schedule, packing_schedule
+from repro.metrics.comparison import (
+    cdf_points,
+    improvement_distribution,
+    improvement_percent,
+)
+from repro.schedulers.capacity import CapacityScheduler
+from repro.schedulers.drf import DRFScheduler
+from repro.schedulers.slot_fair import SlotFairScheduler
+from repro.schedulers.tetris import TetrisConfig, TetrisScheduler
+from repro.viz.charts import BarChart, LineChart
+from repro.workload.tracegen import WorkloadSuiteConfig, generate_workload_suite
+
+__all__ = ["render_all"]
+
+FAIRNESS_KNOBS = (0.0, 0.25, 0.5, 0.75, 0.99)
+BARRIER_KNOBS = (0.0, 0.5, 0.75, 0.9, 0.95)
+
+
+def _workload(quick: bool):
+    if quick:
+        cfg = WorkloadSuiteConfig(num_jobs=20, task_scale=0.04,
+                                  arrival_horizon=600, seed=1)
+        machines = 12
+    else:
+        cfg = WorkloadSuiteConfig(num_jobs=40, task_scale=0.05,
+                                  arrival_horizon=1000, seed=1)
+        machines = 20
+    return generate_workload_suite(cfg), machines
+
+
+def _config(machines: int) -> ExperimentConfig:
+    return ExperimentConfig(num_machines=machines, seed=1,
+                            use_tracker=True)
+
+
+def fig1_completion_times(path: Path) -> Path:
+    """Figure 1: the motivating example's completion times."""
+    drf = drf_schedule()
+    packing = packing_schedule()
+    chart = BarChart(
+        categories=sorted(drf.completion),
+        title="Figure 1: DRF vs packing on the 3-job example",
+        x_label="job",
+        y_label="completion time (units of t)",
+    )
+    chart.add_group("DRF", [drf.completion[j] for j in sorted(drf.completion)])
+    chart.add_group(
+        "packing", [packing.completion[j] for j in sorted(drf.completion)]
+    )
+    chart.save(path)
+    return path
+
+
+def fig4a_jct_cdf(results, path: Path) -> Path:
+    """Figure 4a: CDF of per-job completion-time improvement."""
+    chart = LineChart(
+        title="Figure 4a: JCT improvement CDF",
+        x_label="reduction in job duration (%)",
+        y_label="fraction of jobs",
+    )
+    tetris = results["tetris"].completion_by_name()
+    for baseline in ("capacity", "drf"):
+        dist = improvement_distribution(
+            results[baseline].completion_by_name(), tetris
+        )
+        chart.add_series(
+            f"vs {baseline}",
+            [(v, f) for v, f in cdf_points(dist, num_points=41)],
+        )
+    chart.save(path)
+    return path
+
+
+def fig5_running_tasks(results, path: Path) -> Path:
+    """Figure 5a: running tasks over time per scheduler."""
+    chart = LineChart(
+        title="Figure 5a: running tasks",
+        x_label="time (s)",
+        y_label="running tasks",
+    )
+    for name, result in results.items():
+        series = result.collector.running_tasks_series()
+        if len(series) >= 2:
+            chart.add_series(name, series)
+    chart.save(path)
+    return path
+
+
+def fig5_utilization(results, path: Path) -> Path:
+    """Figure 5b-style: disk-read demand utilization over time."""
+    chart = LineChart(
+        title="Figure 5b: disk-read demand utilization "
+              "(>1 means over-allocation)",
+        x_label="time (s)",
+        y_label="fraction of capacity",
+    )
+    for name, result in results.items():
+        series = result.collector.utilization_series("diskr")
+        if len(series) >= 2:
+            chart.add_series(name, series)
+    chart.save(path)
+    return path
+
+
+def fig8_fairness_knob(trace, machines: int, path: Path) -> Path:
+    """Figure 8: efficiency vs the fairness knob."""
+    schedulers = {"slot-fair": SlotFairScheduler}
+    for f in FAIRNESS_KNOBS:
+        schedulers[f"f={f}"] = (
+            lambda knob=f: TetrisScheduler(TetrisConfig(fairness_knob=knob))
+        )
+    results = run_comparison(trace, schedulers, _config(machines))
+    fair = results["slot-fair"]
+    jct, makespan = [], []
+    for f in FAIRNESS_KNOBS:
+        r = results[f"f={f}"]
+        jct.append((f, improvement_percent(fair.mean_jct, r.mean_jct)))
+        makespan.append(
+            (f, improvement_percent(fair.makespan, r.makespan))
+        )
+    chart = LineChart(
+        title="Figure 8: gains vs fairness knob",
+        x_label="fairness knob f",
+        y_label="gain over slot-fair (%)",
+    )
+    chart.add_series("mean JCT", jct)
+    chart.add_series("makespan", makespan)
+    chart.save(path)
+    return path
+
+
+def fig10_barrier_knob(trace, machines: int, path: Path) -> Path:
+    """Figure 10: efficiency vs the barrier knob."""
+    schedulers = {"drf": DRFScheduler}
+    for b in BARRIER_KNOBS:
+        schedulers[f"b={b}"] = (
+            lambda knob=b: TetrisScheduler(TetrisConfig(barrier_knob=knob))
+        )
+    results = run_comparison(trace, schedulers, _config(machines))
+    drf = results["drf"]
+    jct, makespan = [], []
+    for b in BARRIER_KNOBS:
+        r = results[f"b={b}"]
+        jct.append((b, improvement_percent(drf.mean_jct, r.mean_jct)))
+        makespan.append((b, improvement_percent(drf.makespan, r.makespan)))
+    chart = LineChart(
+        title="Figure 10: gains vs barrier knob",
+        x_label="barrier knob b",
+        y_label="gain over DRF (%)",
+    )
+    chart.add_series("mean JCT", jct)
+    chart.add_series("makespan", makespan)
+    chart.save(path)
+    return path
+
+
+def fig11_cluster_load(trace, machines: int, path: Path) -> Path:
+    """Figure 11: gains vs cluster load (fewer machines = more load)."""
+    jct, makespan = [], []
+    for divisor in (1, 2, 4):
+        count = max(2, machines // divisor)
+        results = run_comparison(
+            trace,
+            {"tetris": TetrisScheduler, "slot-fair": SlotFairScheduler},
+            _config(count),
+        )
+        load = machines / count
+        jct.append(
+            (load, improvement_percent(
+                results["slot-fair"].mean_jct, results["tetris"].mean_jct
+            ))
+        )
+        makespan.append(
+            (load, improvement_percent(
+                results["slot-fair"].makespan, results["tetris"].makespan
+            ))
+        )
+    chart = LineChart(
+        title="Figure 11: gains vs cluster load",
+        x_label="load multiplier",
+        y_label="gain over slot-fair (%)",
+    )
+    chart.add_series("mean JCT", jct)
+    chart.add_series("makespan", makespan)
+    chart.save(path)
+    return path
+
+
+def render_all(
+    output_dir, quick: bool = True
+) -> List[Path]:
+    """Render every figure; returns the written paths."""
+    out = Path(output_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    trace, machines = _workload(quick)
+    written = [fig1_completion_times(out / "fig1_motivating.svg")]
+    results = run_comparison(
+        trace,
+        {
+            "tetris": TetrisScheduler,
+            "capacity": CapacityScheduler,
+            "slot-fair": SlotFairScheduler,
+            "drf": DRFScheduler,
+        },
+        _config(machines),
+    )
+    written.append(fig4a_jct_cdf(results, out / "fig4a_jct_cdf.svg"))
+    written.append(
+        fig5_running_tasks(results, out / "fig5a_running_tasks.svg")
+    )
+    written.append(
+        fig5_utilization(results, out / "fig5b_disk_utilization.svg")
+    )
+    written.append(
+        fig8_fairness_knob(trace, machines, out / "fig8_fairness_knob.svg")
+    )
+    written.append(
+        fig10_barrier_knob(trace, machines, out / "fig10_barrier_knob.svg")
+    )
+    written.append(
+        fig11_cluster_load(trace, machines, out / "fig11_cluster_load.svg")
+    )
+    return written

@@ -1,0 +1,148 @@
+"""Run (workload, cluster, scheduler) combinations and compare them.
+
+Each run materializes a *fresh* cluster and fresh jobs from the same
+trace records (job and task objects are stateful), so comparisons across
+schedulers are apples-to-apples.  Completion times are keyed by job
+*name* — stable across materializations — for the per-job CDFs of
+Figures 4a and 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.activity.ingestion import ClusterActivity
+from repro.cluster.cluster import Cluster
+from repro.estimation.estimator import DemandEstimator
+from repro.estimation.tracker import ResourceTracker, TrackerConfig
+from repro.metrics.collector import MetricsCollector
+from repro.resources import ResourceVector
+from repro.schedulers.base import Scheduler
+from repro.sim.engine import Engine, EngineConfig
+from repro.sim.fluid import FluidConfig
+from repro.workload.job import Job
+from repro.workload.trace import TraceJob, materialize_trace
+
+__all__ = ["ExperimentConfig", "RunResult", "run_trace", "run_comparison"]
+
+
+@dataclass
+class ExperimentConfig:
+    """Everything needed to repeat a run except the scheduler."""
+
+    num_machines: int = 100
+    machine_capacity: Optional[ResourceVector] = None
+    machines_per_rack: int = 16
+    seed: int = 0
+    use_tracker: bool = False
+    tracker_config: Optional[TrackerConfig] = None
+    estimator_factory: Optional[Callable[[], DemandEstimator]] = None
+    fluid_config: Optional[FluidConfig] = None
+    engine_config: Optional[EngineConfig] = None
+    track_fairness: bool = False
+    track_machine_usage: bool = False
+
+    def make_cluster(self) -> Cluster:
+        return Cluster(
+            self.num_machines,
+            machine_capacity=self.machine_capacity,
+            machines_per_rack=self.machines_per_rack,
+            seed=self.seed,
+        )
+
+    def make_engine_config(self) -> EngineConfig:
+        if self.engine_config is not None:
+            return self.engine_config
+        return EngineConfig(
+            seed=self.seed,
+            track_fairness=self.track_fairness,
+            track_machine_usage=self.track_machine_usage,
+        )
+
+
+@dataclass
+class RunResult:
+    """Outcome of one run."""
+
+    scheduler_name: str
+    collector: MetricsCollector
+    jobs: List[Job]
+    activities: List[ClusterActivity] = field(default_factory=list)
+
+    @property
+    def mean_jct(self) -> float:
+        return self.collector.mean_jct()
+
+    @property
+    def makespan(self) -> float:
+        return self.collector.makespan()
+
+    def completion_by_name(self) -> Dict[str, float]:
+        """Job-name keyed completion times (stable across runs)."""
+        out = {}
+        for job in self.jobs:
+            if job.completion_time is not None:
+                out[job.name] = job.completion_time
+        return out
+
+    def unfairness_by_name(self) -> Dict[str, float]:
+        """Job-name keyed relative integral unfairness values."""
+        out = {}
+        by_id = {job.job_id: job for job in self.jobs}
+        for job_id, integral in self.collector.unfairness_integral.items():
+            job = by_id.get(job_id)
+            if job is None or job.completion_time in (None, 0):
+                continue
+            out[job.name] = integral / job.completion_time
+        return out
+
+    def summary(self) -> Dict[str, float]:
+        return dict(self.collector.summary())
+
+
+def run_trace(
+    trace: Sequence[TraceJob],
+    scheduler: Scheduler,
+    config: Optional[ExperimentConfig] = None,
+    activities: Iterable[ClusterActivity] = (),
+) -> RunResult:
+    """Materialize the trace on a fresh cluster and run one scheduler."""
+    cfg = config if config is not None else ExperimentConfig()
+    cluster = cfg.make_cluster()
+    jobs = materialize_trace(trace, cluster, seed=cfg.seed)
+    tracker = None
+    if cfg.use_tracker:
+        tracker = ResourceTracker(cluster, cfg.tracker_config)
+    estimator = (
+        cfg.estimator_factory() if cfg.estimator_factory is not None else None
+    )
+    engine = Engine(
+        cluster,
+        scheduler,
+        jobs,
+        activities=activities,
+        estimator=estimator,
+        tracker=tracker,
+        fluid_config=cfg.fluid_config,
+        config=cfg.make_engine_config(),
+    )
+    collector = engine.run()
+    return RunResult(
+        scheduler_name=scheduler.name,
+        collector=collector,
+        jobs=jobs,
+        activities=list(activities),
+    )
+
+
+def run_comparison(
+    trace: Sequence[TraceJob],
+    scheduler_factories: Dict[str, Callable[[], Scheduler]],
+    config: Optional[ExperimentConfig] = None,
+) -> Dict[str, RunResult]:
+    """Run the same trace under several schedulers; returns per-name results."""
+    results = {}
+    for name, factory in scheduler_factories.items():
+        results[name] = run_trace(trace, factory(), config=config)
+    return results

@@ -1,0 +1,10 @@
+"""YARN-integration artifacts: the AM -> RM ask encoding (Section 4.4)."""
+
+from repro.integration.asks import (
+    Ask,
+    StageAsk,
+    build_ask,
+    naive_ask_size_bytes,
+)
+
+__all__ = ["Ask", "StageAsk", "build_ask", "naive_ask_size_bytes"]

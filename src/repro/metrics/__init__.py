@@ -1,0 +1,24 @@
+"""Metrics: completion times, makespan, utilization timelines, fairness."""
+
+from repro.metrics.collector import MetricsCollector, TimelinePoint
+from repro.metrics.fairness import (
+    job_slowdowns,
+    relative_integral_unfairness_summary,
+    slowdown_summary,
+)
+from repro.metrics.comparison import (
+    improvement_percent,
+    improvement_distribution,
+    cdf_points,
+)
+
+__all__ = [
+    "MetricsCollector",
+    "TimelinePoint",
+    "job_slowdowns",
+    "relative_integral_unfairness_summary",
+    "slowdown_summary",
+    "improvement_percent",
+    "improvement_distribution",
+    "cdf_points",
+]

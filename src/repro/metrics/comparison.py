@@ -1,0 +1,43 @@
+"""Comparison helpers: percentage improvements and CDFs, as the paper
+reports them (Section 5.1, Metrics)."""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["improvement_percent", "improvement_distribution", "cdf_points"]
+
+
+def improvement_percent(baseline: float, treatment: float) -> float:
+    """The paper's reduction metric: 100 * (baseline - treatment)/baseline.
+
+    20% improvement means the treatment is 1.25x better.
+    """
+    if baseline <= 0:
+        return 0.0
+    return 100.0 * (baseline - treatment) / baseline
+
+
+def improvement_distribution(
+    baseline_jcts: Mapping[int, float], treatment_jcts: Mapping[int, float]
+) -> List[float]:
+    """Per-job percentage improvement, for CDF plots (Figures 4a, 7)."""
+    out = []
+    for job_id, base in baseline_jcts.items():
+        if job_id in treatment_jcts and base > 0:
+            out.append(improvement_percent(base, treatment_jcts[job_id]))
+    return out
+
+
+def cdf_points(
+    values: Sequence[float], num_points: int = 101
+) -> List[Tuple[float, float]]:
+    """(value, cumulative fraction) pairs sampled at even percentiles."""
+    if not values:
+        return []
+    arr = np.sort(np.asarray(values, dtype=float))
+    fractions = np.linspace(0.0, 1.0, num_points)
+    idx = np.minimum((fractions * (len(arr) - 1)).round().astype(int), len(arr) - 1)
+    return [(float(arr[i]), float(f)) for i, f in zip(idx, fractions)]

@@ -1,0 +1,248 @@
+"""Scheduler interface and shared bookkeeping.
+
+The engine drives a scheduler through four calls:
+
+- :meth:`Scheduler.bind` once, with the cluster (and optional estimator /
+  tracker);
+- :meth:`Scheduler.on_job_arrival` / :meth:`Scheduler.on_task_finished`
+  as the workload evolves;
+- :meth:`Scheduler.schedule` whenever anything changed; it returns
+  :class:`Placement` decisions which the engine applies.
+
+All schedulers book the demands they *believe* (from the estimator) on the
+machines; physics uses the tasks' true demands.  Baseline schedulers differ
+from Tetris in which dimensions they *check* before placing, not in what
+gets booked — that is precisely the over-allocation story of Section 2.1.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.estimation.estimator import DemandEstimator, OracleEstimator
+from repro.resources import ResourceVector
+from repro.workload.job import Job, JobState
+from repro.workload.task import Task
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.cluster import Cluster
+    from repro.estimation.tracker import ResourceTracker
+
+__all__ = ["Placement", "Scheduler", "adjust_for_placement"]
+
+
+def adjust_for_placement(
+    demands: ResourceVector, task: Task, machine_id: int
+) -> ResourceVector:
+    """Adapt an estimated demand vector to a candidate placement.
+
+    Mirrors :meth:`repro.workload.task.Task.demands_on` but for an
+    *estimated* profile: network-in demand applies only when some input is
+    remote; disk-read demand only when some input is local; output is
+    written locally so ``netout`` is cleared.
+    """
+    remote = task.remote_input_mb(machine_id)
+    local = task.input_mb - remote
+    adjusted = demands.copy()
+    if remote <= 0:
+        adjusted.set("netin", 0.0)
+    if local <= 0:
+        adjusted.set("diskr", 0.0)
+    adjusted.set("netout", 0.0)
+    return adjusted
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One scheduling decision: run ``task`` on ``machine_id``, booking
+    ``booked`` (the scheduler's demand estimate adjusted for placement)."""
+
+    task: Task
+    machine_id: int
+    booked: ResourceVector
+
+
+class Scheduler(abc.ABC):
+    """Base class with job-set and per-job allocation bookkeeping."""
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self.cluster: Optional["Cluster"] = None
+        self.estimator: DemandEstimator = OracleEstimator()
+        self.tracker: Optional["ResourceTracker"] = None
+        self.active_jobs: List[Job] = []
+        #: per-job booked allocation (sum over its running tasks)
+        self.job_alloc: Dict[int, ResourceVector] = {}
+        self._booked_by_task: Dict[int, ResourceVector] = {}
+        #: delay-scheduling state: offers skipped per stage (by id)
+        self._stage_skips: Dict[int, int] = {}
+        #: offers a stage declines before accepting a non-local slot;
+        #: None = one wave of the cluster (set at bind)
+        self.locality_delay: Optional[int] = None
+
+    # -- wiring -------------------------------------------------------------
+    def bind(
+        self,
+        cluster: "Cluster",
+        estimator: Optional[DemandEstimator] = None,
+        tracker: Optional["ResourceTracker"] = None,
+    ) -> None:
+        self.cluster = cluster
+        if estimator is not None:
+            self.estimator = estimator
+        self.tracker = tracker
+
+    # -- workload callbacks ----------------------------------------------------
+    def on_job_arrival(self, job: Job, time: float) -> None:
+        self.active_jobs.append(job)
+        self.job_alloc.setdefault(job.job_id, self.cluster.model.zeros())
+
+    def on_task_started(
+        self, task: Task, machine_id: int, booked: ResourceVector
+    ) -> None:
+        self._booked_by_task[task.task_id] = booked
+        self.job_alloc[task.job.job_id].add_inplace(booked)
+
+    def on_task_finished(self, task: Task, time: float) -> None:
+        booked = self._booked_by_task.pop(task.task_id, None)
+        if booked is not None:
+            self.job_alloc[task.job.job_id].sub_inplace(booked)
+        if task.job.is_finished:
+            self.active_jobs = [
+                j for j in self.active_jobs if j.job_id != task.job.job_id
+            ]
+            self.job_alloc.pop(task.job.job_id, None)
+
+    def on_stage_released(self, stage, time: float) -> None:
+        """A barrier lifted and ``stage``'s tasks became runnable."""
+
+    def on_task_failed(self, task: Task, time: float) -> None:
+        """A running attempt died; undo its bookkeeping and requeue it."""
+        booked = self._booked_by_task.pop(task.task_id, None)
+        if booked is not None:
+            self.job_alloc[task.job.job_id].sub_inplace(booked)
+        index = getattr(self, "index", None)
+        if index is not None:
+            index.requeue(task)
+
+    # -- helpers ---------------------------------------------------------------
+    def runnable_jobs(self) -> List[Job]:
+        return [
+            j
+            for j in self.active_jobs
+            if j.state is JobState.ACTIVE and j.runnable_tasks()
+        ]
+
+    def estimated_demands(self, task: Task) -> ResourceVector:
+        return self.estimator.estimate(task)
+
+    def booked_demands(self, task: Task, machine_id: int) -> ResourceVector:
+        """Placement-adjusted estimate, with rates capped at capacity.
+
+        The cap matters with noisy/over-estimates: a *rate* estimate
+        above capacity could never be booked anywhere and would wedge
+        the task forever, while a real scheduler simply grants the whole
+        machine (the task just runs slower).  Rigid demands (memory) are
+        left uncapped: a task that truly needs more memory than any
+        machine has is genuinely unschedulable.
+        """
+        adjusted = adjust_for_placement(
+            self.estimated_demands(task), task, machine_id
+        )
+        machine = self.cluster.machine(machine_id)
+        model = machine.capacity.model
+        for name, is_fluid in zip(model.names, model.fluid_mask):
+            if is_fluid:
+                adjusted.set(
+                    name,
+                    min(adjusted.get(name), machine.capacity.get(name)),
+                )
+        return adjusted
+
+    def pick_task_with_locality(self, index, job: Job, machine_id: int):
+        """Delay-scheduling task choice (Zaharia et al., EuroSys 2010).
+
+        The production baselines the paper compares against place map
+        tasks on local slots when they can, *waiting* a bounded number of
+        scheduling offers before settling for a remote slot.  A stage
+        accepts a non-local slot only after declining ``locality_delay``
+        offers; a local launch resets its patience.
+        """
+        limit = self.locality_delay
+        if limit is None:
+            limit = self.cluster.num_machines
+        fallback = None
+        fallback_stage = None
+        for stage in index.indexed_stages(job):
+            local = index.local_candidate(stage, machine_id)
+            if local is not None:
+                self._stage_skips[id(stage)] = 0
+                return local
+            if fallback is None:
+                fallback = index.any_candidate(stage)
+                fallback_stage = stage
+        if fallback is None:
+            return None
+        # data for this stage is elsewhere: wait, unless out of patience
+        # or the task has no locality preference at all (shuffle reads
+        # pinned later, or inputs nowhere local)
+        if not any(inp.locations for inp in fallback.inputs):
+            return fallback
+        skips = self._stage_skips.get(id(fallback_stage), 0)
+        if skips >= limit:
+            return fallback
+        self._stage_skips[id(fallback_stage)] = skips + 1
+        return None
+
+    def iter_machine_ids(
+        self, machine_ids: Optional[List[int]]
+    ) -> List[int]:
+        """Machines to consider, least-loaded first.
+
+        Heartbeats from lightly-loaded nodes effectively win the race for
+        pending tasks in YARN-like systems, spreading load instead of
+        piling tasks onto low-numbered machines.  Sorting by running-task
+        count reproduces that (deterministically).
+        """
+        if machine_ids is None:
+            machine_ids = range(self.cluster.num_machines)
+        return sorted(
+            machine_ids,
+            key=lambda m: (self.cluster.machine(m).num_running, m),
+        )
+
+    def machine_free(self, machine_id: int) -> ResourceVector:
+        """The free vector this scheduler plans against.
+
+        With a tracker bound, its report (which folds in observed usage
+        from mis-estimates and non-job activity) replaces the naive
+        booked-allocation view.
+        """
+        machine = self.cluster.machine(machine_id)
+        if self.tracker is not None:
+            return self.tracker.available(machine)
+        return machine.free_clamped()
+
+    def dominant_share(self, job: Job) -> float:
+        """The job's DRF dominant share of the whole cluster."""
+        alloc = self.job_alloc.get(job.job_id)
+        if alloc is None:
+            return 0.0
+        return alloc.dominant_share(self.cluster.total_capacity())
+
+    # -- the decision procedure ----------------------------------------------
+    @abc.abstractmethod
+    def schedule(
+        self, time: float, machine_ids: Optional[List[int]] = None
+    ) -> List[Placement]:
+        """Return placements for the current instant.
+
+        ``machine_ids`` restricts attention to machines whose state
+        changed since the last call (None means all machines).
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

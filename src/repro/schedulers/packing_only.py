@@ -1,0 +1,32 @@
+"""Packing-only ablation: alignment score without the SRTF term.
+
+The other half of Section 5.3.1's ablation (and the ``ε = 0`` point of
+the sensitivity analysis in Section 5.3.3): pure packing maximizes
+cluster throughput/makespan but does nothing to finish small jobs early.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.schedulers.fairness_policy import FairnessPolicy
+from repro.schedulers.tetris import TetrisConfig, TetrisScheduler
+
+__all__ = ["PackingOnlyScheduler"]
+
+
+class PackingOnlyScheduler(TetrisScheduler):
+    """Tetris with the remaining-work term disabled."""
+
+    name = "packing-only"
+
+    def __init__(
+        self,
+        config: Optional[TetrisConfig] = None,
+        fairness_policy: Optional[FairnessPolicy] = None,
+    ):
+        if config is None:
+            config = TetrisConfig(srtf_multiplier=0.0)
+        elif config.srtf_multiplier != 0.0:
+            raise ValueError("PackingOnlyScheduler requires srtf_multiplier=0")
+        super().__init__(config=config, fairness_policy=fairness_policy)

@@ -1,0 +1,35 @@
+"""SRTF-only ablation: multi-resource shortest-remaining-time-first.
+
+Section 5.3.1 isolates the two halves of Tetris's combined score.  This
+scheduler zeroes the alignment weight, so placement is driven purely by
+the jobs' remaining-work scores: the job with the least remaining work
+monopolizes resources, at the cost of packing efficiency.  Admission
+still checks all dimensions (no over-allocation) — the ablation isolates
+the *ordering* heuristic, not the safety checks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.schedulers.fairness_policy import FairnessPolicy
+from repro.schedulers.tetris import TetrisConfig, TetrisScheduler
+
+__all__ = ["SRTFScheduler"]
+
+
+class SRTFScheduler(TetrisScheduler):
+    """Tetris with the packing term disabled."""
+
+    name = "srtf"
+
+    def __init__(
+        self,
+        config: Optional[TetrisConfig] = None,
+        fairness_policy: Optional[FairnessPolicy] = None,
+    ):
+        if config is None:
+            config = TetrisConfig(alignment_weight=0.0, srtf_multiplier=1.0)
+        elif config.alignment_weight != 0.0:
+            raise ValueError("SRTFScheduler requires alignment_weight=0")
+        super().__init__(config=config, fairness_policy=fairness_policy)

@@ -1,0 +1,118 @@
+"""An index of runnable tasks, grouped by stage, with locality lookup.
+
+Schedulers pick tasks stage-first: tasks within a stage are statistically
+similar (Section 4.1), so one representative score per stage per machine
+is enough, and the index answers "give me a runnable task of this stage,
+preferably one with input local to machine m" in O(1) amortized.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Set
+
+from repro.workload.job import Job
+from repro.workload.stage import Stage
+from repro.workload.task import Task, TaskState
+
+__all__ = ["StageIndex"]
+
+
+class _StageEntry:
+    __slots__ = ("stage", "queue", "local")
+
+    def __init__(self, stage: Stage):
+        self.stage = stage
+        self.queue: Deque[Task] = deque(stage.runnable_tasks())
+        self.local: Dict[int, Deque[Task]] = {}
+        for task in self.queue:
+            for inp in task.inputs:
+                for machine_id in inp.locations:
+                    self.local.setdefault(machine_id, deque()).append(task)
+
+
+class StageIndex:
+    """Tracks runnable-and-unclaimed tasks per stage."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, _StageEntry] = {}
+        self._claimed: Set[int] = set()
+
+    # -- maintenance ----------------------------------------------------------
+    def add_stage(self, stage: Stage) -> None:
+        key = id(stage)
+        if key not in self._entries:
+            self._entries[key] = _StageEntry(stage)
+
+    def add_job(self, job: Job) -> None:
+        """Index every already-released stage of a newly-arrived job."""
+        for stage in job.dag:
+            if stage.is_released():
+                self.add_stage(stage)
+
+    def claim(self, task: Task) -> None:
+        """Mark a task as tentatively placed during this scheduling round."""
+        self._claimed.add(task.task_id)
+
+    def forget(self, task: Task) -> None:
+        """Drop bookkeeping for a finished task."""
+        self._claimed.discard(task.task_id)
+
+    def requeue(self, task: Task) -> None:
+        """Put a failed task back into its stage's candidate pools."""
+        self._claimed.discard(task.task_id)
+        entry = self._entries.get(id(task.stage))
+        if entry is None:
+            return
+        entry.queue.append(task)
+        for inp in task.inputs:
+            for machine_id in inp.locations:
+                entry.local.setdefault(machine_id, deque()).append(task)
+
+    def _eligible(self, task: Task) -> bool:
+        return (
+            task.state is TaskState.RUNNABLE
+            and task.task_id not in self._claimed
+        )
+
+    # -- candidate lookup ------------------------------------------------------
+    def local_candidate(
+        self, stage: Stage, machine_id: int
+    ) -> Optional[Task]:
+        """A runnable task of ``stage`` with a replica on ``machine_id``."""
+        entry = self._entries.get(id(stage))
+        if entry is None:
+            return None
+        queue = entry.local.get(machine_id)
+        if not queue:
+            return None
+        while queue:
+            task = queue[0]
+            if self._eligible(task):
+                return task
+            queue.popleft()
+        return None
+
+    def any_candidate(self, stage: Stage) -> Optional[Task]:
+        """Any runnable task of ``stage`` (front of the queue)."""
+        entry = self._entries.get(id(stage))
+        if entry is None:
+            return None
+        queue = entry.queue
+        while queue:
+            task = queue[0]
+            if self._eligible(task):
+                return task
+            queue.popleft()
+        return None
+
+    def has_candidates(self, stage: Stage) -> bool:
+        return self.any_candidate(stage) is not None
+
+    def indexed_stages(self, job: Job) -> List[Stage]:
+        """This job's indexed stages that still hold eligible tasks."""
+        out = []
+        for stage in job.dag:
+            if id(stage) in self._entries and self.has_candidates(stage):
+                out.append(stage)
+        return out

@@ -1,0 +1,520 @@
+"""Tetris: multi-resource packing + shortest-remaining-work + fairness knob.
+
+The decision procedure (Section 3):
+
+1. **Fairness knob** ``f`` (§3.4) — sort the runnable jobs by how far they
+   are below fair share (any :class:`FairnessPolicy`); only tasks of the
+   first ``ceil((1 - f) * |J|)`` jobs are candidates.  ``f = 0`` is the
+   most efficient schedule, ``f -> 1`` strictly fair.
+2. **Barrier knob** ``b`` (§3.5) — if a candidate stage has finished more
+   than a ``b`` fraction of its tasks, its stragglers get strict
+   preference (they gate a barrier, so finishing them is cheap and
+   valuable).
+3. **Packing score** (§3.2) — for each candidate task that *fits* the
+   machine on every considered dimension (peak demands satisfiable, so
+   over-allocation is impossible), compute the alignment between its
+   placement-adjusted demand vector and the machine's free vector, both
+   normalized by capacity.  Tasks reading remote input are penalized by
+   ``remote_penalty`` and their remote sources are checked for disk/NIC
+   headroom.
+4. **SRTF term** (§3.3) — combine alignment ``a`` with the job's
+   remaining-work score ``p`` as ``a - m * (ā/p̄) * p``, where the bars are
+   averages over the current candidates.  (The paper writes the combined
+   score as a weighted sum of the alignment and remaining-work terms with
+   ``ε = ā/p̄``; since lower ``p`` must win, the remaining-work term enters
+   with a negative sign.)  Place the argmax; repeat until nothing fits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.resources import ResourceVector
+from repro.schedulers.alignment import AlignmentScorer, get_scorer
+from repro.schedulers.base import Placement, Scheduler
+from repro.schedulers.fairness_policy import DRFFairnessPolicy, FairnessPolicy
+from repro.schedulers.stage_index import StageIndex
+from repro.workload.job import Job
+from repro.workload.task import Task
+
+__all__ = ["TetrisConfig", "TetrisScheduler"]
+
+
+@dataclass(frozen=True)
+class TetrisConfig:
+    """Tetris's knobs, with the paper's defaults.
+
+    - ``fairness_knob`` f in [0, 1): 0.25 achieves most of the efficiency
+      with negligible unfairness (Figure 8);
+    - ``barrier_knob`` b in [0, 1): 0.9 for the Facebook workload
+      (Figure 10); b = 0 disables barrier preference, matching the
+      paper's plots where b = 0 means no tasks are treated
+      preferentially;
+    - ``remote_penalty``: multiplicative alignment penalty for remote
+      reads, flat between ~5% and 30% (Section 5.3.3);
+    - ``srtf_multiplier`` m: weight of the remaining-work term, m = 1 is
+      the recommended ``ε = ā/p̄`` (Section 5.3.3);
+    - ``alignment_weight``: weight of the packing term (0 gives the
+      SRTF-only ablation);
+    - ``considered_dims``: restrict packing checks to a subset (the
+      CPU+memory-only ablation of Section 5.3.1); None means all;
+    - ``starvation_timeout``: the paper's Section 3.5 *future work* —
+      reserve machine resources for starved tasks.  When a stage with
+      runnable tasks has placed nothing for this many seconds, its
+      largest waiting task gets a machine reserved: nothing else is
+      scheduled there until the task fits.  ``None`` (default) disables
+      it, matching the published system;
+    - ``progress_aware_srtf``: Section 3.5's *future demands* note ("each
+      job manager can estimate when an assigned task will finish").
+      When on, a job's remaining-work score credits running tasks for
+      the progress they have already made, so a job whose last wave is
+      almost done looks as short as it really is.  Off by default,
+      matching the published system.
+    """
+
+    fairness_knob: float = 0.25
+    barrier_knob: float = 0.9
+    remote_penalty: float = 0.1
+    srtf_multiplier: float = 1.0
+    alignment_weight: float = 1.0
+    scorer: str = "cosine"
+    check_remote_resources: bool = True
+    considered_dims: Optional[Tuple[str, ...]] = None
+    starvation_timeout: Optional[float] = None
+    progress_aware_srtf: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fairness_knob < 1.0:
+            raise ValueError(f"fairness knob must be in [0,1): {self.fairness_knob}")
+        if not 0.0 <= self.barrier_knob < 1.0:
+            raise ValueError(f"barrier knob must be in [0,1): {self.barrier_knob}")
+        if not 0.0 <= self.remote_penalty <= 1.0:
+            raise ValueError(f"remote penalty must be in [0,1]: {self.remote_penalty}")
+        if self.srtf_multiplier < 0 or self.alignment_weight < 0:
+            raise ValueError("weights must be non-negative")
+        if self.starvation_timeout is not None and self.starvation_timeout <= 0:
+            raise ValueError("starvation_timeout must be positive or None")
+
+
+class _Candidate:
+    __slots__ = ("task", "booked", "alignment", "remaining_work")
+
+    def __init__(self, task, booked, alignment, remaining_work):
+        self.task = task
+        self.booked = booked
+        self.alignment = alignment
+        self.remaining_work = remaining_work
+
+
+class TetrisScheduler(Scheduler):
+    """The paper's scheduler."""
+
+    name = "tetris"
+
+    def __init__(
+        self,
+        config: Optional[TetrisConfig] = None,
+        fairness_policy: Optional[FairnessPolicy] = None,
+        group_of=None,
+    ):
+        """``group_of`` optionally maps a job to a group/queue name;
+        the fairness knob then restricts *groups* instead of jobs
+        (Section 3.4: "the job (or group of jobs) that is currently
+        furthest from fair share")."""
+        super().__init__()
+        self.config = config if config is not None else TetrisConfig()
+        self.fairness_policy = (
+            fairness_policy if fairness_policy is not None else DRFFairnessPolicy()
+        )
+        self.group_of = group_of
+        self.scorer: AlignmentScorer = get_scorer(self.config.scorer)
+        self.index = StageIndex()
+        #: cached SRTF scores: job_id -> remaining work, task_id -> its term
+        self._job_work: Dict[int, float] = {}
+        self._task_work: Dict[int, float] = {}
+        #: remote bandwidth granted at source machines: machine_id ->
+        #: (diskr+netout) rate, and task_id -> [(machine_id, rate)] to undo.
+        #: Tetris checks that remote reads have headroom at *every* machine
+        #: holding task input (Section 3.2); that check is only meaningful
+        #: if the scheduler remembers what it has already granted.
+        self._remote_granted: Dict[int, float] = {}
+        self._remote_by_task: Dict[int, List[Tuple[int, float]]] = {}
+        #: starvation prevention: per-stage last placement time and the
+        #: current machine reservations (machine_id -> stage id)
+        self._stage_last_placement: Dict[int, float] = {}
+        self._reservations: Dict[int, int] = {}
+
+    # -- SRTF bookkeeping -------------------------------------------------------
+    def _task_work_term(self, task: Task) -> float:
+        """One task's contribution to the job's remaining-work score:
+        capacity-normalized total demand x estimated duration (§3.3.1)."""
+        capacity = self.cluster.machine_capacity()
+        normalized = self.estimated_demands(task).normalized_by(capacity)
+        return normalized.total() * task.nominal_duration()
+
+    def on_job_arrival(self, job: Job, time: float) -> None:
+        super().on_job_arrival(job, time)
+        self.index.add_job(job)
+        for stage in job.dag:
+            if stage.is_released():
+                self._stage_last_placement[id(stage)] = time
+        total = 0.0
+        for task in job.all_tasks():
+            term = self._task_work_term(task)
+            self._task_work[task.task_id] = term
+            total += term
+        self._job_work[job.job_id] = total
+
+    def on_stage_released(self, stage, time: float) -> None:
+        self.index.add_stage(stage)
+        self._stage_last_placement[id(stage)] = time
+
+    def on_task_failed(self, task: Task, time: float) -> None:
+        super().on_task_failed(task, time)
+        for machine_id, rate in self._remote_by_task.pop(task.task_id, ()):
+            self._remote_granted[machine_id] -= rate
+
+    def on_task_finished(self, task: Task, time: float) -> None:
+        super().on_task_finished(task, time)
+        self.index.forget(task)
+        for machine_id, rate in self._remote_by_task.pop(task.task_id, ()):
+            self._remote_granted[machine_id] -= rate
+        term = self._task_work.pop(task.task_id, 0.0)
+        job_id = task.job.job_id
+        if job_id in self._job_work:
+            self._job_work[job_id] = max(0.0, self._job_work[job_id] - term)
+            if task.job.is_finished:
+                self._job_work.pop(job_id, None)
+
+    # -- candidate job set (fairness knob) ------------------------------------
+    def candidate_jobs(self) -> List[Job]:
+        jobs = self.runnable_jobs()
+        if not jobs:
+            return []
+        if self.group_of is not None:
+            return self._candidate_jobs_by_group(jobs)
+        jobs.sort(
+            key=lambda j: (-self.fairness_policy.deficit(self, j), j.job_id)
+        )
+        keep = max(1, math.ceil((1.0 - self.config.fairness_knob) * len(jobs)))
+        return jobs[:keep]
+
+    def _candidate_jobs_by_group(self, jobs: List[Job]) -> List[Job]:
+        """Fairness across groups: the most-deprived (1-f) fraction of
+        groups contribute candidates; within a group, most-deprived
+        jobs first."""
+        groups: Dict[str, List[Job]] = {}
+        for job in jobs:
+            groups.setdefault(self.group_of(job), []).append(job)
+        capacity = self.cluster.total_capacity()
+        fair = 1.0 / max(len(groups), 1)
+
+        def group_deficit(members: List[Job]) -> float:
+            total = self.cluster.model.zeros()
+            for job in members:
+                alloc = self.job_alloc.get(job.job_id)
+                if alloc is not None:
+                    total.add_inplace(alloc)
+            return fair - total.dominant_share(capacity)
+
+        ordered = sorted(
+            groups.items(),
+            key=lambda kv: (-group_deficit(kv[1]), kv[0]),
+        )
+        keep = max(
+            1, math.ceil((1.0 - self.config.fairness_knob) * len(ordered))
+        )
+        out: List[Job] = []
+        for _, members in ordered[:keep]:
+            members.sort(
+                key=lambda j: (
+                    -self.fairness_policy.deficit(self, j), j.job_id,
+                )
+            )
+            out.extend(members)
+        return out
+
+    # -- packing checks -----------------------------------------------------------
+    def _fits(self, booked: ResourceVector, free: ResourceVector) -> bool:
+        dims = self.config.considered_dims
+        if dims is None:
+            return booked.fits_in(free)
+        return all(booked.get(d) <= free.get(d) + 1e-9 for d in dims)
+
+    def _masked(self, vec: ResourceVector) -> ResourceVector:
+        dims = self.config.considered_dims
+        if dims is None:
+            return vec
+        masked = ResourceVector.zeros_like(vec)
+        for d in dims:
+            masked.set(d, vec.get(d))
+        return masked
+
+    def _remote_requirements(
+        self, task: Task, machine_id: int
+    ) -> List[Tuple[int, float]]:
+        """(source machine, transfer rate) pairs for the task's remote reads."""
+        est_netin = min(
+            self.estimated_demands(task).get("netin"),
+            self.cluster.machine_capacity().get("netin"),
+        )
+        total_remote = task.remote_input_mb(machine_id)
+        if total_remote <= 0:
+            return []
+        out = []
+        for inp in task.inputs:
+            if inp.is_local_to(machine_id) or not inp.locations:
+                continue
+            out.append(
+                (inp.locations[0], est_netin * (inp.size_mb / total_remote))
+            )
+        return out
+
+    def _remote_sources_ok(self, task: Task, machine_id: int) -> bool:
+        """Remote reads also need disk-read and NIC-out headroom at every
+        machine holding the task's input (Section 3.2), net of what has
+        already been granted to other remote readers."""
+        if not self.config.check_remote_resources:
+            return True
+        for source_id, required in self._remote_requirements(task, machine_id):
+            source = self.cluster.machine(source_id)
+            source_free = source.free_clamped()
+            granted = self._remote_granted.get(source_id, 0.0)
+            if (
+                source_free.get("netout") - granted + 1e-9 < required
+                or source_free.get("diskr") - granted + 1e-9 < required
+            ):
+                return False
+        return True
+
+    def _grant_remote(self, task: Task, machine_id: int) -> None:
+        grants = self._remote_requirements(task, machine_id)
+        if grants:
+            self._remote_by_task[task.task_id] = grants
+            for source_id, rate in grants:
+                self._remote_granted[source_id] = (
+                    self._remote_granted.get(source_id, 0.0) + rate
+                )
+
+    def _score_alignment(
+        self,
+        booked: ResourceVector,
+        free: ResourceVector,
+        remote: bool,
+        machine_id: Optional[int] = None,
+    ) -> float:
+        """Alignment of a demand vector with a machine's free vector.
+
+        Both vectors are normalized by *that machine's* capacity
+        (Section 3.2), which keeps scores comparable on heterogeneous
+        clusters.
+        """
+        if machine_id is None:
+            capacity = self.cluster.machine_capacity()
+        else:
+            capacity = self.cluster.machine(machine_id).capacity
+        demand_norm = self._masked(booked).normalized_by(capacity)
+        free_norm = self._masked(free).normalized_by(capacity)
+        score = self.scorer.score(demand_norm, free_norm)
+        if remote:
+            score *= 1.0 - self.config.remote_penalty
+        return score
+
+    # -- the decision loop ------------------------------------------------------
+    def schedule(
+        self, time: float, machine_ids: Optional[List[int]] = None
+    ) -> List[Placement]:
+        placements: List[Placement] = []
+        jobs = self.candidate_jobs()
+        if not jobs:
+            return placements
+        if self.config.starvation_timeout is not None:
+            self._update_reservations(jobs, time)
+        barrier_stages = self._barrier_stages(jobs)
+        for machine_id in self.iter_machine_ids(machine_ids):
+            placements.extend(
+                self._fill_machine(machine_id, jobs, barrier_stages, time)
+            )
+        return placements
+
+    # -- starvation prevention (Section 3.5 future work) ---------------------
+    def _update_reservations(self, jobs: Sequence[Job], time: float) -> None:
+        """Reserve a machine for each starved stage.
+
+        A stage is starved when it has had runnable tasks for longer than
+        ``starvation_timeout`` without a single placement.  It gets the
+        machine with the most free capacity reserved: the machine stops
+        accepting other tasks, so freed resources accumulate until the
+        starved task fits.
+        """
+        timeout = self.config.starvation_timeout
+        # drop stale reservations (stage drained or finished)
+        for machine_id, stage in list(self._reservations.items()):
+            if stage.is_finished() or not self.index.has_candidates(stage):
+                del self._reservations[machine_id]
+        reserved_stages = {id(s) for s in self._reservations.values()}
+        for job in jobs:
+            for stage in self.index.indexed_stages(job):
+                if id(stage) in reserved_stages:
+                    continue
+                last = self._stage_last_placement.get(id(stage))
+                if last is None or time - last <= timeout:
+                    continue
+                machine_id = self._pick_reservation_machine()
+                if machine_id is None:
+                    return
+                self._reservations[machine_id] = stage
+                reserved_stages.add(id(stage))
+
+    def _pick_reservation_machine(self) -> Optional[int]:
+        """The unreserved machine with the most normalized free capacity."""
+        best = None
+        best_score = -1.0
+        for machine in self.cluster.machines:
+            if machine.machine_id in self._reservations:
+                continue
+            free = machine.free_clamped().normalized_by(machine.capacity)
+            score = free.total()
+            if score > best_score:
+                best_score = score
+                best = machine.machine_id
+        return best
+
+    def _barrier_stages(self, jobs: Sequence[Job]) -> set:
+        """Stages past the barrier threshold (their stragglers get priority)."""
+        if self.config.barrier_knob <= 0:
+            return set()
+        eligible = set()
+        for job in jobs:
+            for stage in job.dag:
+                if (
+                    not stage.is_finished()
+                    and stage.is_released()
+                    and stage.num_finished > 0
+                    and stage.finished_fraction >= self.config.barrier_knob
+                ):
+                    eligible.add(id(stage))
+        return eligible
+
+    def _fill_machine(
+        self,
+        machine_id: int,
+        jobs: Sequence[Job],
+        barrier_stages: set,
+        time: float,
+    ) -> List[Placement]:
+        placements: List[Placement] = []
+        free = self.machine_free(machine_id)
+        reserved_stage = self._reservations.get(machine_id)
+        if reserved_stage is not None:
+            # a starved stage holds this machine: admit only its task,
+            # and only once it finally fits
+            task = self.index.any_candidate(reserved_stage)
+            if task is None:
+                del self._reservations[machine_id]
+            else:
+                booked = self.booked_demands(task, machine_id)
+                if not self._fits(booked, free):
+                    return placements  # keep holding resources free
+                self.index.claim(task)
+                if self.config.check_remote_resources:
+                    self._grant_remote(task, machine_id)
+                placements.append(Placement(task, machine_id, booked))
+                free = (free - booked).clamp_nonnegative()
+                self._stage_last_placement[id(reserved_stage)] = time
+                del self._reservations[machine_id]
+        while True:
+            candidates = self._gather_candidates(machine_id, jobs, free, time)
+            if not candidates:
+                break
+            barrier_cands = [
+                c for c in candidates if id(c.task.stage) in barrier_stages
+            ]
+            pool = barrier_cands if barrier_cands else candidates
+            best = self._pick_best(pool)
+            self.index.claim(best.task)
+            if self.config.check_remote_resources:
+                self._grant_remote(best.task, machine_id)
+            placements.append(Placement(best.task, machine_id, best.booked))
+            free = (free - best.booked).clamp_nonnegative()
+            self._stage_last_placement[id(best.task.stage)] = time
+        return placements
+
+    def _remaining_work(self, job: Job, time: float) -> float:
+        """The job's SRTF score, optionally progress-aware (§3.5).
+
+        The cached score counts every unfinished task at full weight;
+        with ``progress_aware_srtf`` the estimated elapsed fraction of
+        each *running* task is credited back — the job manager's
+        estimate of when its assigned tasks will finish.
+        """
+        base = self._job_work.get(job.job_id, 0.0)
+        if not self.config.progress_aware_srtf:
+            return base
+        credit = 0.0
+        for task in job.running_tasks():
+            nominal = task.nominal_duration()
+            if nominal <= 0 or task.start_time is None:
+                continue
+            elapsed_fraction = min((time - task.start_time) / nominal, 1.0)
+            credit += (
+                self._task_work.get(task.task_id, 0.0) * elapsed_fraction
+            )
+        return max(base - credit, 0.0)
+
+    def _gather_candidates(
+        self,
+        machine_id: int,
+        jobs: Sequence[Job],
+        free: ResourceVector,
+        time: float = 0.0,
+    ) -> List[_Candidate]:
+        candidates: List[_Candidate] = []
+        for job in jobs:
+            remaining = self._remaining_work(job, time)
+            for stage in self.index.indexed_stages(job):
+                seen = []
+                local = self.index.local_candidate(stage, machine_id)
+                if local is not None:
+                    seen.append(local)
+                other = self.index.any_candidate(stage)
+                if other is not None and other is not local:
+                    seen.append(other)
+                for task in seen:
+                    booked = self.booked_demands(task, machine_id)
+                    if not self._fits(booked, free):
+                        continue
+                    if not self._remote_sources_ok(task, machine_id):
+                        continue
+                    remote = task.remote_input_mb(machine_id) > 0
+                    alignment = self._score_alignment(
+                        booked, free, remote, machine_id
+                    )
+                    candidates.append(
+                        _Candidate(task, booked, alignment, remaining)
+                    )
+        return candidates
+
+    def _pick_best(self, candidates: Sequence[_Candidate]) -> _Candidate:
+        """Combined score: alignment minus the normalized SRTF term."""
+        cfg = self.config
+        a_bar = sum(c.alignment for c in candidates) / len(candidates)
+        p_bar = sum(c.remaining_work for c in candidates) / len(candidates)
+        epsilon = (a_bar / p_bar) if p_bar > 0 else 0.0
+
+        def combined(c: _Candidate) -> float:
+            return (
+                cfg.alignment_weight * c.alignment
+                - cfg.srtf_multiplier * epsilon * c.remaining_work
+            )
+
+        return max(candidates, key=combined)
+
+    def with_config(self, **changes) -> "TetrisScheduler":
+        """A fresh scheduler with updated config (for parameter sweeps)."""
+        return TetrisScheduler(
+            config=replace(self.config, **changes),
+            fairness_policy=self.fairness_policy,
+        )

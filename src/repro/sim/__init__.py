@@ -1,0 +1,15 @@
+"""Discrete-event fluid simulator for the cluster."""
+
+from repro.sim.events import Event, EventKind, EventQueue
+from repro.sim.fluid import FlowTable, FluidConfig
+from repro.sim.engine import Engine, EngineConfig
+
+__all__ = [
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "FlowTable",
+    "FluidConfig",
+    "Engine",
+    "EngineConfig",
+]

@@ -1,0 +1,360 @@
+"""The discrete-event engine.
+
+Each iteration advances the fluid flows to the next interesting instant
+(the earlier of the next queued event and the next flow completion),
+processes completions and events, then lets the scheduler place tasks on
+the machines whose state changed.
+
+The engine keeps the *scheduler's* view (booked estimates on machines)
+strictly separate from *physics* (flows built from true task demands), so
+mis-estimation and over-allocation behave as they would on a real cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, TYPE_CHECKING
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.estimation.estimator import DemandEstimator
+from repro.estimation.tracker import ResourceTracker
+from repro.metrics.collector import MetricsCollector
+from repro.schedulers.base import Placement, Scheduler
+from repro.sim.events import EventKind, EventQueue
+from repro.sim.fluid import FluidConfig, FlowTable
+from repro.sim.runtime import build_flows
+from repro.workload.job import Job
+from repro.workload.stage import Stage
+from repro.workload.task import Task, TaskState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.activity.ingestion import ClusterActivity
+
+__all__ = ["Engine", "EngineConfig"]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Engine parameters.
+
+    ``min_task_duration`` is the wall-time charged to tasks with no
+    modeled work (bookkeeping-only tasks).  ``max_time`` guards against
+    runaway simulations.  ``shuffle_fanin`` caps how many distinct source
+    machines one task's shuffle read is coalesced into.
+    """
+
+    min_task_duration: float = 0.05
+    max_time: float = 50_000_000.0
+    sample_period: float = 10.0
+    tracker_period: float = 2.0
+    track_fairness: bool = False
+    track_machine_usage: bool = False
+    #: failure injection: probability that a completed attempt is
+    #: discarded and the task re-queued (the paper's trace replay mimics
+    #: per-task failure probabilities); capped at max_task_attempts
+    task_failure_prob: float = 0.0
+    max_task_attempts: int = 4
+    seed: int = 0
+
+
+class Engine:
+    """Runs one simulation: (cluster, scheduler, jobs [, activities])."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        scheduler: Scheduler,
+        jobs: Sequence[Job],
+        activities: Iterable["ClusterActivity"] = (),
+        estimator: Optional[DemandEstimator] = None,
+        tracker: Optional[ResourceTracker] = None,
+        fluid_config: Optional[FluidConfig] = None,
+        config: Optional[EngineConfig] = None,
+        collector: Optional[MetricsCollector] = None,
+    ):
+        self.cluster = cluster
+        self.scheduler = scheduler
+        self.jobs = list(jobs)
+        self.activities = list(activities)
+        self.config = config if config is not None else EngineConfig()
+        self.tracker = tracker
+        self.collector = (
+            collector
+            if collector is not None
+            else MetricsCollector(
+                sample_period=self.config.sample_period,
+                track_fairness=self.config.track_fairness,
+                track_machine_usage=self.config.track_machine_usage,
+            )
+        )
+        self.flows = FlowTable(
+            cluster.model,
+            [m.capacity.data for m in cluster.machines],
+            fluid_config,
+        )
+        self.events = EventQueue()
+        self.now = 0.0
+        self.rng = np.random.default_rng(self.config.seed)
+        self._task_by_id: Dict[int, Task] = {}
+        self._outstanding_flows: Dict[int, int] = {}
+        self._activity_by_id: Dict[int, "ClusterActivity"] = {}
+        self._activity_flows: Dict[int, int] = {}
+        self._unfinished_jobs = len(self.jobs)
+        self._dirty: Set[int] = set()
+        #: every placement as (task, machine_id, time, booked) — input to
+        #: the Section 3.1 constraint auditor (repro.analysis.model)
+        self.placement_log: List[tuple] = []
+        scheduler.bind(cluster, estimator=estimator, tracker=tracker)
+        self.estimator = scheduler.estimator
+
+    # -- public API -------------------------------------------------------------
+    def run(self) -> MetricsCollector:
+        """Run to completion; returns the metrics collector."""
+        self._prime_events()
+        while True:
+            if self._finished():
+                break
+            t_event = self.events.peek_time()
+            t_flow = self.now + self.flows.time_to_next_completion()
+            t_next = min(t_event, t_flow)
+            if t_next == float("inf"):
+                self._raise_stuck()
+            if t_next > self.config.max_time:
+                raise RuntimeError(
+                    f"simulation exceeded max_time={self.config.max_time}"
+                )
+            dt = max(t_next - self.now, 0.0)
+            self._accumulate_fairness(dt)
+            completed = self.flows.advance(dt)
+            self.now = t_next
+            self._handle_completed_flows(completed)
+            self._handle_events()
+            self._run_scheduler()
+            self.collector.maybe_sample(self.now, self.cluster, self.flows)
+        self.collector.sample(self.now, self.cluster, self.flows)
+        return self.collector
+
+    # -- setup ------------------------------------------------------------------
+    def _prime_events(self) -> None:
+        for job in self.jobs:
+            self._task_by_id.update(
+                (t.task_id, t) for t in job.all_tasks()
+            )
+            self.events.push(job.arrival_time, EventKind.JOB_ARRIVAL, job)
+        for activity in self.activities:
+            self.events.push(
+                activity.start_time, EventKind.ACTIVITY_START, activity
+            )
+        if self.tracker is not None and self.config.tracker_period > 0:
+            self.events.push(
+                self.config.tracker_period, EventKind.TRACKER_REPORT, None
+            )
+
+    def _finished(self) -> bool:
+        return (
+            self._unfinished_jobs == 0
+            and self.flows.num_active == 0
+            and not any(
+                e.kind
+                in (EventKind.JOB_ARRIVAL, EventKind.ACTIVITY_START)
+                for e in self.events._heap
+            )
+        )
+
+    def _raise_stuck(self) -> None:
+        stuck = [
+            t
+            for t in self._task_by_id.values()
+            if t.state is TaskState.RUNNABLE
+        ]
+        raise RuntimeError(
+            f"simulation stuck at t={self.now}: {self._unfinished_jobs} "
+            f"unfinished jobs, {len(stuck)} runnable tasks cannot be placed "
+            f"(first few: {stuck[:3]})"
+        )
+
+    # -- event handling ------------------------------------------------------
+    def _handle_events(self) -> None:
+        for event in self.events.pop_until(self.now):
+            if event.kind is EventKind.JOB_ARRIVAL:
+                self._arrive_job(event.payload)
+            elif event.kind is EventKind.TASK_FIXED_COMPLETE:
+                self._finish_task(event.payload)
+            elif event.kind is EventKind.TRACKER_REPORT:
+                self._tracker_tick()
+            elif event.kind is EventKind.ACTIVITY_START:
+                self._start_activity(event.payload)
+
+    def _arrive_job(self, job: Job) -> None:
+        job.arrive()
+        self.collector.job_arrived(job, self.now)
+        # lift barriers behind empty stages; a job with no tasks at all
+        # completes at arrival
+        job.note_task_finished()
+        if job.is_finished:
+            job.mark_finished(self.now)
+            self.collector.job_finished(job, self.now)
+            self._unfinished_jobs -= 1
+            return
+        self.scheduler.on_job_arrival(job, self.now)
+        self._mark_all_dirty()
+
+    def _tracker_tick(self) -> None:
+        self.tracker.report(self.now, self.flows)
+        self._mark_all_dirty()
+        if not (
+            self._unfinished_jobs == 0 and self.flows.num_active == 0
+        ):
+            self.events.push(
+                self.now + self.config.tracker_period,
+                EventKind.TRACKER_REPORT,
+                None,
+            )
+
+    def _start_activity(self, activity: "ClusterActivity") -> None:
+        specs = activity.flow_specs()
+        self._activity_flows[activity.activity_id] = len(specs)
+        self._activity_by_id[activity.activity_id] = activity
+        for spec in specs:
+            self.flows.add_flow(spec)
+
+    def _mark_all_dirty(self) -> None:
+        self._dirty.update(range(self.cluster.num_machines))
+
+    # -- flow completions ----------------------------------------------------
+    def _handle_completed_flows(self, completed: List[int]) -> None:
+        finished_tasks: List[Task] = []
+        for tag in self.flows.completed_tags(completed):
+            kind, ident = tag
+            if kind == "task":
+                self._outstanding_flows[ident] -= 1
+                if self._outstanding_flows[ident] == 0:
+                    finished_tasks.append(self._task_by_id[ident])
+            elif kind == "activity":
+                self._activity_flows[ident] -= 1
+                if self._activity_flows[ident] == 0:
+                    self._activity_by_id[ident].finish_time = self.now
+        for task in finished_tasks:
+            self._finish_task(task)
+
+    def _finish_task(self, task: Task) -> None:
+        machine = self.cluster.machine(task.machine_id)
+        machine.remove(task)
+        self._outstanding_flows.pop(task.task_id, None)
+        if (
+            self.config.task_failure_prob > 0
+            and task.attempts + 1 < self.config.max_task_attempts
+            and self.rng.uniform() < self.config.task_failure_prob
+        ):
+            # the attempt is lost; release bookkeeping and requeue
+            if self.tracker is not None:
+                self.tracker.note_completion(task)
+            self.scheduler.on_task_failed(task, self.now)
+            task.mark_failed(self.now)
+            self.collector.task_failed()
+            self._dirty.add(machine.machine_id)
+            return
+        task.mark_finished(self.now)
+        self.collector.task_finished(task.duration)
+        self.estimator.record_completion(task)
+        if self.tracker is not None:
+            self.tracker.note_completion(task)
+        job = task.job
+        released = job.note_task_finished()
+        self.scheduler.on_task_finished(task, self.now)
+        self._dirty.add(machine.machine_id)
+        if released:
+            for stage in released:
+                self._resolve_shuffle_inputs(stage)
+                self.scheduler.on_stage_released(stage, self.now)
+            self._mark_all_dirty()
+        if job.is_finished and job.finish_time is None:
+            job.mark_finished(self.now)
+            self.collector.job_finished(job, self.now)
+            self._unfinished_jobs -= 1
+
+    def _resolve_shuffle_inputs(self, stage: Stage) -> None:
+        """Assign source machines to inputs produced by upstream stages.
+
+        A task input created with empty ``locations`` stands for shuffle
+        data; once the barrier lifts we pin each to the machine where some
+        parent task actually ran (weighted by parent output size would be
+        more faithful; uniform over parents preserves the spread).
+        """
+        parent_machines = [
+            t.machine_id
+            for parent in stage.parents
+            for t in parent.tasks
+            if t.machine_id is not None
+        ]
+        if not parent_machines:
+            parent_machines = [0]
+        from repro.workload.task import TaskInput
+
+        for task in stage.tasks:
+            if not any(not inp.locations for inp in task.inputs):
+                continue
+            resolved = []
+            for inp in task.inputs:
+                if inp.locations:
+                    resolved.append(inp)
+                else:
+                    source = int(
+                        parent_machines[
+                            int(self.rng.integers(len(parent_machines)))
+                        ]
+                    )
+                    resolved.append(TaskInput(inp.size_mb, (source,)))
+            task.inputs = resolved
+
+    # -- scheduling ---------------------------------------------------------
+    def _run_scheduler(self) -> None:
+        if not self._dirty:
+            return
+        machine_ids = sorted(self._dirty)
+        self._dirty.clear()
+        placements = self.scheduler.schedule(self.now, machine_ids)
+        for placement in placements:
+            self._start_task(placement)
+
+    def _start_task(self, placement: Placement) -> None:
+        task = placement.task
+        machine = self.cluster.machine(placement.machine_id)
+        machine.place(task, placement.booked)
+        task.mark_running(placement.machine_id, self.now)
+        self.placement_log.append(
+            (task, placement.machine_id, self.now, placement.booked)
+        )
+        self.scheduler.on_task_started(
+            task, placement.machine_id, placement.booked
+        )
+        if self.tracker is not None:
+            self.tracker.note_placement(
+                task, placement.machine_id, placement.booked, self.now
+            )
+        specs = build_flows(
+            task, placement.machine_id, self.cluster.topology
+        )
+        if specs:
+            self._outstanding_flows[task.task_id] = len(specs)
+            for spec in specs:
+                self.flows.add_flow(spec)
+        else:
+            self.events.push(
+                self.now + self.config.min_task_duration,
+                EventKind.TASK_FIXED_COMPLETE,
+                task,
+            )
+
+    # -- fairness integrals ----------------------------------------------------
+    def _accumulate_fairness(self, dt: float) -> None:
+        if not self.collector.track_fairness or dt <= 0:
+            return
+        shares = {
+            job.job_id: self.scheduler.dominant_share(job)
+            for job in self.scheduler.active_jobs
+            if not job.is_finished
+        }
+        self.collector.accumulate_fairness(dt, shares)

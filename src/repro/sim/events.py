@@ -1,0 +1,62 @@
+"""Event queue for the discrete-event engine."""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, List
+
+__all__ = ["Event", "EventKind", "EventQueue"]
+
+
+class EventKind(enum.Enum):
+    JOB_ARRIVAL = "job_arrival"
+    TASK_FIXED_COMPLETE = "task_fixed_complete"  # tasks with no fluid work
+    TRACKER_REPORT = "tracker_report"
+    ACTIVITY_START = "activity_start"
+    ACTIVITY_STOP = "activity_stop"
+    WAKEUP = "wakeup"  # generic scheduler wake-up
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """A timestamped event; ``seq`` breaks ties deterministically."""
+
+    time: float
+    seq: int = field(compare=True)
+    kind: EventKind = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+
+
+class EventQueue:
+    """A deterministic min-heap of events."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._seq = itertools.count()
+
+    def push(self, time: float, kind: EventKind, payload: Any = None) -> Event:
+        if time < 0:
+            raise ValueError(f"negative event time: {time}")
+        event = Event(time, next(self._seq), kind, payload)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def peek_time(self) -> float:
+        """Time of the earliest event, or +inf when empty."""
+        return self._heap[0].time if self._heap else float("inf")
+
+    def pop_until(self, time: float) -> List[Event]:
+        """Pop every event with ``event.time <= time`` (in order)."""
+        out: List[Event] = []
+        while self._heap and self._heap[0].time <= time + 1e-12:
+            out.append(heapq.heappop(self._heap))
+        return out
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,317 @@
+"""Fluid-rate flow table: proportional-share contention on disk and network.
+
+Every piece of in-flight work is a *flow*:
+
+- a **cpu** flow burns core-seconds at a fixed rate (cores are rigidly
+  allocated, so they never contend);
+- a **local read** flow moves bytes through ``diskr`` on one machine;
+- a **remote read** flow moves bytes through ``diskr`` and ``netout`` at the
+  source machine and ``netin`` at the destination;
+- a **write** flow moves bytes through ``diskw``;
+- an **external** flow (ingestion, evacuation) uses any slots it declares.
+
+Each (machine, fluid-dimension) pair is a *slot* with a fixed capacity.
+When the nominal demand on a slot exceeds its capacity, every flow through
+it is scaled down proportionally — and a configurable *contention penalty*
+makes the aggregate throughput drop below capacity, modeling incast, disk
+seeks and cache misses (Section 2.1): with over-subscription ratio r > 1
+the aggregate achieved throughput is capacity / (1 + sigma * (r - 1)).
+
+All state lives in flat numpy arrays so that advancing hundreds of
+concurrent flows costs a handful of vectorized operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.resources import ResourceModel
+
+__all__ = ["FlowTable", "FluidConfig", "FlowSpec"]
+
+#: a flow touches at most this many (machine, dimension) slots
+MAX_SLOTS = 3
+
+#: work below this is considered complete (guards float error)
+WORK_TOLERANCE = 1e-7
+
+
+@dataclass(frozen=True)
+class FluidConfig:
+    """Contention model parameters.
+
+    ``contention_sigma`` is the penalty slope: 0 gives pure proportional
+    sharing; the default 0.5 makes a 2x over-subscribed resource deliver
+    only ~67% of its capacity in aggregate — the "sharply lower
+    throughput" of Section 2.1 (switch-buffer incast, disk-seek and
+    cache-miss overheads).  ``sigma_overrides`` sets a per-dimension
+    slope — CPU time-sharing is lossless (sigma 0) while I/O contention
+    is worse than proportional.
+    """
+
+    contention_sigma: float = 0.5
+    sigma_overrides: Optional[Dict[str, float]] = None
+
+    def sigma_for(self, dim_name: str) -> float:
+        if self.sigma_overrides and dim_name in self.sigma_overrides:
+            return self.sigma_overrides[dim_name]
+        if dim_name == "cpu" and (
+            not self.sigma_overrides or "cpu" not in self.sigma_overrides
+        ):
+            return 0.0
+        return self.contention_sigma
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """Description of a flow to register.
+
+    ``slots`` are (machine_id, dim_name) pairs; the flow demands
+    ``nominal_rate`` on each of them simultaneously (a transfer moves at one
+    rate through disk and both NICs).  ``fixed`` flows ignore contention.
+    """
+
+    work: float
+    nominal_rate: float
+    slots: Tuple[Tuple[int, str], ...] = ()
+    fixed: bool = False
+    tag: Optional[object] = None
+
+
+class FlowTable:
+    """Vectorized store of all active flows."""
+
+    def __init__(
+        self,
+        model: ResourceModel,
+        machine_capacities: Sequence[Sequence[float]],
+        config: Optional[FluidConfig] = None,
+    ):
+        self.model = model
+        self.config = config if config is not None else FluidConfig()
+        self._fluid_dims = [
+            i for i, fluid in enumerate(model.fluid_mask) if fluid
+        ]
+        self._fluid_index = {d: k for k, d in enumerate(self._fluid_dims)}
+        self._dim_slot = {
+            model.names[d]: k for d, k in self._fluid_index.items()
+        }
+        self.num_machines = len(machine_capacities)
+        nf = len(self._fluid_dims)
+        caps = np.asarray(machine_capacities, dtype=float)
+        #: capacity per (machine, fluid-dim) slot, flattened
+        self._slot_capacity = caps[:, self._fluid_dims].reshape(-1)
+        self._num_slots = self.num_machines * nf
+        self._nf = nf
+        dim_sigmas = np.array(
+            [self.config.sigma_for(model.names[d]) for d in self._fluid_dims]
+        )
+        #: contention penalty slope per slot
+        self._slot_sigma = np.tile(dim_sigmas, self.num_machines)
+
+        # flow arrays, grown on demand
+        n = 64
+        self._remaining = np.zeros(n)
+        self._nominal = np.zeros(n)
+        self._rate = np.zeros(n)
+        self._slots = np.full((n, MAX_SLOTS), -1, dtype=np.int64)
+        self._fixed = np.zeros(n, dtype=bool)
+        self._active = np.zeros(n, dtype=bool)
+        self._free: List[int] = list(range(n))
+        self._tags: Dict[int, object] = {}
+        self._rates_dirty = True
+
+    # -- registration ----------------------------------------------------------
+    def _slot_index(self, machine_id: int, dim_name: str) -> int:
+        if not 0 <= machine_id < self.num_machines:
+            raise ValueError(f"machine {machine_id} out of range")
+        try:
+            k = self._dim_slot[dim_name]
+        except KeyError:
+            raise ValueError(
+                f"{dim_name!r} is not a fluid dimension of the model"
+            ) from None
+        return machine_id * self._nf + k
+
+    def _grow(self) -> None:
+        old = len(self._remaining)
+        new = old * 2
+        self._remaining = np.resize(self._remaining, new)
+        self._nominal = np.resize(self._nominal, new)
+        self._rate = np.resize(self._rate, new)
+        grown_slots = np.full((new, MAX_SLOTS), -1, dtype=np.int64)
+        grown_slots[:old] = self._slots
+        self._slots = grown_slots
+        fixed = np.zeros(new, dtype=bool)
+        fixed[:old] = self._fixed
+        self._fixed = fixed
+        active = np.zeros(new, dtype=bool)
+        active[:old] = self._active
+        self._active = active
+        self._free.extend(range(old, new))
+
+    def add_flow(self, spec: FlowSpec) -> int:
+        """Register a flow; returns its id.  Zero-work flows are rejected."""
+        if spec.work <= 0:
+            raise ValueError(f"flow work must be positive: {spec.work}")
+        if spec.nominal_rate <= 0:
+            raise ValueError(
+                f"flow nominal rate must be positive: {spec.nominal_rate}"
+            )
+        if len(spec.slots) > MAX_SLOTS:
+            raise ValueError(f"flow touches too many slots: {spec.slots}")
+        if not self._free:
+            self._grow()
+        idx = self._free.pop()
+        self._remaining[idx] = spec.work
+        self._nominal[idx] = spec.nominal_rate
+        self._rate[idx] = spec.nominal_rate
+        self._slots[idx, :] = -1
+        for j, (machine_id, dim_name) in enumerate(spec.slots):
+            self._slots[idx, j] = self._slot_index(machine_id, dim_name)
+        self._fixed[idx] = spec.fixed
+        self._active[idx] = True
+        if spec.tag is not None:
+            self._tags[idx] = spec.tag
+        self._rates_dirty = True
+        return idx
+
+    def remove_flow(self, flow_id: int) -> None:
+        if not self._active[flow_id]:
+            raise ValueError(f"flow {flow_id} is not active")
+        self._active[flow_id] = False
+        self._tags.pop(flow_id, None)
+        self._free.append(flow_id)
+        self._rates_dirty = True
+
+    def tag_of(self, flow_id: int) -> Optional[object]:
+        return self._tags.get(flow_id)
+
+    @property
+    def num_active(self) -> int:
+        return int(self._active.sum())
+
+    def remaining_work(self, flow_id: int) -> float:
+        if not self._active[flow_id]:
+            raise ValueError(f"flow {flow_id} is not active")
+        return float(self._remaining[flow_id])
+
+    def current_rate(self, flow_id: int) -> float:
+        self._recompute_rates()
+        return float(self._rate[flow_id])
+
+    # -- rate computation ----------------------------------------------------
+    def _recompute_rates(self) -> None:
+        if not self._rates_dirty:
+            return
+        active = self._active
+        if not active.any():
+            self._rates_dirty = False
+            return
+        idx = np.flatnonzero(active & ~self._fixed)
+        demand = np.zeros(self._num_slots)
+        if idx.size:
+            slots = self._slots[idx]
+            valid = slots >= 0
+            np.add.at(
+                demand,
+                slots[valid],
+                np.repeat(self._nominal[idx], MAX_SLOTS)[valid.reshape(-1)],
+            )
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = np.where(
+                self._slot_capacity > 0, demand / self._slot_capacity, np.inf
+            )
+        over = ratio > 1.0
+        scale = np.ones(self._num_slots)
+        # proportional share times the contention penalty
+        sigma = self._slot_sigma[over]
+        scale[over] = 1.0 / (ratio[over] * (1.0 + sigma * (ratio[over] - 1.0)))
+        scale[demand <= 0] = 1.0
+        if idx.size:
+            slots = self._slots[idx]
+            slot_scale = np.where(slots >= 0, scale[np.maximum(slots, 0)], 1.0)
+            self._rate[idx] = self._nominal[idx] * slot_scale.min(axis=1)
+        fixed_idx = np.flatnonzero(active & self._fixed)
+        self._rate[fixed_idx] = self._nominal[fixed_idx]
+        self._rates_dirty = False
+
+    # -- time stepping ----------------------------------------------------------
+    def time_to_next_completion(self) -> float:
+        """Seconds until the earliest active flow finishes (inf if none)."""
+        self._recompute_rates()
+        active = self._active
+        if not active.any():
+            return float("inf")
+        rates = self._rate[active]
+        remaining = self._remaining[active]
+        with np.errstate(divide="ignore"):
+            times = np.where(rates > 0, remaining / rates, np.inf)
+        return float(times.min())
+
+    def advance(self, dt: float) -> List[int]:
+        """Progress all flows by ``dt`` seconds; return ids that completed."""
+        if dt < 0:
+            raise ValueError(f"negative dt: {dt}")
+        self._recompute_rates()
+        active = np.flatnonzero(self._active)
+        if active.size == 0:
+            return []
+        if dt > 0:
+            self._remaining[active] -= self._rate[active] * dt
+        done_mask = self._remaining[active] <= WORK_TOLERANCE
+        completed = [int(i) for i in active[done_mask]]
+        for flow_id in completed:
+            self._active[flow_id] = False
+            self._free.append(flow_id)
+        if completed:
+            self._rates_dirty = True
+        return completed
+
+    def completed_tags(self, completed: Iterable[int]) -> List[object]:
+        out = []
+        for flow_id in completed:
+            tag = self._tags.pop(flow_id, None)
+            if tag is not None:
+                out.append(tag)
+        return out
+
+    # -- observation -----------------------------------------------------------
+    def slot_demand(self) -> np.ndarray:
+        """Nominal demand per (machine, fluid-dim), shape (M, F).
+
+        This is what a naive utilization counter would report — it exceeds
+        capacity when a scheduler over-allocates (Figure 5c of the paper).
+        """
+        demand = np.zeros(self._num_slots)
+        idx = np.flatnonzero(self._active & ~self._fixed)
+        if idx.size:
+            slots = self._slots[idx]
+            valid = slots >= 0
+            np.add.at(
+                demand,
+                slots[valid],
+                np.repeat(self._nominal[idx], MAX_SLOTS)[valid.reshape(-1)],
+            )
+        return demand.reshape(self.num_machines, self._nf)
+
+    def slot_throughput(self) -> np.ndarray:
+        """Achieved rate per (machine, fluid-dim), shape (M, F)."""
+        self._recompute_rates()
+        throughput = np.zeros(self._num_slots)
+        idx = np.flatnonzero(self._active & ~self._fixed)
+        if idx.size:
+            slots = self._slots[idx]
+            valid = slots >= 0
+            np.add.at(
+                throughput,
+                slots[valid],
+                np.repeat(self._rate[idx], MAX_SLOTS)[valid.reshape(-1)],
+            )
+        return throughput.reshape(self.num_machines, self._nf)
+
+    def fluid_dim_names(self) -> Tuple[str, ...]:
+        return tuple(self.model.names[d] for d in self._fluid_dims)

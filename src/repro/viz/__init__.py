@@ -1,0 +1,5 @@
+"""Dependency-free SVG charts for rendering the paper's figures."""
+
+from repro.viz.charts import BarChart, LineChart
+
+__all__ = ["LineChart", "BarChart"]

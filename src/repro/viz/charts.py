@@ -1,0 +1,332 @@
+"""Minimal SVG line and bar charts (no matplotlib required).
+
+The benchmark environment is offline and has no plotting stack, so this
+module implements just enough SVG to regenerate the paper's figures:
+multi-series line/CDF charts and grouped bar charts, with axes, ticks,
+legends and titles.  Output is a standalone ``.svg`` file any browser
+renders.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["LineChart", "BarChart"]
+
+#: a small colorblind-friendly palette
+PALETTE = (
+    "#0072B2",  # blue
+    "#D55E00",  # vermillion
+    "#009E73",  # green
+    "#CC79A7",  # magenta
+    "#E69F00",  # orange
+    "#56B4E9",  # sky
+    "#F0E442",  # yellow
+    "#000000",  # black
+)
+
+FONT = "font-family='Helvetica,Arial,sans-serif'"
+
+
+def _nice_ticks(lo: float, hi: float, target: int = 5) -> List[float]:
+    """Roughly ``target`` human-friendly tick positions covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1.0
+    span = hi - lo
+    raw_step = span / max(target, 1)
+    magnitude = 10 ** math.floor(math.log10(raw_step))
+    for mult in (1, 2, 2.5, 5, 10):
+        step = magnitude * mult
+        if span / step <= target + 1:
+            break
+    first = math.floor(lo / step) * step
+    ticks = []
+    value = first
+    while value <= hi + step * 1e-9:
+        if value >= lo - step * 1e-9:
+            ticks.append(round(value, 10))
+        value += step
+    return ticks or [lo, hi]
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e6:
+        return str(int(value))
+    return f"{value:g}"
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+@dataclass
+class _Series:
+    name: str
+    points: List[Tuple[float, float]]
+    color: str
+
+
+class _ChartBase:
+    def __init__(
+        self,
+        title: str = "",
+        x_label: str = "",
+        y_label: str = "",
+        width: int = 640,
+        height: int = 400,
+    ):
+        self.title = title
+        self.x_label = x_label
+        self.y_label = y_label
+        self.width = width
+        self.height = height
+        self.margin_left = 64
+        self.margin_right = 16
+        self.margin_top = 36 if title else 16
+        self.margin_bottom = 52
+
+    @property
+    def plot_width(self) -> int:
+        return self.width - self.margin_left - self.margin_right
+
+    @property
+    def plot_height(self) -> int:
+        return self.height - self.margin_top - self.margin_bottom
+
+    def _header(self) -> List[str]:
+        parts = [
+            f"<svg xmlns='http://www.w3.org/2000/svg' "
+            f"width='{self.width}' height='{self.height}' "
+            f"viewBox='0 0 {self.width} {self.height}'>",
+            f"<rect width='{self.width}' height='{self.height}' "
+            f"fill='white'/>",
+        ]
+        if self.title:
+            parts.append(
+                f"<text x='{self.width / 2}' y='20' {FONT} "
+                f"font-size='14' text-anchor='middle' font-weight='bold'>"
+                f"{_escape(self.title)}</text>"
+            )
+        return parts
+
+    def _axis_labels(self) -> List[str]:
+        parts = []
+        if self.x_label:
+            parts.append(
+                f"<text x='{self.margin_left + self.plot_width / 2}' "
+                f"y='{self.height - 8}' {FONT} font-size='12' "
+                f"text-anchor='middle'>{_escape(self.x_label)}</text>"
+            )
+        if self.y_label:
+            cy = self.margin_top + self.plot_height / 2
+            parts.append(
+                f"<text x='14' y='{cy}' {FONT} font-size='12' "
+                f"text-anchor='middle' "
+                f"transform='rotate(-90 14 {cy})'>"
+                f"{_escape(self.y_label)}</text>"
+            )
+        return parts
+
+    def save(self, path) -> None:
+        with open(path, "w") as f:
+            f.write(self.render())
+
+    def render(self) -> str:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class LineChart(_ChartBase):
+    """Multi-series line chart (also used for CDFs and knob sweeps)."""
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.series: List[_Series] = []
+
+    def add_series(
+        self,
+        name: str,
+        points: Sequence[Tuple[float, float]],
+        color: Optional[str] = None,
+    ) -> None:
+        if len(points) < 2:
+            raise ValueError(f"series {name!r} needs at least two points")
+        chosen = color or PALETTE[len(self.series) % len(PALETTE)]
+        self.series.append(_Series(name, sorted(points), chosen))
+
+    def _bounds(self) -> Tuple[float, float, float, float]:
+        xs = [x for s in self.series for x, _ in s.points]
+        ys = [y for s in self.series for _, y in s.points]
+        x_lo, x_hi = min(xs), max(xs)
+        y_lo, y_hi = min(ys), max(ys)
+        if y_lo > 0 and y_lo / (y_hi or 1) < 0.4:
+            y_lo = 0.0  # anchor at zero unless the data is far from it
+        return x_lo, x_hi, y_lo, y_hi
+
+    def render(self) -> str:
+        if not self.series:
+            raise ValueError("no series added")
+        x_lo, x_hi, y_lo, y_hi = self._bounds()
+        x_ticks = _nice_ticks(x_lo, x_hi)
+        y_ticks = _nice_ticks(y_lo, y_hi)
+        x_lo, x_hi = min(x_lo, x_ticks[0]), max(x_hi, x_ticks[-1])
+        y_lo, y_hi = min(y_lo, y_ticks[0]), max(y_hi, y_ticks[-1])
+
+        def sx(x: float) -> float:
+            return self.margin_left + (
+                (x - x_lo) / (x_hi - x_lo or 1) * self.plot_width
+            )
+
+        def sy(y: float) -> float:
+            return self.margin_top + self.plot_height - (
+                (y - y_lo) / (y_hi - y_lo or 1) * self.plot_height
+            )
+
+        parts = self._header()
+        # gridlines + ticks
+        for t in y_ticks:
+            y = sy(t)
+            parts.append(
+                f"<line x1='{self.margin_left}' y1='{y:.1f}' "
+                f"x2='{self.margin_left + self.plot_width}' y2='{y:.1f}' "
+                f"stroke='#dddddd' stroke-width='1'/>"
+            )
+            parts.append(
+                f"<text x='{self.margin_left - 6}' y='{y + 4:.1f}' {FONT} "
+                f"font-size='10' text-anchor='end'>{_fmt(t)}</text>"
+            )
+        for t in x_ticks:
+            x = sx(t)
+            parts.append(
+                f"<line x1='{x:.1f}' y1='{self.margin_top}' x2='{x:.1f}' "
+                f"y2='{self.margin_top + self.plot_height}' "
+                f"stroke='#eeeeee' stroke-width='1'/>"
+            )
+            parts.append(
+                f"<text x='{x:.1f}' "
+                f"y='{self.margin_top + self.plot_height + 14}' {FONT} "
+                f"font-size='10' text-anchor='middle'>{_fmt(t)}</text>"
+            )
+        # axes
+        parts.append(
+            f"<rect x='{self.margin_left}' y='{self.margin_top}' "
+            f"width='{self.plot_width}' height='{self.plot_height}' "
+            f"fill='none' stroke='#333333'/>"
+        )
+        # series
+        for s in self.series:
+            coords = " ".join(
+                f"{sx(x):.1f},{sy(y):.1f}" for x, y in s.points
+            )
+            parts.append(
+                f"<polyline points='{coords}' fill='none' "
+                f"stroke='{s.color}' stroke-width='2'/>"
+            )
+        # legend
+        ly = self.margin_top + 8
+        for s in self.series:
+            lx = self.margin_left + self.plot_width - 150
+            parts.append(
+                f"<line x1='{lx}' y1='{ly}' x2='{lx + 18}' y2='{ly}' "
+                f"stroke='{s.color}' stroke-width='3'/>"
+            )
+            parts.append(
+                f"<text x='{lx + 24}' y='{ly + 4}' {FONT} "
+                f"font-size='11'>{_escape(s.name)}</text>"
+            )
+            ly += 16
+        parts.extend(self._axis_labels())
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+
+class BarChart(_ChartBase):
+    """Grouped bar chart: categories on x, one bar per group member."""
+
+    def __init__(self, categories: Sequence[str], **kwargs):
+        super().__init__(**kwargs)
+        if not categories:
+            raise ValueError("need at least one category")
+        self.categories = list(categories)
+        self.groups: List[Tuple[str, List[float], str]] = []
+
+    def add_group(
+        self,
+        name: str,
+        values: Sequence[float],
+        color: Optional[str] = None,
+    ) -> None:
+        if len(values) != len(self.categories):
+            raise ValueError(
+                f"group {name!r} has {len(values)} values for "
+                f"{len(self.categories)} categories"
+            )
+        chosen = color or PALETTE[len(self.groups) % len(PALETTE)]
+        self.groups.append((name, list(values), chosen))
+
+    def render(self) -> str:
+        if not self.groups:
+            raise ValueError("no groups added")
+        y_hi = max(max(values) for _, values, _ in self.groups)
+        y_ticks = _nice_ticks(0.0, y_hi)
+        y_hi = max(y_hi, y_ticks[-1])
+
+        def sy(y: float) -> float:
+            return self.margin_top + self.plot_height - (
+                y / (y_hi or 1) * self.plot_height
+            )
+
+        parts = self._header()
+        for t in y_ticks:
+            y = sy(t)
+            parts.append(
+                f"<line x1='{self.margin_left}' y1='{y:.1f}' "
+                f"x2='{self.margin_left + self.plot_width}' y2='{y:.1f}' "
+                f"stroke='#dddddd'/>"
+            )
+            parts.append(
+                f"<text x='{self.margin_left - 6}' y='{y + 4:.1f}' {FONT} "
+                f"font-size='10' text-anchor='end'>{_fmt(t)}</text>"
+            )
+        slot = self.plot_width / len(self.categories)
+        bar_width = slot * 0.8 / len(self.groups)
+        for c_idx, category in enumerate(self.categories):
+            x0 = self.margin_left + c_idx * slot + slot * 0.1
+            for g_idx, (name, values, color) in enumerate(self.groups):
+                x = x0 + g_idx * bar_width
+                top = sy(values[c_idx])
+                height = self.margin_top + self.plot_height - top
+                parts.append(
+                    f"<rect x='{x:.1f}' y='{top:.1f}' "
+                    f"width='{bar_width:.1f}' height='{height:.1f}' "
+                    f"fill='{color}'/>"
+                )
+            parts.append(
+                f"<text x='{x0 + slot * 0.4:.1f}' "
+                f"y='{self.margin_top + self.plot_height + 14}' {FONT} "
+                f"font-size='11' text-anchor='middle'>"
+                f"{_escape(category)}</text>"
+            )
+        parts.append(
+            f"<rect x='{self.margin_left}' y='{self.margin_top}' "
+            f"width='{self.plot_width}' height='{self.plot_height}' "
+            f"fill='none' stroke='#333333'/>"
+        )
+        ly = self.margin_top + 8
+        for name, _, color in self.groups:
+            lx = self.margin_left + self.plot_width - 150
+            parts.append(
+                f"<rect x='{lx}' y='{ly - 8}' width='12' height='12' "
+                f"fill='{color}'/>"
+            )
+            parts.append(
+                f"<text x='{lx + 18}' y='{ly + 2}' {FONT} "
+                f"font-size='11'>{_escape(name)}</text>"
+            )
+            ly += 16
+        parts.extend(self._axis_labels())
+        parts.append("</svg>")
+        return "\n".join(parts)

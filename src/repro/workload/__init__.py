@@ -1,0 +1,36 @@
+"""Workload model: tasks, stages, jobs, DAGs, and trace generation."""
+
+from repro.workload.task import Task, TaskInput, TaskState, TaskWork
+from repro.workload.stage import Stage
+from repro.workload.job import Job, JobState
+from repro.workload.dag import StageDag
+from repro.workload.trace import TraceJob, TraceStage, load_trace, save_trace
+from repro.workload.tracegen import (
+    BingTraceConfig,
+    FacebookTraceConfig,
+    WorkloadSuiteConfig,
+    generate_bing_trace,
+    generate_facebook_trace,
+    generate_workload_suite,
+)
+
+__all__ = [
+    "Task",
+    "TaskInput",
+    "TaskState",
+    "TaskWork",
+    "Stage",
+    "Job",
+    "JobState",
+    "StageDag",
+    "TraceJob",
+    "TraceStage",
+    "load_trace",
+    "save_trace",
+    "FacebookTraceConfig",
+    "BingTraceConfig",
+    "WorkloadSuiteConfig",
+    "generate_facebook_trace",
+    "generate_bing_trace",
+    "generate_workload_suite",
+]

@@ -1,0 +1,117 @@
+"""Stages: groups of statistically-similar tasks separated by barriers.
+
+The paper's jobs are DAGs of *stages* (map, reduce, joins, ...).  Tasks in a
+stage run the same code on different partitions, so their resource profiles
+are similar — the property the demand estimator exploits (Section 4.1).  A
+stage releases its tasks when every parent stage has fully finished (strict
+barrier), which is also what the barrier knob (Section 3.5) leans on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.workload.task import Task, TaskState
+
+__all__ = ["Stage"]
+
+
+class Stage:
+    """A set of tasks plus barrier bookkeeping.
+
+    Parameters
+    ----------
+    name:
+        Stage name, unique within the job (e.g. ``"map"``, ``"reduce"``).
+    tasks:
+        The stage's tasks.
+    parents:
+        Upstream stages; this stage's tasks stay ``BLOCKED`` until all
+        parents finish.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        tasks: Sequence[Task],
+        parents: Iterable["Stage"] = (),
+    ):
+        self.name = name
+        self.tasks: List[Task] = list(tasks)
+        self.parents: List[Stage] = list(parents)
+        self.children: List[Stage] = []
+        self.job = None  # set by Job
+        for parent in self.parents:
+            parent.children.append(self)
+        for i, task in enumerate(self.tasks):
+            task.stage = self
+            task.index = i
+        if not self.parents:
+            for task in self.tasks:
+                task.mark_runnable()
+
+    # -- progress -------------------------------------------------------------
+    @property
+    def num_tasks(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def num_finished(self) -> int:
+        return sum(1 for t in self.tasks if t.state is TaskState.FINISHED)
+
+    @property
+    def finished_fraction(self) -> float:
+        if not self.tasks:
+            return 1.0
+        return self.num_finished / len(self.tasks)
+
+    def is_finished(self) -> bool:
+        return all(t.state is TaskState.FINISHED for t in self.tasks)
+
+    def is_released(self) -> bool:
+        """True once the barrier in front of this stage has lifted."""
+        return all(p.is_finished() for p in self.parents)
+
+    def runnable_tasks(self) -> List[Task]:
+        return [t for t in self.tasks if t.state is TaskState.RUNNABLE]
+
+    def unfinished_tasks(self) -> List[Task]:
+        return [t for t in self.tasks if t.state is not TaskState.FINISHED]
+
+    def release_if_ready(self) -> bool:
+        """Unblock tasks when all parents are done.  Returns True if released."""
+        if not self.is_released():
+            return False
+        for task in self.tasks:
+            task.mark_runnable()
+        return True
+
+    def precedes_barrier(self) -> bool:
+        """A stage precedes a barrier if anything waits on it.
+
+        The end of the job also counts as a barrier for the purpose of the
+        barrier knob (Section 3.5): finishing the last tasks of a terminal
+        stage directly finishes the job.
+        """
+        return True
+
+    def first_unfinished_tasks(self, count: int) -> List[Task]:
+        out: List[Task] = []
+        for task in self.tasks:
+            if task.state is not TaskState.FINISHED:
+                out.append(task)
+                if len(out) >= count:
+                    break
+        return out
+
+    def mean_task_demand_total(self) -> Optional[float]:
+        """Average of the (unnormalized) total demand of this stage's tasks."""
+        if not self.tasks:
+            return None
+        return sum(t.demands.total() for t in self.tasks) / len(self.tasks)
+
+    def __repr__(self) -> str:
+        return (
+            f"Stage({self.name!r}, tasks={self.num_tasks}, "
+            f"finished={self.num_finished})"
+        )

@@ -1,0 +1,87 @@
+"""Analysis helpers: correlation, tightness, heatmaps."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.correlation import demand_correlation_matrix, demand_matrix
+from repro.analysis.heatmap import demand_cov, demand_heatmap
+from repro.analysis.tightness import (
+    machine_usage_tightness,
+    utilization_tightness,
+)
+from repro.metrics.collector import TimelinePoint
+
+from conftest import make_task
+
+
+class TestDemandMatrix:
+    def test_aggregation(self):
+        task = make_task(cpu=2, mem=4, diskr=10, diskw=20, netin=5, netout=5)
+        matrix = demand_matrix([task])
+        assert matrix.tolist() == [[2, 4, 30, 10]]
+
+    def test_correlation_of_correlated_tasks(self):
+        tasks = [make_task(cpu=c, mem=2 * c) for c in (1, 2, 3, 4)]
+        corr = demand_correlation_matrix(tasks)
+        assert corr[("cores", "memory")] == pytest.approx(1.0)
+
+    def test_uncorrelated_constant_column_is_zero(self):
+        tasks = [make_task(cpu=c, mem=1) for c in (1, 2, 3)]
+        corr = demand_correlation_matrix(tasks)
+        assert corr[("cores", "memory")] == 0.0
+
+    def test_needs_two_tasks(self):
+        with pytest.raises(ValueError):
+            demand_correlation_matrix([make_task()])
+
+
+class TestTightness:
+    def _timeline(self, values, resource="cpu"):
+        return [
+            TimelinePoint(
+                time=float(i),
+                running_tasks=0,
+                demand_utilization={resource: v},
+                throughput_utilization={resource: v},
+            )
+            for i, v in enumerate(values)
+        ]
+
+    def test_utilization_tightness(self):
+        timeline = self._timeline([0.5, 0.7, 0.9, 1.0])
+        out = utilization_tightness(timeline, thresholds=(0.6, 0.8))
+        assert out["cpu"][0.6] == pytest.approx(0.75)
+        assert out["cpu"][0.8] == pytest.approx(0.5)
+
+    def test_empty_timeline_rejected(self):
+        with pytest.raises(ValueError):
+            utilization_tightness([])
+
+    def test_machine_usage_tightness(self):
+        samples = {"disk": np.array([[0.5, 1.2], [0.9, 0.1]])}
+        out = machine_usage_tightness(samples, thresholds=(0.6, 1.0))
+        assert out["disk"][0.6] == pytest.approx(0.5)
+        assert out["disk"][1.0] == pytest.approx(0.25)
+
+    def test_machine_usage_empty_rejected(self):
+        with pytest.raises(ValueError):
+            machine_usage_tightness({"disk": np.array([])})
+
+
+class TestHeatmap:
+    def test_counts_sum_to_tasks(self):
+        tasks = [make_task(cpu=c, mem=m)
+                 for c in (1, 2, 4) for m in (1, 8)]
+        counts, xe, ye = demand_heatmap(tasks, bins=4)
+        assert counts.sum() == len(tasks)
+        assert len(xe) == 5
+
+    def test_unknown_resource_rejected(self):
+        with pytest.raises(ValueError):
+            demand_heatmap([make_task()], x_resource="gpu")
+
+    def test_cov(self):
+        tasks = [make_task(cpu=c) for c in (1.0, 1.0, 1.0)]
+        assert demand_cov(tasks)["cores"] == 0.0
+        varied = [make_task(cpu=c) for c in (1.0, 9.0)]
+        assert demand_cov(varied)["cores"] > 0.5

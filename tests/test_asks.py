@@ -1,0 +1,77 @@
+"""Ask-encoding tests (Section 4.4: asks stay succinct)."""
+
+import json
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.integration.asks import Ask, build_ask, naive_ask_size_bytes
+from repro.workload.trace import materialize_trace
+from repro.workload.tracegen import WorkloadSuiteConfig, generate_workload_suite
+
+from conftest import make_simple_job, make_two_stage_job
+
+
+class TestBuildAsk:
+    def test_only_runnable_stages_included(self):
+        job = make_two_stage_job(num_map=4, num_reduce=2)
+        ask = build_ask(job)
+        assert [s.stage for s in ask.stages] == ["map"]
+        assert ask.pending_tasks == 4
+
+    def test_demands_and_inputs_summarized(self):
+        cluster = Cluster(8, machines_per_rack=4)
+        trace = generate_workload_suite(
+            WorkloadSuiteConfig(num_jobs=1, task_scale=0.02, seed=5)
+        )
+        job = materialize_trace(trace, cluster, seed=5)[0]
+        ask = build_ask(job)
+        (map_ask,) = ask.stages
+        assert map_ask.demands["cpu"] > 0
+        assert map_ask.mean_input_mb > 0
+        # inputs live on real machines
+        assert all(0 <= m < 8 for m in map_ask.input_mb_by_machine)
+
+    def test_barrier_hint_set_after_threshold(self):
+        job = make_simple_job(num_tasks=10)
+        for task in job.all_tasks()[:9]:
+            task.mark_running(0, 0.0)
+            task.mark_finished(1.0)
+        ask = build_ask(job, barrier_knob=0.9)
+        assert ask.stages[0].barrier_hint
+
+    def test_barrier_hint_unset_early(self):
+        job = make_simple_job(num_tasks=10)
+        ask = build_ask(job, barrier_knob=0.9)
+        assert not ask.stages[0].barrier_hint
+
+    def test_json_round_trip(self):
+        job = make_simple_job(num_tasks=3)
+        payload = json.loads(build_ask(job).to_json())
+        assert payload["stages"][0]["pending_tasks"] == 3
+
+
+class TestSuccinctness:
+    def test_ask_size_independent_of_cluster_size(self):
+        """The paper's point: the succinct ask does not grow with the
+        number of candidate machines, the naive one does."""
+        cluster = Cluster(16, machines_per_rack=4)
+        trace = generate_workload_suite(
+            WorkloadSuiteConfig(num_jobs=1, task_scale=0.1, seed=5)
+        )
+        job = materialize_trace(trace, cluster, seed=5)[0]
+        ask_bytes = build_ask(job).encoded_size_bytes()
+        naive_small = naive_ask_size_bytes(job, num_machines=100)
+        naive_big = naive_ask_size_bytes(job, num_machines=1000)
+        assert naive_big == 10 * naive_small
+        assert ask_bytes < naive_small
+
+    def test_orders_of_magnitude_at_scale(self):
+        cluster = Cluster(16, machines_per_rack=4)
+        trace = generate_workload_suite(
+            WorkloadSuiteConfig(num_jobs=1, task_scale=1.0, seed=5)
+        )
+        job = materialize_trace(trace, cluster, seed=5)[0]
+        ask_bytes = build_ask(job).encoded_size_bytes()
+        naive = naive_ask_size_bytes(job, num_machines=1000)
+        assert naive > 50 * ask_bytes

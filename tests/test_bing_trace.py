@@ -1,0 +1,82 @@
+"""Bing-style deep-DAG trace generator tests (Table 1: large DAG depth)."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.experiments.harness import ExperimentConfig, run_trace
+from repro.schedulers.tetris import TetrisScheduler
+from repro.workload.trace import materialize_trace
+from repro.workload.tracegen import BingTraceConfig, generate_bing_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_bing_trace(BingTraceConfig(num_jobs=40, seed=2))
+
+
+class TestStructure:
+    def test_job_count(self, trace):
+        assert len(trace) == 40
+
+    def test_depth_range(self, trace):
+        depths = [len(j.stages) for j in trace]
+        assert min(depths) >= 3
+        assert max(depths) <= 7
+        assert max(depths) > min(depths)  # actually varied
+
+    def test_chains_are_connected(self, trace):
+        for job in trace:
+            names = {s.name for s in job.stages}
+            for stage in job.stages[1:]:
+                assert stage.parents
+                assert all(p in names for p in stage.parents)
+
+    def test_joins_present(self, trace):
+        has_join = any(
+            len(s.parents) >= 2 for j in trace for s in j.stages
+        )
+        assert has_join
+
+    def test_leaf_stage_reads_blocks(self, trace):
+        for job in trace:
+            assert job.stages[0].input_kind == "blocks"
+            assert all(
+                s.input_kind == "shuffle" for s in job.stages[1:]
+            )
+
+    def test_recurring_templates(self, trace):
+        templates = {j.template for j in trace}
+        assert 1 < len(templates) <= 20
+
+
+class TestMaterializedDags:
+    def test_dag_depth_preserved(self, trace):
+        cluster = Cluster(10)
+        jobs = materialize_trace(trace[:5], cluster, seed=2)
+        for trace_job, job in zip(trace[:5], jobs):
+            assert job.dag.depth() <= len(trace_job.stages)
+            assert len(job.dag) == len(trace_job.stages)
+
+    def test_join_stage_blocked_by_both_parents(self, trace):
+        cluster = Cluster(10)
+        join_job = next(
+            j for j in trace if any(len(s.parents) >= 2 for s in j.stages)
+        )
+        job = materialize_trace([join_job], cluster, seed=2)[0]
+        join_stage = next(
+            s for s in job.dag if len(s.parents) >= 2
+        )
+        assert not join_stage.is_released()
+
+
+class TestEndToEnd:
+    def test_runs_under_tetris(self):
+        trace = generate_bing_trace(
+            BingTraceConfig(num_jobs=6, arrival_horizon=200,
+                            max_map_tasks=20, seed=5)
+        )
+        result = run_trace(
+            trace, TetrisScheduler(),
+            ExperimentConfig(num_machines=10, seed=5),
+        )
+        assert len(result.collector.jobs) == 6

@@ -1,0 +1,77 @@
+"""Block store placement tests."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.blockstore import BlockStore
+from repro.cluster.topology import Topology
+
+
+@pytest.fixture
+def store():
+    return BlockStore(
+        Topology(12, machines_per_rack=4),
+        replication=3,
+        rng=np.random.default_rng(0),
+    )
+
+
+class TestBlockPlacement:
+    def test_replica_count(self, store):
+        block = store.add_block(128.0)
+        assert len(block.replicas) == 3
+        assert len(set(block.replicas)) == 3
+
+    def test_second_replica_same_rack(self, store):
+        topo = store.topology
+        for _ in range(20):
+            block = store.add_block(64.0)
+            assert topo.same_rack(block.replicas[0], block.replicas[1])
+
+    def test_pinned_primary(self, store):
+        block = store.add_block(64.0, primary=5)
+        assert block.replicas[0] == 5
+
+    def test_replication_capped_by_cluster_size(self):
+        store = BlockStore(Topology(2, machines_per_rack=2), replication=5)
+        block = store.add_block(10.0)
+        assert len(block.replicas) == 2
+
+    def test_stored_mb_accounting(self, store):
+        store.add_block(100.0)
+        assert sum(store.stored_mb) == pytest.approx(300.0)
+
+    def test_remove_block(self, store):
+        block = store.add_block(100.0)
+        store.remove_block(block.block_id)
+        assert sum(store.stored_mb) == pytest.approx(0.0)
+        assert block.block_id not in store.blocks
+
+    def test_negative_size_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.add_block(-1.0)
+
+    def test_invalid_replication(self):
+        with pytest.raises(ValueError):
+            BlockStore(Topology(4), replication=0)
+
+
+class TestDatasets:
+    def test_add_dataset_splits_into_blocks(self, store):
+        blocks = store.add_dataset(1000.0, block_mb=256.0)
+        assert len(blocks) == 4
+        assert sum(b.size_mb for b in blocks) == pytest.approx(1000.0)
+        assert blocks[-1].size_mb == pytest.approx(1000.0 - 3 * 256.0)
+
+    def test_total_stored_counts_replicas(self, store):
+        store.add_dataset(512.0, block_mb=256.0)
+        assert store.total_stored_mb() == pytest.approx(512.0 * 3)
+
+    def test_machine_blocks(self, store):
+        block = store.add_block(64.0)
+        for machine in block.replicas:
+            assert block in store.machine_blocks(machine)
+
+    def test_zero_block_size_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.add_dataset(100.0, block_mb=0)

@@ -1,0 +1,104 @@
+"""CLI tests."""
+
+import json
+
+import pytest
+
+from repro.cli import SCHEDULERS, build_parser, main
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    path = tmp_path / "trace.json"
+    rc = main([
+        "generate", "--kind", "suite", "--jobs", "6",
+        "--task-scale", "0.02", "--horizon", "100",
+        "-o", str(path),
+    ])
+    assert rc == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_valid_json(self, trace_file):
+        payload = json.loads(trace_file.read_text())
+        assert len(payload) == 6
+        assert payload[0]["stages"]
+
+    def test_facebook_kind(self, tmp_path):
+        path = tmp_path / "fb.json"
+        rc = main([
+            "generate", "--kind", "facebook", "--jobs", "5",
+            "--horizon", "100", "-o", str(path),
+        ])
+        assert rc == 0
+        assert len(json.loads(path.read_text())) == 5
+
+
+class TestRun:
+    def test_run_tetris(self, trace_file, capsys):
+        rc = main([
+            "run", str(trace_file), "--scheduler", "tetris",
+            "--machines", "8",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "mean JCT" in out and "makespan" in out
+
+    def test_run_with_audit(self, trace_file, capsys):
+        rc = main([
+            "run", str(trace_file), "--scheduler", "tetris",
+            "--machines", "8", "--audit",
+        ])
+        assert rc == 0
+        assert "audit" in capsys.readouterr().out
+
+    def test_run_with_knobs(self, trace_file, capsys):
+        rc = main([
+            "run", str(trace_file), "--scheduler", "tetris",
+            "--machines", "8", "--fairness-knob", "0.5",
+        ])
+        assert rc == 0
+
+    def test_unknown_scheduler_rejected(self, trace_file):
+        with pytest.raises(SystemExit):
+            main([
+                "run", str(trace_file), "--scheduler", "magic",
+            ])
+
+
+class TestCompare:
+    def test_compare_prints_improvements(self, trace_file, capsys):
+        rc = main([
+            "compare", str(trace_file), "--machines", "8",
+            "--schedulers", "tetris,slot-fair",
+            "--baseline", "slot-fair",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "improvement over slot-fair" in out
+        assert "tetris" in out
+
+
+class TestSweep:
+    def test_fairness_sweep(self, trace_file, capsys):
+        rc = main([
+            "sweep", str(trace_file), "--machines", "8",
+            "--knob", "fairness", "--values", "0,0.5",
+        ])
+        assert rc == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 3  # header + 2 rows
+
+
+class TestParser:
+    def test_all_registered_schedulers_constructible(self):
+        for factory in SCHEDULERS.values():
+            assert factory() is not None
+
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["generate", "-o", "x.json"]
+        )
+        assert args.command == "generate"

@@ -1,0 +1,129 @@
+"""Demand estimator and history tests (Section 4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.estimation.estimator import (
+    NoisyEstimator,
+    OracleEstimator,
+    ProfilingEstimator,
+)
+from repro.estimation.history import StageStatistics, TemplateHistory
+from repro.resources import DEFAULT_MODEL
+from repro.workload.job import Job
+from repro.workload.stage import Stage
+
+from conftest import make_simple_job, make_task
+
+
+class TestOracle:
+    def test_returns_true_demands(self):
+        task = make_task(cpu=3, mem=5)
+        assert OracleEstimator().estimate(task) == task.demands
+
+
+class TestNoisy:
+    def test_consistent_per_task(self):
+        est = NoisyEstimator(sigma=0.5, seed=1)
+        task = make_task(cpu=2)
+        assert est.estimate(task) == est.estimate(task)
+
+    def test_noise_scales_all_dims_together(self):
+        est = NoisyEstimator(sigma=0.5, seed=1)
+        task = make_task(cpu=2, mem=4)
+        v = est.estimate(task)
+        assert v.get("mem") / v.get("cpu") == pytest.approx(2.0)
+
+    def test_zero_sigma_is_oracle(self):
+        est = NoisyEstimator(sigma=0.0)
+        task = make_task(cpu=2)
+        assert est.estimate(task) == task.demands
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            NoisyEstimator(sigma=-1)
+
+
+class TestStageStatistics:
+    def test_streaming_mean(self):
+        stats = StageStatistics(DEFAULT_MODEL)
+        stats.observe(DEFAULT_MODEL.vector(cpu=1))
+        stats.observe(DEFAULT_MODEL.vector(cpu=3))
+        assert stats.mean().get("cpu") == pytest.approx(2.0)
+        assert stats.count == 2
+
+    def test_std(self):
+        stats = StageStatistics(DEFAULT_MODEL)
+        for v in (1.0, 3.0):
+            stats.observe(DEFAULT_MODEL.vector(cpu=v))
+        assert stats.std().get("cpu") == pytest.approx(np.std([1, 3], ddof=1))
+
+    def test_empty_stats(self):
+        stats = StageStatistics(DEFAULT_MODEL)
+        assert stats.mean() is None
+        assert stats.std() is None
+        assert stats.coefficient_of_variation() is None
+
+    def test_cov(self):
+        stats = StageStatistics(DEFAULT_MODEL)
+        for v in (2.0, 2.0, 2.0):
+            stats.observe(DEFAULT_MODEL.vector(cpu=v))
+        cov = stats.coefficient_of_variation()
+        assert cov[DEFAULT_MODEL.index["cpu"]] == pytest.approx(0.0)
+
+
+class TestTemplateHistory:
+    def test_keyed_on_template_and_stage(self):
+        hist = TemplateHistory(DEFAULT_MODEL)
+        hist.observe("tpl", "map", DEFAULT_MODEL.vector(cpu=2))
+        hist.observe("tpl", "reduce", DEFAULT_MODEL.vector(cpu=8))
+        assert hist.mean("tpl", "map").get("cpu") == 2
+        assert hist.mean("tpl", "reduce").get("cpu") == 8
+        assert hist.mean("other", "map") is None
+        assert hist.count("tpl", "map") == 1
+        assert len(hist) == 2
+
+
+class TestProfilingEstimator:
+    def _job_with_template(self):
+        return make_simple_job(num_tasks=5, cpu=2, mem=4, template="tpl")
+
+    def test_overestimates_without_information(self):
+        est = ProfilingEstimator(overestimate_factor=1.5)
+        task = make_task(cpu=2, mem=4)
+        v = est.estimate(task)
+        assert v.get("cpu") == pytest.approx(3.0)
+
+    def test_default_guess_used_when_given(self):
+        guess = DEFAULT_MODEL.vector(cpu=4, mem=8)
+        est = ProfilingEstimator(default_guess=guess,
+                                 overestimate_factor=2.0)
+        assert est.estimate(make_task()).get("cpu") == 8.0
+
+    def test_history_takes_priority(self):
+        hist = TemplateHistory(DEFAULT_MODEL)
+        hist.observe("tpl", "only", DEFAULT_MODEL.vector(cpu=7))
+        est = ProfilingEstimator(history=hist)
+        job = self._job_with_template()
+        assert est.estimate(job.all_tasks()[0]).get("cpu") == 7.0
+
+    def test_peer_statistics_after_min_samples(self):
+        est = ProfilingEstimator(min_peer_samples=2)
+        job = self._job_with_template()
+        tasks = job.all_tasks()
+        for task in tasks[:2]:
+            task.mark_running(0, 0.0)
+            task.mark_finished(1.0)
+        v = est.estimate(tasks[4])
+        assert v.get("cpu") == pytest.approx(2.0)  # peer mean, no inflation
+
+    def test_record_completion_feeds_history(self):
+        hist = TemplateHistory(DEFAULT_MODEL)
+        est = ProfilingEstimator(history=hist)
+        job = self._job_with_template()
+        est.record_completion(job.all_tasks()[0])
+        assert hist.count("tpl", "only") == 1
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            ProfilingEstimator(overestimate_factor=0.5)

@@ -1,0 +1,52 @@
+"""Event queue tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.events import EventKind, EventQueue
+
+
+class TestEventQueue:
+    def test_empty_peek_is_infinite(self):
+        assert EventQueue().peek_time() == float("inf")
+
+    def test_ordering(self):
+        q = EventQueue()
+        q.push(5.0, EventKind.WAKEUP, "b")
+        q.push(1.0, EventKind.WAKEUP, "a")
+        q.push(9.0, EventKind.WAKEUP, "c")
+        assert q.peek_time() == 1.0
+        events = q.pop_until(6.0)
+        assert [e.payload for e in events] == ["a", "b"]
+        assert len(q) == 1
+
+    def test_ties_pop_in_push_order(self):
+        q = EventQueue()
+        q.push(2.0, EventKind.WAKEUP, "first")
+        q.push(2.0, EventKind.WAKEUP, "second")
+        events = q.pop_until(2.0)
+        assert [e.payload for e in events] == ["first", "second"]
+
+    def test_pop_until_respects_epsilon(self):
+        q = EventQueue()
+        q.push(1.0, EventKind.WAKEUP)
+        assert len(q.pop_until(1.0 - 1e-13)) == 1
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1.0, EventKind.WAKEUP)
+
+    def test_bool(self):
+        q = EventQueue()
+        assert not q
+        q.push(0.0, EventKind.WAKEUP)
+        assert q
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6,
+                              allow_nan=False), max_size=50))
+    def test_pop_order_is_sorted(self, times):
+        q = EventQueue()
+        for t in times:
+            q.push(t, EventKind.WAKEUP)
+        popped = [e.time for e in q.pop_until(float("inf"))]
+        assert popped == sorted(times)

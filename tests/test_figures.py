@@ -1,0 +1,64 @@
+"""Figure-rendering pipeline tests (small-scale runs)."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.experiments.figures import (
+    fig1_completion_times,
+    fig4a_jct_cdf,
+    fig5_running_tasks,
+    fig5_utilization,
+)
+from repro.experiments.harness import ExperimentConfig, run_comparison
+from repro.schedulers.capacity import CapacityScheduler
+from repro.schedulers.drf import DRFScheduler
+from repro.schedulers.tetris import TetrisScheduler
+from repro.workload.tracegen import WorkloadSuiteConfig, generate_workload_suite
+
+
+@pytest.fixture(scope="module")
+def small_results():
+    trace = generate_workload_suite(
+        WorkloadSuiteConfig(num_jobs=6, task_scale=0.02,
+                            arrival_horizon=120, seed=23)
+    )
+    return run_comparison(
+        trace,
+        {
+            "tetris": TetrisScheduler,
+            "capacity": CapacityScheduler,
+            "drf": DRFScheduler,
+        },
+        ExperimentConfig(num_machines=6, seed=23),
+    )
+
+
+def valid_svg(path):
+    root = ET.fromstring(path.read_text())
+    assert root.tag.endswith("svg")
+    return path.read_text()
+
+
+class TestFigureFunctions:
+    def test_fig1(self, tmp_path):
+        svg = valid_svg(fig1_completion_times(tmp_path / "f1.svg"))
+        assert "Figure 1" in svg
+
+    def test_fig4a(self, small_results, tmp_path):
+        svg = valid_svg(
+            fig4a_jct_cdf(small_results, tmp_path / "f4a.svg")
+        )
+        assert "vs capacity" in svg and "vs drf" in svg
+
+    def test_fig5_running_tasks(self, small_results, tmp_path):
+        svg = valid_svg(
+            fig5_running_tasks(small_results, tmp_path / "f5a.svg")
+        )
+        assert "tetris" in svg
+
+    def test_fig5_utilization(self, small_results, tmp_path):
+        svg = valid_svg(
+            fig5_utilization(small_results, tmp_path / "f5b.svg")
+        )
+        assert "disk-read" in svg

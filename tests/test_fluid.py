@@ -1,0 +1,271 @@
+"""Fluid flow-table tests: proportional sharing, contention, completion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.resources import DEFAULT_MODEL
+from repro.sim.fluid import FluidConfig, FlowSpec, FlowTable
+
+
+def make_table(num_machines=2, sigma=0.25, **overrides):
+    caps = [
+        DEFAULT_MODEL.vector(
+            cpu=16, mem=48, diskr=200, diskw=200, netin=125, netout=125
+        ).data
+        for _ in range(num_machines)
+    ]
+    config = FluidConfig(contention_sigma=sigma, **overrides)
+    return FlowTable(DEFAULT_MODEL, caps, config)
+
+
+class TestFluidConfig:
+    def test_cpu_sigma_defaults_to_zero(self):
+        cfg = FluidConfig(contention_sigma=0.25)
+        assert cfg.sigma_for("cpu") == 0.0
+        assert cfg.sigma_for("diskr") == 0.25
+
+    def test_overrides(self):
+        cfg = FluidConfig(
+            contention_sigma=0.25, sigma_overrides={"cpu": 0.5, "diskr": 0.0}
+        )
+        assert cfg.sigma_for("cpu") == 0.5
+        assert cfg.sigma_for("diskr") == 0.0
+        assert cfg.sigma_for("netin") == 0.25
+
+
+class TestRegistration:
+    def test_zero_work_rejected(self):
+        with pytest.raises(ValueError):
+            make_table().add_flow(FlowSpec(work=0, nominal_rate=1))
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ValueError):
+            make_table().add_flow(FlowSpec(work=1, nominal_rate=0))
+
+    def test_non_fluid_dim_rejected(self):
+        table = make_table()
+        with pytest.raises(ValueError):
+            table.add_flow(
+                FlowSpec(work=1, nominal_rate=1, slots=((0, "mem"),))
+            )
+
+    def test_machine_out_of_range_rejected(self):
+        table = make_table(num_machines=1)
+        with pytest.raises(ValueError):
+            table.add_flow(
+                FlowSpec(work=1, nominal_rate=1, slots=((5, "diskr"),))
+            )
+
+    def test_growth_beyond_initial_capacity(self):
+        table = make_table()
+        ids = [
+            table.add_flow(FlowSpec(work=100, nominal_rate=1))
+            for _ in range(200)
+        ]
+        assert table.num_active == 200
+        assert len(set(ids)) == 200
+
+    def test_remove_flow(self):
+        table = make_table()
+        fid = table.add_flow(FlowSpec(work=10, nominal_rate=1))
+        table.remove_flow(fid)
+        assert table.num_active == 0
+        with pytest.raises(ValueError):
+            table.remove_flow(fid)
+
+
+class TestRates:
+    def test_uncontended_flow_runs_at_nominal(self):
+        table = make_table()
+        fid = table.add_flow(
+            FlowSpec(work=100, nominal_rate=50, slots=((0, "diskr"),))
+        )
+        assert table.current_rate(fid) == pytest.approx(50)
+
+    def test_proportional_share_without_penalty(self):
+        table = make_table(sigma=0.0)
+        f1 = table.add_flow(
+            FlowSpec(work=1000, nominal_rate=150, slots=((0, "diskr"),))
+        )
+        f2 = table.add_flow(
+            FlowSpec(work=1000, nominal_rate=150, slots=((0, "diskr"),))
+        )
+        # demand 300 on a 200 MB/s disk -> each gets 100
+        assert table.current_rate(f1) == pytest.approx(100)
+        assert table.current_rate(f2) == pytest.approx(100)
+
+    def test_contention_penalty_lowers_aggregate_throughput(self):
+        table = make_table(sigma=0.25)
+        for _ in range(2):
+            table.add_flow(
+                FlowSpec(work=1000, nominal_rate=200, slots=((0, "diskr"),))
+            )
+        throughput = table.slot_throughput().sum()
+        # ratio 2.0: aggregate = 200 / (1 + 0.25) = 160 < 200
+        assert throughput == pytest.approx(200 / 1.25)
+
+    def test_cpu_timeshares_losslessly(self):
+        table = make_table(sigma=0.25)
+        for _ in range(2):
+            table.add_flow(
+                FlowSpec(work=100, nominal_rate=16, slots=((0, "cpu"),))
+            )
+        # 32 cores demanded on 16: each runs at 8, aggregate stays 16
+        throughput = table.slot_throughput()[0][0]
+        assert throughput == pytest.approx(16.0)
+
+    def test_multi_slot_flow_limited_by_worst_slot(self):
+        table = make_table(sigma=0.0)
+        # saturate source netout with a competing flow
+        table.add_flow(
+            FlowSpec(work=1000, nominal_rate=125, slots=((0, "netout"),))
+        )
+        remote = table.add_flow(
+            FlowSpec(
+                work=1000,
+                nominal_rate=125,
+                slots=((0, "diskr"), (0, "netout"), (1, "netin")),
+            )
+        )
+        # netout has 250 demanded on 125 -> half rate
+        assert table.current_rate(remote) == pytest.approx(62.5)
+
+    def test_fixed_flow_ignores_contention(self):
+        table = make_table()
+        fid = table.add_flow(
+            FlowSpec(work=10, nominal_rate=999, slots=(), fixed=True)
+        )
+        assert table.current_rate(fid) == pytest.approx(999)
+
+
+class TestAdvance:
+    def test_completion_timing(self):
+        table = make_table()
+        table.add_flow(
+            FlowSpec(work=100, nominal_rate=50, slots=((0, "diskr"),))
+        )
+        assert table.time_to_next_completion() == pytest.approx(2.0)
+        completed = table.advance(2.0)
+        assert len(completed) == 1
+        assert table.num_active == 0
+
+    def test_partial_progress(self):
+        table = make_table()
+        fid = table.add_flow(
+            FlowSpec(work=100, nominal_rate=50, slots=((0, "diskr"),))
+        )
+        assert table.advance(1.0) == []
+        assert table.remaining_work(fid) == pytest.approx(50)
+
+    def test_rates_rebalance_after_completion(self):
+        table = make_table(sigma=0.0)
+        f1 = table.add_flow(
+            FlowSpec(work=100, nominal_rate=200, slots=((0, "diskw"),))
+        )
+        f2 = table.add_flow(
+            FlowSpec(work=1000, nominal_rate=200, slots=((0, "diskw"),))
+        )
+        dt = table.time_to_next_completion()
+        assert dt == pytest.approx(1.0)  # each at 100 MB/s
+        assert table.advance(dt) == [f1]
+        assert table.current_rate(f2) == pytest.approx(200)
+
+    def test_negative_dt_rejected(self):
+        with pytest.raises(ValueError):
+            make_table().advance(-1.0)
+
+    def test_empty_table(self):
+        table = make_table()
+        assert table.time_to_next_completion() == float("inf")
+        assert table.advance(10.0) == []
+
+    def test_tags_returned_on_completion(self):
+        table = make_table()
+        table.add_flow(
+            FlowSpec(work=10, nominal_rate=10, slots=((0, "diskr"),),
+                     tag=("task", 7))
+        )
+        completed = table.advance(1.0)
+        assert table.completed_tags(completed) == [("task", 7)]
+
+
+class TestObservation:
+    def test_slot_demand_shows_over_allocation(self):
+        table = make_table()
+        for _ in range(3):
+            table.add_flow(
+                FlowSpec(work=100, nominal_rate=100, slots=((0, "diskr"),))
+            )
+        demand = table.slot_demand()
+        k = table.fluid_dim_names().index("diskr")
+        assert demand[0][k] == pytest.approx(300)  # 1.5x capacity
+
+    def test_throughput_capped_by_capacity(self):
+        table = make_table(sigma=0.0)
+        for _ in range(4):
+            table.add_flow(
+                FlowSpec(work=100, nominal_rate=100, slots=((0, "netin"),))
+            )
+        throughput = table.slot_throughput()
+        k = table.fluid_dim_names().index("netin")
+        assert throughput[0][k] == pytest.approx(125)
+
+
+class TestFluidProperties:
+    @settings(deadline=None, max_examples=30)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=1, max_value=1000),   # work
+                st.floats(min_value=1, max_value=300),    # rate
+                st.integers(min_value=0, max_value=1),    # machine
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_throughput_never_exceeds_capacity(self, flows):
+        table = make_table(sigma=0.25)
+        for work, rate, machine in flows:
+            table.add_flow(
+                FlowSpec(work=work, nominal_rate=rate,
+                         slots=((machine, "diskr"),))
+            )
+        throughput = table.slot_throughput()
+        k = table.fluid_dim_names().index("diskr")
+        assert (throughput[:, k] <= 200 + 1e-6).all()
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=1, max_value=500),
+                st.floats(min_value=1, max_value=200),
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_work_conservation(self, flows):
+        """Advancing in many small steps completes every flow after the
+        exact total work has been delivered."""
+        table = make_table(sigma=0.0)
+        total_work = 0.0
+        for work, rate in flows:
+            table.add_flow(
+                FlowSpec(work=work, nominal_rate=rate,
+                         slots=((0, "diskw"),))
+            )
+            total_work += work
+        delivered = 0.0
+        for _ in range(10_000):
+            if table.num_active == 0:
+                break
+            k = table.fluid_dim_names().index("diskw")
+            rate_now = table.slot_throughput()[0][k]
+            dt = min(table.time_to_next_completion(), 1.0)
+            table.advance(dt)
+            delivered += rate_now * dt
+        assert table.num_active == 0
+        assert delivered == pytest.approx(total_work, rel=1e-3)

@@ -1,0 +1,81 @@
+"""Group/queue-level fairness for Tetris (Section 3.4: "jobs (or groups
+of jobs)")."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.resources import DEFAULT_MODEL
+from repro.schedulers.tetris import TetrisConfig, TetrisScheduler
+from repro.sim.engine import Engine
+
+from conftest import make_simple_job
+
+
+def by_template(job):
+    return job.template or "default"
+
+
+class TestGroupCandidates:
+    def _scheduler_with_groups(self, knob):
+        cluster = Cluster(2, machines_per_rack=2)
+        scheduler = TetrisScheduler(
+            TetrisConfig(fairness_knob=knob), group_of=by_template
+        )
+        scheduler.bind(cluster)
+        jobs = [
+            make_simple_job(num_tasks=5, template="queue-a", name="a1"),
+            make_simple_job(num_tasks=5, template="queue-a", name="a2"),
+            make_simple_job(num_tasks=5, template="queue-b", name="b1"),
+        ]
+        for job in jobs:
+            job.arrive()
+            scheduler.on_job_arrival(job, 0.0)
+        return scheduler, jobs
+
+    def test_all_groups_when_knob_zero(self):
+        scheduler, jobs = self._scheduler_with_groups(0.0)
+        names = {j.name for j in scheduler.candidate_jobs()}
+        assert names == {"a1", "a2", "b1"}
+
+    def test_hogging_group_excluded(self):
+        scheduler, jobs = self._scheduler_with_groups(0.5)
+        # queue-a already holds a big allocation
+        scheduler.job_alloc[jobs[0].job_id].add_inplace(
+            DEFAULT_MODEL.vector(cpu=20, mem=20)
+        )
+        names = {j.name for j in scheduler.candidate_jobs()}
+        assert names == {"b1"}
+
+    def test_starved_group_jobs_all_included(self):
+        scheduler, jobs = self._scheduler_with_groups(0.5)
+        scheduler.job_alloc[jobs[2].job_id].add_inplace(
+            DEFAULT_MODEL.vector(cpu=20, mem=20)
+        )
+        names = {j.name for j in scheduler.candidate_jobs()}
+        assert names == {"a1", "a2"}
+
+    def test_within_group_most_deprived_first(self):
+        scheduler, jobs = self._scheduler_with_groups(0.5)
+        scheduler.job_alloc[jobs[2].job_id].add_inplace(
+            DEFAULT_MODEL.vector(cpu=20, mem=20)
+        )
+        scheduler.job_alloc[jobs[0].job_id].add_inplace(
+            DEFAULT_MODEL.vector(cpu=4)
+        )
+        ordered = [j.name for j in scheduler.candidate_jobs()]
+        assert ordered == ["a2", "a1"]
+
+
+class TestGroupedEndToEnd:
+    def test_runs_and_finishes(self):
+        cluster = Cluster(2, machines_per_rack=2)
+        jobs = [
+            make_simple_job(num_tasks=4, template=f"q{i % 2}",
+                            arrival_time=float(i))
+            for i in range(4)
+        ]
+        scheduler = TetrisScheduler(
+            TetrisConfig(fairness_knob=0.25), group_of=by_template
+        )
+        Engine(cluster, scheduler, jobs).run()
+        assert all(j.is_finished for j in jobs)

@@ -1,0 +1,131 @@
+"""Metrics: collector, fairness, comparison helpers."""
+
+import pytest
+
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.comparison import (
+    cdf_points,
+    improvement_distribution,
+    improvement_percent,
+)
+from repro.metrics.fairness import (
+    job_slowdowns,
+    relative_integral_unfairness_summary,
+    slowdown_summary,
+)
+
+from conftest import make_simple_job
+
+
+class TestCollector:
+    def test_job_records(self):
+        col = MetricsCollector()
+        job = make_simple_job(arrival_time=10.0, name="j")
+        col.job_arrived(job, 10.0)
+        col.job_finished(job, 35.0)
+        rec = col.jobs[job.job_id]
+        assert rec.completion_time == pytest.approx(25.0)
+        assert col.mean_jct() == pytest.approx(25.0)
+        assert col.makespan() == pytest.approx(25.0)
+
+    def test_makespan_from_first_arrival(self):
+        col = MetricsCollector()
+        a = make_simple_job(arrival_time=5.0)
+        b = make_simple_job(arrival_time=20.0)
+        col.job_arrived(a, 5.0)
+        col.job_arrived(b, 20.0)
+        col.job_finished(a, 50.0)
+        col.job_finished(b, 80.0)
+        assert col.makespan() == pytest.approx(75.0)
+
+    def test_median_jct(self):
+        col = MetricsCollector()
+        for i, jct in enumerate((10.0, 20.0, 90.0)):
+            job = make_simple_job(arrival_time=0.0)
+            col.job_arrived(job, 0.0)
+            col.job_finished(job, jct)
+        assert col.median_jct() == pytest.approx(20.0)
+
+    def test_empty_collector(self):
+        col = MetricsCollector()
+        assert col.mean_jct() == 0.0
+        assert col.makespan() == 0.0
+        assert col.mean_task_duration() == 0.0
+
+    def test_task_durations(self):
+        col = MetricsCollector()
+        col.task_finished(10.0)
+        col.task_finished(20.0)
+        assert col.mean_task_duration() == pytest.approx(15.0)
+
+    def test_fairness_accumulation(self):
+        col = MetricsCollector(track_fairness=True)
+        # two jobs, one hogging 80%: fair share is 50%
+        col.accumulate_fairness(10.0, {1: 0.8, 2: 0.2})
+        assert col.unfairness_integral[1] == pytest.approx(
+            (0.8 - 0.5) / 0.5 * 10
+        )
+        assert col.unfairness_integral[2] == pytest.approx(
+            (0.2 - 0.5) / 0.5 * 10
+        )
+
+    def test_fairness_disabled_by_default(self):
+        col = MetricsCollector()
+        col.accumulate_fairness(10.0, {1: 0.8})
+        assert col.unfairness_integral == {}
+
+
+class TestSlowdowns:
+    def test_job_slowdowns(self):
+        fair = {1: 100.0, 2: 100.0, 3: 50.0}
+        other = {1: 120.0, 2: 80.0}
+        s = job_slowdowns(fair, other)
+        assert s[1] == pytest.approx(0.2)
+        assert s[2] == pytest.approx(-0.2)
+        assert 3 not in s
+
+    def test_summary(self):
+        fair = {i: 100.0 for i in range(10)}
+        other = {i: (150.0 if i < 2 else 90.0) for i in range(10)}
+        summary = slowdown_summary(fair, other)
+        assert summary.fraction_slowed == pytest.approx(0.2)
+        assert summary.mean_slowdown_of_slowed == pytest.approx(0.5)
+        assert summary.max_slowdown == pytest.approx(0.5)
+
+    def test_empty_summary(self):
+        summary = slowdown_summary({}, {})
+        assert summary.fraction_slowed == 0.0
+
+
+class TestRIU:
+    def test_summary(self):
+        integrals = {1: -5.0, 2: 10.0}
+        runtimes = {1: 100.0, 2: 100.0}
+        out = relative_integral_unfairness_summary(integrals, runtimes)
+        assert out["fraction_negative"] == pytest.approx(0.5)
+        assert out["mean_negative_magnitude"] == pytest.approx(0.05)
+
+    def test_empty(self):
+        out = relative_integral_unfairness_summary({}, {})
+        assert out["fraction_negative"] == 0.0
+
+
+class TestComparison:
+    def test_improvement_percent(self):
+        assert improvement_percent(100, 70) == pytest.approx(30.0)
+        assert improvement_percent(0, 10) == 0.0
+
+    def test_improvement_distribution(self):
+        base = {1: 100.0, 2: 200.0}
+        treat = {1: 50.0, 2: 300.0}
+        dist = sorted(improvement_distribution(base, treat))
+        assert dist == [pytest.approx(-50.0), pytest.approx(50.0)]
+
+    def test_cdf_points(self):
+        points = cdf_points([3.0, 1.0, 2.0], num_points=3)
+        assert points[0] == (1.0, 0.0)
+        assert points[1] == (2.0, 0.5)
+        assert points[2] == (3.0, 1.0)
+
+    def test_cdf_empty(self):
+        assert cdf_points([]) == []

@@ -1,0 +1,94 @@
+"""Progress-aware SRTF tests (Section 3.5 "Future Demands")."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.schedulers.tetris import TetrisConfig, TetrisScheduler
+from repro.sim.engine import Engine
+
+from conftest import make_simple_job
+
+
+def bound(progress_aware):
+    scheduler = TetrisScheduler(
+        TetrisConfig(fairness_knob=0.0,
+                     progress_aware_srtf=progress_aware)
+    )
+    scheduler.bind(Cluster(2, machines_per_rack=2))
+    return scheduler
+
+
+class TestRemainingWork:
+    def _job_with_one_running(self, scheduler):
+        job = make_simple_job(num_tasks=4, cpu=2, cpu_work=20)
+        job.arrive()
+        scheduler.on_job_arrival(job, 0.0)
+        task = job.all_tasks()[0]
+        task.mark_running(0, 0.0)
+        return job, task
+
+    def test_disabled_ignores_progress(self):
+        scheduler = bound(progress_aware=False)
+        job, task = self._job_with_one_running(scheduler)
+        assert scheduler._remaining_work(job, 5.0) == pytest.approx(
+            scheduler._job_work[job.job_id]
+        )
+
+    def test_enabled_credits_elapsed_fraction(self):
+        scheduler = bound(progress_aware=True)
+        job, task = self._job_with_one_running(scheduler)
+        full = scheduler._job_work[job.job_id]
+        # the running task is half done (nominal 10 s, elapsed 5 s)
+        adjusted = scheduler._remaining_work(job, 5.0)
+        term = scheduler._task_work[task.task_id]
+        assert adjusted == pytest.approx(full - 0.5 * term)
+
+    def test_credit_caps_at_full_task(self):
+        scheduler = bound(progress_aware=True)
+        job, task = self._job_with_one_running(scheduler)
+        full = scheduler._job_work[job.job_id]
+        term = scheduler._task_work[task.task_id]
+        # long past the nominal duration: at most one task's credit
+        assert scheduler._remaining_work(job, 1000.0) == pytest.approx(
+            full - term
+        )
+
+    def test_never_negative(self):
+        scheduler = bound(progress_aware=True)
+        job = make_simple_job(num_tasks=1, cpu=2, cpu_work=20)
+        job.arrive()
+        scheduler.on_job_arrival(job, 0.0)
+        job.all_tasks()[0].mark_running(0, 0.0)
+        assert scheduler._remaining_work(job, 1e9) >= 0.0
+
+
+class TestEndToEnd:
+    def test_runs_and_finishes(self):
+        jobs = [make_simple_job(num_tasks=6, cpu=2, cpu_work=15,
+                                arrival_time=float(i)) for i in range(4)]
+        cluster = Cluster(2, machines_per_rack=2)
+        scheduler = TetrisScheduler(
+            TetrisConfig(progress_aware_srtf=True)
+        )
+        Engine(cluster, scheduler, jobs).run()
+        assert all(j.is_finished for j in jobs)
+
+    def test_comparable_quality(self):
+        """The refinement must never wreck the schedule (sanity band)."""
+        from repro.experiments.harness import ExperimentConfig, run_trace
+        from repro.workload.tracegen import (
+            WorkloadSuiteConfig, generate_workload_suite,
+        )
+
+        trace = generate_workload_suite(
+            WorkloadSuiteConfig(num_jobs=12, task_scale=0.04,
+                                arrival_horizon=300, seed=17)
+        )
+        config = ExperimentConfig(num_machines=10, seed=17)
+        plain = run_trace(trace, TetrisScheduler(), config)
+        aware = run_trace(
+            trace,
+            TetrisScheduler(TetrisConfig(progress_aware_srtf=True)),
+            config,
+        )
+        assert aware.mean_jct <= plain.mean_jct * 1.25

@@ -1,0 +1,113 @@
+"""Property-based end-to-end invariants (hypothesis).
+
+Random small workloads through the full pipeline must always satisfy the
+Section 3.1 feasibility constraints under Tetris, finish every task
+exactly once under every scheduler, and never over-allocate the
+dimensions a scheduler checks.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.model import audit_engine
+from repro.cluster.cluster import Cluster
+from repro.resources import DEFAULT_MODEL
+from repro.schedulers.drf import DRFScheduler
+from repro.schedulers.fifo import FifoScheduler
+from repro.schedulers.slot_fair import SlotFairScheduler
+from repro.schedulers.tetris import TetrisConfig, TetrisScheduler
+from repro.sim.engine import Engine
+from repro.workload.job import Job
+from repro.workload.stage import Stage
+from repro.workload.task import Task, TaskInput, TaskWork
+
+job_specs = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=5),        # tasks
+        st.floats(min_value=0.5, max_value=8.0),      # cpu
+        st.floats(min_value=0.5, max_value=16.0),     # mem
+        st.floats(min_value=0.0, max_value=150.0),    # diskw rate
+        st.floats(min_value=1.0, max_value=60.0),     # cpu work
+        st.floats(min_value=0.0, max_value=50.0),     # arrival
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+
+def build_jobs(specs):
+    jobs = []
+    for tasks, cpu, mem, diskw, cpu_work, arrival in specs:
+        task_list = []
+        for _ in range(tasks):
+            write_mb = diskw * 5.0 if diskw > 0 else 0.0
+            task_list.append(
+                Task(
+                    DEFAULT_MODEL.vector(cpu=cpu, mem=mem, diskw=diskw),
+                    TaskWork(cpu_core_seconds=cpu_work, write_mb=write_mb),
+                )
+            )
+        jobs.append(Job([Stage("s", task_list)], arrival_time=arrival))
+    return jobs
+
+
+def run(scheduler, specs, num_machines=2):
+    cluster = Cluster(num_machines, machines_per_rack=2, seed=0)
+    jobs = build_jobs(specs)
+    engine = Engine(cluster, scheduler, jobs)
+    engine.run()
+    return engine, jobs
+
+
+class TestEngineProperties:
+    @settings(deadline=None, max_examples=25)
+    @given(job_specs)
+    def test_tetris_runs_are_always_feasible(self, specs):
+        engine, jobs = run(
+            TetrisScheduler(TetrisConfig(fairness_knob=0.0)), specs
+        )
+        assert all(j.is_finished for j in jobs)
+        report = audit_engine(engine)
+        assert report.ok, report.violations[:3]
+
+    @settings(deadline=None, max_examples=25)
+    @given(job_specs)
+    def test_every_task_runs_exactly_once_under_fifo(self, specs):
+        engine, jobs = run(FifoScheduler(), specs)
+        seen = set()
+        for task, machine_id, start, booked in engine.placement_log:
+            assert task.task_id not in seen
+            seen.add(task.task_id)
+        assert len(seen) == sum(j.num_tasks for j in jobs)
+
+    @settings(deadline=None, max_examples=20)
+    @given(job_specs)
+    def test_slot_fair_never_violates_memory(self, specs):
+        engine, jobs = run(SlotFairScheduler(), specs)
+        report = audit_engine(engine)
+        assert "mem" not in report.violated_dimensions()
+
+    @settings(deadline=None, max_examples=20)
+    @given(job_specs)
+    def test_drf_never_violates_its_checked_dims(self, specs):
+        engine, jobs = run(DRFScheduler(), specs)
+        violated = audit_engine(engine).violated_dimensions()
+        assert "cpu" not in violated
+        assert "mem" not in violated
+
+    @settings(deadline=None, max_examples=15)
+    @given(job_specs, st.floats(min_value=0.0, max_value=0.9))
+    def test_fairness_knob_never_breaks_completion(self, specs, knob):
+        engine, jobs = run(
+            TetrisScheduler(TetrisConfig(fairness_knob=knob)), specs
+        )
+        assert all(j.is_finished for j in jobs)
+
+    @settings(deadline=None, max_examples=15)
+    @given(job_specs)
+    def test_makespan_at_least_longest_nominal_task(self, specs):
+        engine, jobs = run(TetrisScheduler(), specs)
+        longest = max(
+            t.nominal_duration() for j in jobs for t in j.all_tasks()
+        )
+        assert engine.collector.makespan() >= longest - 1e-6

@@ -1,0 +1,141 @@
+"""Property-based tests on the core data structures (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.cluster import Cluster
+from repro.resources import DEFAULT_MODEL
+from repro.schedulers.stage_index import StageIndex
+from repro.schedulers.upper_bound import aggregate_upper_bound
+from repro.sim.fluid import FlowSpec, FlowTable
+from repro.workload.job import Job
+from repro.workload.stage import Stage
+from repro.workload.task import Task, TaskInput, TaskWork
+
+
+def fb_table():
+    return FlowTable(
+        DEFAULT_MODEL,
+        [
+            DEFAULT_MODEL.vector(cpu=16, mem=48, diskr=200, diskw=200,
+                                 netin=125, netout=125).data
+            for _ in range(2)
+        ],
+    )
+
+
+class TestFluidMonotonicity:
+    @settings(deadline=None, max_examples=30)
+    @given(
+        st.lists(
+            st.floats(min_value=1.0, max_value=300.0),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_adding_flows_never_raises_existing_rates(self, rates):
+        """Each added flow can only lower (or keep) the rates of flows
+        already sharing its slot."""
+        table = fb_table()
+        first = table.add_flow(
+            FlowSpec(work=1e9, nominal_rate=100.0,
+                     slots=((0, "diskr"),))
+        )
+        previous = table.current_rate(first)
+        for rate in rates:
+            table.add_flow(
+                FlowSpec(work=1e9, nominal_rate=rate,
+                         slots=((0, "diskr"),))
+            )
+            current = table.current_rate(first)
+            assert current <= previous + 1e-9
+            previous = current
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        st.lists(
+            st.floats(min_value=1.0, max_value=250.0),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_rates_never_exceed_nominal(self, rates):
+        table = fb_table()
+        ids = [
+            table.add_flow(
+                FlowSpec(work=100.0, nominal_rate=rate,
+                         slots=((0, "netin"),))
+            )
+            for rate in rates
+        ]
+        for flow_id, rate in zip(ids, rates):
+            assert table.current_rate(flow_id) <= rate + 1e-9
+
+
+class TestStageIndexProperties:
+    @settings(deadline=None, max_examples=25)
+    @given(st.integers(min_value=1, max_value=30),
+           st.integers(min_value=0, max_value=3))
+    def test_each_task_claimable_exactly_once(self, num_tasks, machine):
+        tasks = [
+            Task(DEFAULT_MODEL.vector(cpu=1, mem=1), TaskWork(1.0),
+                 inputs=[TaskInput(10.0, (machine,))])
+            for _ in range(num_tasks)
+        ]
+        stage = Stage("s", tasks)
+        Job([stage])
+        index = StageIndex()
+        index.add_stage(stage)
+        claimed = set()
+        while True:
+            task = index.local_candidate(stage, machine) or (
+                index.any_candidate(stage)
+            )
+            if task is None:
+                break
+            assert task.task_id not in claimed
+            claimed.add(task.task_id)
+            index.claim(task)
+        assert len(claimed) == num_tasks
+
+
+class TestUpperBoundProperties:
+    def _jobs(self, sizes):
+        jobs = []
+        for size in sizes:
+            tasks = [
+                Task(DEFAULT_MODEL.vector(cpu=2, mem=2),
+                     TaskWork(cpu_core_seconds=20.0))
+                for _ in range(size)
+            ]
+            jobs.append(Job([Stage("s", tasks)]))
+        return jobs
+
+    @settings(deadline=None, max_examples=20)
+    @given(
+        st.lists(st.integers(min_value=1, max_value=10),
+                 min_size=1, max_size=5)
+    )
+    def test_makespan_monotone_in_workload(self, sizes):
+        """Adding a job never shrinks the relaxation's makespan."""
+        cluster = Cluster(2, machines_per_rack=2)
+        total, per = cluster.total_capacity(), cluster.machine_capacity()
+        small = aggregate_upper_bound(self._jobs(sizes[:-1]), total, per) \
+            if len(sizes) > 1 else None
+        full = aggregate_upper_bound(self._jobs(sizes), total, per)
+        if small is not None:
+            assert full.makespan >= small.makespan - 1e-9
+        # and the bound is at least one task's duration
+        assert full.makespan >= 10.0 - 1e-9
+
+    @settings(deadline=None, max_examples=20)
+    @given(st.integers(min_value=1, max_value=40))
+    def test_capacity_lower_bound(self, num_tasks):
+        """Makespan >= total cpu work / aggregate cores."""
+        cluster = Cluster(2, machines_per_rack=2)
+        jobs = self._jobs([num_tasks])
+        result = aggregate_upper_bound(
+            jobs, cluster.total_capacity(), cluster.machine_capacity()
+        )
+        total_work = num_tasks * 20.0
+        assert result.makespan >= total_work / 32.0 - 1e-6

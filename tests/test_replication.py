@@ -1,0 +1,62 @@
+"""Multi-seed replication tests."""
+
+import pytest
+
+from repro.experiments.replication import (
+    MetricSummary,
+    ReplicatedComparison,
+    replicate,
+)
+from repro.schedulers.slot_fair import SlotFairScheduler
+from repro.schedulers.tetris import TetrisScheduler
+from repro.workload.tracegen import WorkloadSuiteConfig, generate_workload_suite
+
+
+def make_trace(seed):
+    return generate_workload_suite(
+        WorkloadSuiteConfig(num_jobs=6, task_scale=0.02,
+                            arrival_horizon=150, seed=seed)
+    )
+
+
+class TestMetricSummary:
+    def test_mean_and_std(self):
+        s = MetricSummary.of([1.0, 2.0, 3.0])
+        assert s.mean == pytest.approx(2.0)
+        assert s.std == pytest.approx(1.0)
+        assert s.values == (1.0, 2.0, 3.0)
+
+    def test_single_value_has_zero_std(self):
+        assert MetricSummary.of([5.0]).std == 0.0
+
+    def test_str(self):
+        assert "±" in str(MetricSummary.of([1.0, 2.0]))
+
+
+class TestReplicate:
+    @pytest.fixture(scope="class")
+    def replicated(self):
+        return replicate(
+            make_trace,
+            {"tetris": TetrisScheduler, "slot-fair": SlotFairScheduler},
+            seeds=(1, 2, 3),
+            num_machines=8,
+        )
+
+    def test_one_value_per_seed(self, replicated):
+        assert replicated.seeds == (1, 2, 3)
+        assert len(replicated.mean_jct["tetris"].values) == 3
+        assert len(replicated.makespan["slot-fair"].values) == 3
+
+    def test_seeds_vary_the_outcome(self, replicated):
+        assert replicated.mean_jct["tetris"].std > 0.0
+
+    def test_improvement_aggregation(self, replicated):
+        gain = replicated.improvement("slot-fair", "tetris")
+        assert len(gain.values) == 3
+        # Tetris wins on average across seeds
+        assert gain.mean > 0.0
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            replicate(make_trace, {"t": TetrisScheduler}, seeds=())

@@ -1,0 +1,114 @@
+"""Flow construction (eq. 5) tests."""
+
+import pytest
+
+from repro.cluster.topology import Topology
+from repro.sim.runtime import build_flows, choose_read_source
+from repro.workload.task import TaskInput
+
+from conftest import make_task
+
+
+@pytest.fixture
+def topo():
+    return Topology(8, machines_per_rack=4)
+
+
+def flows_by_kind(specs):
+    out = {"cpu": [], "local": [], "remote": [], "write": []}
+    for spec in specs:
+        dims = [d for _, d in spec.slots]
+        if dims == ["cpu"]:
+            out["cpu"].append(spec)
+        elif dims == ["diskr"]:
+            out["local"].append(spec)
+        elif dims == ["diskw"]:
+            out["write"].append(spec)
+        elif "netin" in dims:
+            out["remote"].append(spec)
+    return out
+
+
+class TestChooseReadSource:
+    def test_prefers_same_rack(self, topo):
+        assert choose_read_source(topo, 0, (5, 2)) == 2
+
+    def test_falls_back_to_first(self, topo):
+        assert choose_read_source(topo, 0, (5, 6)) == 5
+
+    def test_empty_locations_rejected(self, topo):
+        with pytest.raises(ValueError):
+            choose_read_source(topo, 0, ())
+
+
+class TestBuildFlows:
+    def test_cpu_only_task(self, topo):
+        task = make_task(cpu=2, cpu_work=30)
+        specs = build_flows(task, 0, topo)
+        assert len(specs) == 1
+        assert specs[0].slots == ((0, "cpu"),)
+        assert specs[0].work == 30
+        assert specs[0].nominal_rate == 2
+
+    def test_local_read(self, topo):
+        task = make_task(cpu=1, cpu_work=1, diskr=50,
+                         inputs=[TaskInput(100, (0,))])
+        kinds = flows_by_kind(build_flows(task, 0, topo))
+        assert len(kinds["local"]) == 1
+        assert kinds["local"][0].work == 100
+        assert kinds["local"][0].nominal_rate == 50
+        assert not kinds["remote"]
+
+    def test_remote_read_touches_three_slots(self, topo):
+        task = make_task(cpu=1, cpu_work=1, netin=40,
+                         inputs=[TaskInput(100, (3,))])
+        kinds = flows_by_kind(build_flows(task, 0, topo))
+        (remote,) = kinds["remote"]
+        assert set(remote.slots) == {
+            (3, "diskr"), (3, "netout"), (0, "netin"),
+        }
+        assert remote.nominal_rate == pytest.approx(40)
+
+    def test_remote_reads_split_rate_by_bytes(self, topo):
+        task = make_task(cpu=1, cpu_work=1, netin=60,
+                         inputs=[TaskInput(100, (3,)), TaskInput(50, (5,))])
+        kinds = flows_by_kind(build_flows(task, 0, topo))
+        rates = sorted(f.nominal_rate for f in kinds["remote"])
+        assert rates == [pytest.approx(20), pytest.approx(40)]
+
+    def test_mixed_local_and_remote(self, topo):
+        task = make_task(cpu=1, cpu_work=1, diskr=50, netin=40,
+                         inputs=[TaskInput(100, (0,)), TaskInput(100, (5,))])
+        kinds = flows_by_kind(build_flows(task, 0, topo))
+        assert len(kinds["local"]) == 1 and len(kinds["remote"]) == 1
+
+    def test_write_flow(self, topo):
+        task = make_task(cpu=1, cpu_work=1, diskw=20, write_mb=100)
+        kinds = flows_by_kind(build_flows(task, 0, topo))
+        (write,) = kinds["write"]
+        assert write.slots == ((0, "diskw"),)
+        assert write.work == 100
+
+    def test_local_read_rate_floored_by_network_demand(self, topo):
+        """A shuffle partition that happens to be local is read at least
+        at the network rate the task would have streamed it at."""
+        task = make_task(cpu=1, cpu_work=1, diskr=0, netin=40,
+                         inputs=[TaskInput(100, (0,))])
+        kinds = flows_by_kind(build_flows(task, 0, topo))
+        assert kinds["local"][0].nominal_rate == pytest.approx(40)
+
+    def test_no_work_no_flows(self, topo):
+        task = make_task(cpu=1, cpu_work=0)
+        assert build_flows(task, 0, topo) == []
+
+    def test_all_flows_tagged_with_task(self, topo):
+        task = make_task(cpu=1, cpu_work=1, diskw=10, write_mb=10)
+        for spec in build_flows(task, 0, topo):
+            assert spec.tag == ("task", task.task_id)
+
+    def test_same_source_inputs_coalesce(self, topo):
+        task = make_task(cpu=1, cpu_work=1, netin=40,
+                         inputs=[TaskInput(50, (3,)), TaskInput(50, (3,))])
+        kinds = flows_by_kind(build_flows(task, 0, topo))
+        assert len(kinds["remote"]) == 1
+        assert kinds["remote"][0].work == 100

@@ -1,0 +1,164 @@
+"""Stage, StageDag, and Job structural tests."""
+
+import pytest
+
+from repro.resources import DEFAULT_MODEL
+from repro.workload.dag import StageDag
+from repro.workload.job import Job, JobState
+from repro.workload.stage import Stage
+from repro.workload.task import TaskState
+
+from conftest import make_simple_job, make_task, make_two_stage_job
+
+
+def finish(task, machine=0, t0=0.0, t1=1.0):
+    task.mark_running(machine, t0)
+    task.mark_finished(t1)
+
+
+class TestStage:
+    def test_root_stage_tasks_runnable(self):
+        stage = Stage("s", [make_task(), make_task()])
+        assert all(t.state is TaskState.RUNNABLE for t in stage.tasks)
+
+    def test_child_stage_tasks_blocked(self):
+        parent = Stage("p", [make_task()])
+        child = Stage("c", [make_task()], parents=[parent])
+        assert all(t.state is TaskState.BLOCKED for t in child.tasks)
+        assert child in parent.children
+
+    def test_finished_fraction(self):
+        stage = Stage("s", [make_task() for _ in range(4)])
+        assert stage.finished_fraction == 0.0
+        finish(stage.tasks[0])
+        assert stage.finished_fraction == 0.25
+        assert stage.num_finished == 1
+
+    def test_release_if_ready(self):
+        parent = Stage("p", [make_task()])
+        child = Stage("c", [make_task()], parents=[parent])
+        assert not child.release_if_ready()
+        finish(parent.tasks[0])
+        assert child.release_if_ready()
+        assert child.tasks[0].state is TaskState.RUNNABLE
+
+    def test_first_unfinished_tasks(self):
+        stage = Stage("s", [make_task() for _ in range(3)])
+        finish(stage.tasks[0])
+        remaining = stage.first_unfinished_tasks(5)
+        assert len(remaining) == 2
+
+    def test_empty_stage_is_finished(self):
+        assert Stage("s", []).is_finished()
+        assert Stage("s", []).finished_fraction == 1.0
+
+
+class TestStageDag:
+    def test_toposort_chain(self):
+        a = Stage("a", [make_task()])
+        b = Stage("b", [make_task()], parents=[a])
+        c = Stage("c", [make_task()], parents=[b])
+        dag = StageDag([c, a, b])
+        assert [s.name for s in dag.topological_order()] == ["a", "b", "c"]
+
+    def test_roots_and_leaves(self):
+        a = Stage("a", [make_task()])
+        b = Stage("b", [make_task()], parents=[a])
+        dag = StageDag([a, b])
+        assert dag.roots() == [a]
+        assert dag.leaves() == [b]
+
+    def test_depth(self):
+        a = Stage("a", [make_task()])
+        b = Stage("b", [make_task()], parents=[a])
+        c = Stage("c", [make_task()], parents=[a])
+        d = Stage("d", [make_task()], parents=[b, c])
+        assert StageDag([a, b, c, d]).depth() == 3
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            StageDag([Stage("x", []), Stage("x", [])])
+
+    def test_cycle_rejected(self):
+        a = Stage("a", [make_task()])
+        b = Stage("b", [make_task()], parents=[a])
+        a.parents.append(b)  # force a cycle
+        b.children.append(a)
+        with pytest.raises(ValueError):
+            StageDag([a, b])
+
+    def test_external_parent_rejected(self):
+        outside = Stage("out", [make_task()])
+        inside = Stage("in", [make_task()], parents=[outside])
+        with pytest.raises(ValueError):
+            StageDag([inside])
+
+
+class TestJob:
+    def test_arrival(self):
+        job = make_simple_job()
+        assert job.state is JobState.WAITING
+        job.arrive()
+        assert job.state is JobState.ACTIVE
+
+    def test_barrier_release_on_task_finish(self):
+        job = make_two_stage_job(num_map=2, num_reduce=1)
+        job.arrive()
+        maps = job.dag.roots()[0].tasks
+        finish(maps[0])
+        assert job.note_task_finished() == []
+        finish(maps[1])
+        released = job.note_task_finished()
+        assert len(released) == 1
+        assert released[0].name == "reduce"
+
+    def test_job_finishes_when_all_stages_done(self):
+        job = make_simple_job(num_tasks=2)
+        job.arrive()
+        for task in job.all_tasks():
+            finish(task)
+        job.note_task_finished()
+        assert job.is_finished
+        job.mark_finished(42.0)
+        assert job.finish_time == 42.0
+
+    def test_completion_time(self):
+        job = make_simple_job(arrival_time=10.0)
+        assert job.completion_time is None
+        job.mark_finished(30.0)
+        assert job.completion_time == pytest.approx(20.0)
+
+    def test_num_tasks(self):
+        assert make_two_stage_job(num_map=4, num_reduce=2).num_tasks == 6
+
+    def test_runnable_tasks_respect_barrier(self):
+        job = make_two_stage_job(num_map=2, num_reduce=3)
+        assert len(job.runnable_tasks()) == 2
+
+    def test_remaining_work_score_decreases(self):
+        job = make_simple_job(num_tasks=3, cpu=2, cpu_work=20)
+        cap = DEFAULT_MODEL.vector(cpu=16, mem=48, diskr=200, diskw=200,
+                                   netin=125, netout=125)
+        before = job.remaining_work_score(cap)
+        finish(job.all_tasks()[0])
+        after = job.remaining_work_score(cap)
+        assert 0 < after < before
+
+    def test_barrier_tasks_requires_threshold(self):
+        job = make_simple_job(num_tasks=4)
+        assert job.barrier_tasks(0.5) == []
+        for task in job.all_tasks()[:2]:
+            finish(task)
+        eligible = job.barrier_tasks(0.5)
+        assert len(eligible) == 2
+
+    def test_barrier_tasks_validates_knob(self):
+        with pytest.raises(ValueError):
+            make_simple_job().barrier_tasks(1.0)
+
+    def test_barrier_tasks_skips_unreleased_stages(self):
+        job = make_two_stage_job(num_map=2, num_reduce=2)
+        # reduce stage not released: never eligible, map stage at 50%
+        finish(job.dag.roots()[0].tasks[0])
+        eligible = job.barrier_tasks(0.5)
+        assert all(t.stage.name == "map" for t in eligible)

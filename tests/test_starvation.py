@@ -1,0 +1,93 @@
+"""Starvation prevention via machine reservations (Section 3.5 future
+work, implemented as an opt-in Tetris extension)."""
+
+import pytest
+
+from repro.analysis.model import audit_engine
+from repro.cluster.cluster import Cluster
+from repro.resources import DEFAULT_MODEL
+from repro.schedulers.tetris import TetrisConfig, TetrisScheduler
+from repro.sim.engine import Engine
+from repro.workload.job import Job
+from repro.workload.stage import Stage
+from repro.workload.task import Task, TaskWork
+
+from conftest import make_simple_job
+
+
+def starving_scenario():
+    """A stream of small jobs that, without reservations, could keep a
+    giant task waiting: small tasks always fit the leftover resources,
+    the 15-core task never does."""
+    small_jobs = [
+        make_simple_job(num_tasks=8, cpu=4, mem=4, cpu_work=40.0,
+                        arrival_time=5.0 * i, name=f"small-{i}")
+        for i in range(12)
+    ]
+    giant_task = Task(
+        DEFAULT_MODEL.vector(cpu=15, mem=8), TaskWork(cpu_core_seconds=15.0)
+    )
+    giant = Job([Stage("giant", [giant_task])], arrival_time=0.0,
+                name="giant")
+    return small_jobs, giant, giant_task
+
+
+class TestConfig:
+    def test_disabled_by_default(self):
+        assert TetrisConfig().starvation_timeout is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TetrisConfig(starvation_timeout=0.0)
+        with pytest.raises(ValueError):
+            TetrisConfig(starvation_timeout=-5.0)
+
+
+class TestReservations:
+    def _run(self, timeout):
+        small_jobs, giant, giant_task = starving_scenario()
+        cluster = Cluster(2, machines_per_rack=2, seed=0)
+        scheduler = TetrisScheduler(
+            TetrisConfig(fairness_knob=0.0, starvation_timeout=timeout)
+        )
+        engine = Engine(cluster, scheduler, small_jobs + [giant])
+        engine.run()
+        return engine, giant_task
+
+    def test_reservation_bounds_waiting_time(self):
+        engine, giant_task = self._run(timeout=10.0)
+        # the reservation drains one machine: the giant task starts well
+        # before the whole small-job stream is finished
+        assert giant_task.start_time is not None
+        without_engine, without_task = self._run_without()
+        assert giant_task.start_time <= without_task.start_time
+
+    def _run_without(self):
+        small_jobs, giant, giant_task = starving_scenario()
+        cluster = Cluster(2, machines_per_rack=2, seed=0)
+        scheduler = TetrisScheduler(TetrisConfig(fairness_knob=0.0))
+        engine = Engine(cluster, scheduler, small_jobs + [giant])
+        engine.run()
+        return engine, giant_task
+
+    def test_run_remains_feasible(self):
+        engine, _ = self._run(timeout=10.0)
+        report = audit_engine(engine)
+        assert report.ok, report.violations[:3]
+
+    def test_everything_still_finishes(self):
+        engine, _ = self._run(timeout=10.0)
+        assert all(j.is_finished for j in engine.jobs)
+
+    def test_reservations_cleared_at_end(self):
+        engine, _ = self._run(timeout=10.0)
+        assert engine.scheduler._reservations == {}
+
+    def test_no_reservations_without_starved_stages(self):
+        jobs = [make_simple_job(num_tasks=4, cpu=1, mem=1, cpu_work=5.0)]
+        cluster = Cluster(2, machines_per_rack=2)
+        scheduler = TetrisScheduler(
+            TetrisConfig(fairness_knob=0.0, starvation_timeout=60.0)
+        )
+        Engine(cluster, scheduler, jobs).run()
+        assert scheduler._reservations == {}

@@ -1,0 +1,165 @@
+"""Deep unit tests of Tetris's internal machinery."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.resources import DEFAULT_MODEL
+from repro.schedulers.tetris import TetrisConfig, TetrisScheduler, _Candidate
+from repro.workload.task import TaskInput
+
+from conftest import make_simple_job, make_task
+
+
+def bound(config=None, machines=2):
+    scheduler = TetrisScheduler(config or TetrisConfig(fairness_knob=0.0))
+    scheduler.bind(Cluster(machines, machines_per_rack=2))
+    return scheduler
+
+
+def arrive(scheduler, *jobs):
+    for job in jobs:
+        job.arrive()
+        scheduler.on_job_arrival(job, 0.0)
+
+
+class TestCombinedScore:
+    def test_pick_best_matches_hand_computation(self):
+        scheduler = bound()
+        c1 = _Candidate(task=None, booked=None, alignment=0.6,
+                        remaining_work=10.0)
+        c2 = _Candidate(task=None, booked=None, alignment=0.4,
+                        remaining_work=1.0)
+        # a_bar = 0.5, p_bar = 5.5, eps = 0.0909..
+        # score1 = 0.6 - eps*10 = -0.309; score2 = 0.4 - eps*1 = 0.309
+        best = scheduler._pick_best([c1, c2])
+        assert best is c2
+
+    def test_alignment_wins_when_work_equal(self):
+        scheduler = bound()
+        c1 = _Candidate(None, None, alignment=0.6, remaining_work=5.0)
+        c2 = _Candidate(None, None, alignment=0.4, remaining_work=5.0)
+        assert scheduler._pick_best([c1, c2]) is c1
+
+    def test_zero_work_jobs_fall_back_to_alignment(self):
+        scheduler = bound()
+        c1 = _Candidate(None, None, alignment=0.2, remaining_work=0.0)
+        c2 = _Candidate(None, None, alignment=0.9, remaining_work=0.0)
+        assert scheduler._pick_best([c1, c2]) is c2
+
+    def test_srtf_multiplier_scales_the_term(self):
+        config = TetrisConfig(fairness_knob=0.0, srtf_multiplier=100.0)
+        scheduler = bound(config)
+        c_big_aligned = _Candidate(None, None, 0.9, remaining_work=10.0)
+        c_small_job = _Candidate(None, None, 0.1, remaining_work=1.0)
+        assert scheduler._pick_best(
+            [c_big_aligned, c_small_job]
+        ) is c_small_job
+
+
+class TestRemoteGrants:
+    def _scheduler_with_remote_job(self):
+        scheduler = bound(machines=3)
+        job = make_simple_job(num_tasks=1, cpu=1, mem=1)
+        task = job.all_tasks()[0]
+        task.demands.set("netin", 60.0)
+        task.inputs.append(TaskInput(100, (2,)))
+        arrive(scheduler, job)
+        return scheduler, task
+
+    def test_grant_recorded_on_placement(self):
+        scheduler, task = self._scheduler_with_remote_job()
+        placements = scheduler.schedule(0.0, machine_ids=[0])
+        assert len(placements) == 1
+        assert scheduler._remote_granted.get(2, 0.0) == pytest.approx(60.0)
+
+    def test_grant_released_on_finish(self):
+        scheduler, task = self._scheduler_with_remote_job()
+        scheduler.schedule(0.0, machine_ids=[0])
+        task.mark_running(0, 0.0)
+        task.mark_finished(5.0)
+        task.job.note_task_finished()
+        scheduler.on_task_finished(task, 5.0)
+        assert scheduler._remote_granted.get(2, 0.0) == pytest.approx(0.0)
+
+    def test_grant_released_on_failure(self):
+        scheduler, task = self._scheduler_with_remote_job()
+        scheduler.schedule(0.0, machine_ids=[0])
+        task.mark_running(0, 0.0)
+        scheduler.on_task_failed(task, 5.0)
+        task.mark_failed(5.0)
+        assert scheduler._remote_granted.get(2, 0.0) == pytest.approx(0.0)
+        # and the task is a candidate again
+        assert scheduler.index.any_candidate(task.stage) is task
+
+    def test_grants_block_further_readers(self):
+        scheduler = bound(machines=3)
+        jobs = []
+        for _ in range(4):
+            job = make_simple_job(num_tasks=1, cpu=1, mem=1)
+            task = job.all_tasks()[0]
+            task.demands.set("netin", 60.0)
+            task.inputs.append(TaskInput(100, (2,)))
+            jobs.append(job)
+        arrive(scheduler, *jobs)
+        placements = scheduler.schedule(0.0, machine_ids=[0, 1])
+        # source machine 2 has 125 MB/s netout: only 2 x 60 fit
+        assert len(placements) == 2
+
+
+class TestBarrierStages:
+    def test_only_past_threshold_stages(self):
+        scheduler = bound(TetrisConfig(fairness_knob=0.0,
+                                       barrier_knob=0.5))
+        job = make_simple_job(num_tasks=4)
+        arrive(scheduler, job)
+        stage = job.dag.roots()[0]
+        assert scheduler._barrier_stages([job]) == set()
+        for task in stage.tasks[:2]:
+            task.mark_running(0, 0.0)
+            task.mark_finished(1.0)
+        assert scheduler._barrier_stages([job]) == {id(stage)}
+
+    def test_finished_stage_excluded(self):
+        scheduler = bound(TetrisConfig(fairness_knob=0.0,
+                                       barrier_knob=0.5))
+        job = make_simple_job(num_tasks=1)
+        arrive(scheduler, job)
+        task = job.all_tasks()[0]
+        task.mark_running(0, 0.0)
+        task.mark_finished(1.0)
+        assert scheduler._barrier_stages([job]) == set()
+
+
+class TestMaskedDims:
+    def test_masked_vector(self):
+        scheduler = bound(TetrisConfig(considered_dims=("cpu", "mem")))
+        v = DEFAULT_MODEL.vector(cpu=2, mem=4, diskr=100)
+        masked = scheduler._masked(v)
+        assert masked.get("cpu") == 2
+        assert masked.get("diskr") == 0
+
+    def test_fit_check_ignores_masked_dims(self):
+        scheduler = bound(TetrisConfig(considered_dims=("cpu",)))
+        booked = DEFAULT_MODEL.vector(cpu=2, diskw=10_000)
+        free = DEFAULT_MODEL.vector(cpu=4)
+        assert scheduler._fits(booked, free)
+
+
+class TestBookedClamp:
+    def test_fluid_estimates_clamped_to_capacity(self):
+        scheduler = bound()
+        job = make_simple_job(num_tasks=1, cpu=1, mem=1)
+        task = job.all_tasks()[0]
+        task.demands.set("diskw", 10_000.0)
+        task.work.write_mb = 100.0
+        arrive(scheduler, job)
+        booked = scheduler.booked_demands(task, 0)
+        assert booked.get("diskw") == pytest.approx(200.0)
+
+    def test_rigid_estimates_not_clamped(self):
+        scheduler = bound()
+        job = make_simple_job(num_tasks=1, cpu=1, mem=500)
+        task = job.all_tasks()[0]
+        arrive(scheduler, job)
+        booked = scheduler.booked_demands(task, 0)
+        assert booked.get("mem") == 500.0  # genuinely unschedulable

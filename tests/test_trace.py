@@ -1,0 +1,112 @@
+"""Trace schema, JSON round-trip, and materialization tests."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.workload.trace import (
+    TraceJob,
+    TraceStage,
+    load_trace,
+    materialize_trace,
+    save_trace,
+)
+
+
+def two_stage_trace_job(name="j0", arrival=5.0):
+    return TraceJob(
+        name=name,
+        arrival_time=arrival,
+        template="tpl",
+        stages=[
+            TraceStage(
+                name="map", num_tasks=3, cpu=1, mem=2, diskr=40, diskw=10,
+                netin=40, cpu_work=15, input_mb_per_task=256,
+                write_mb_per_task=64,
+            ),
+            TraceStage(
+                name="reduce", num_tasks=2, cpu=1, mem=1, diskr=30,
+                diskw=30, netin=30, cpu_work=5, input_mb_per_task=96,
+                write_mb_per_task=96, parents=["map"], input_kind="shuffle",
+                shuffle_fanin=2,
+            ),
+        ],
+    )
+
+
+class TestTraceSchema:
+    def test_negative_tasks_rejected(self):
+        with pytest.raises(ValueError):
+            TraceStage(name="s", num_tasks=-1)
+
+    def test_bad_input_kind_rejected(self):
+        with pytest.raises(ValueError):
+            TraceStage(name="s", num_tasks=1, input_kind="wormhole")
+
+
+class TestRoundTrip:
+    def test_json_round_trip(self, tmp_path):
+        trace = [two_stage_trace_job("a"), two_stage_trace_job("b", 9.0)]
+        path = tmp_path / "trace.json"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert len(loaded) == 2
+        assert loaded[0].name == "a"
+        assert loaded[1].arrival_time == 9.0
+        assert loaded[0].stages[1].parents == ["map"]
+        assert loaded[0].stages[0].diskr == 40
+
+
+class TestMaterialize:
+    def test_structure(self):
+        cluster = Cluster(8, machines_per_rack=4)
+        jobs = materialize_trace([two_stage_trace_job()], cluster)
+        assert len(jobs) == 1
+        job = jobs[0]
+        assert job.num_tasks == 5
+        assert job.arrival_time == 5.0
+        assert job.template == "tpl"
+        names = [s.name for s in job.dag]
+        assert names == ["map", "reduce"]
+
+    def test_map_inputs_have_replicas(self):
+        cluster = Cluster(8, machines_per_rack=4)
+        job = materialize_trace([two_stage_trace_job()], cluster)[0]
+        map_stage = job.dag.roots()[0]
+        for task in map_stage.tasks:
+            assert len(task.inputs) == 1
+            assert len(task.inputs[0].locations) == 3
+
+    def test_shuffle_inputs_unpinned(self):
+        cluster = Cluster(8, machines_per_rack=4)
+        job = materialize_trace([two_stage_trace_job()], cluster)[0]
+        reduce_stage = job.dag.leaves()[0]
+        for task in reduce_stage.tasks:
+            assert len(task.inputs) == 2  # shuffle_fanin
+            assert all(inp.locations == () for inp in task.inputs)
+
+    def test_demands_clamped_to_machine_capacity(self):
+        cluster = Cluster(4)
+        stage = TraceStage(name="s", num_tasks=1, cpu=100, mem=500,
+                           diskr=10_000, cpu_work=10)
+        job = materialize_trace(
+            [TraceJob("j", 0.0, [stage])], cluster
+        )[0]
+        task = job.all_tasks()[0]
+        cap = cluster.machine_capacity()
+        assert task.demands.fits_in(cap)
+
+    def test_determinism(self):
+        trace = [two_stage_trace_job()]
+        j1 = materialize_trace(trace, Cluster(8, seed=3), seed=11)[0]
+        j2 = materialize_trace(trace, Cluster(8, seed=3), seed=11)[0]
+        d1 = [t.demands.as_dict() for t in j1.all_tasks()]
+        d2 = [t.demands.as_dict() for t in j2.all_tasks()]
+        assert d1 == d2
+
+    def test_jitter_varies_demands(self):
+        stage = TraceStage(name="s", num_tasks=20, cpu=2, mem=2,
+                           cpu_work=10, demand_jitter=0.3)
+        cluster = Cluster(4)
+        job = materialize_trace([TraceJob("j", 0.0, [stage])], cluster)[0]
+        cpus = {round(t.demands.get("cpu"), 6) for t in job.all_tasks()}
+        assert len(cpus) > 1

@@ -1,0 +1,131 @@
+"""Workload generator tests: structure and the paper's statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.correlation import demand_correlation_matrix
+from repro.analysis.heatmap import demand_cov
+from repro.cluster.cluster import Cluster
+from repro.workload.trace import materialize_trace
+from repro.workload.tracegen import (
+    JOB_CLASSES,
+    FacebookTraceConfig,
+    WorkloadSuiteConfig,
+    generate_facebook_trace,
+    generate_workload_suite,
+)
+
+
+class TestWorkloadSuite:
+    def test_job_count_and_sorted_arrivals(self):
+        trace = generate_workload_suite(WorkloadSuiteConfig(num_jobs=30))
+        assert len(trace) == 30
+        arrivals = [j.arrival_time for j in trace]
+        assert arrivals == sorted(arrivals)
+
+    def test_all_jobs_are_map_reduce(self):
+        trace = generate_workload_suite(WorkloadSuiteConfig(num_jobs=10))
+        for job in trace:
+            assert [s.name for s in job.stages] == ["map", "reduce"]
+            assert job.stages[1].parents == ["map"]
+            assert job.stages[1].input_kind == "shuffle"
+
+    def test_task_scale(self):
+        big = generate_workload_suite(
+            WorkloadSuiteConfig(num_jobs=20, task_scale=1.0, seed=5)
+        )
+        small = generate_workload_suite(
+            WorkloadSuiteConfig(num_jobs=20, task_scale=0.1, seed=5)
+        )
+        big_tasks = sum(s.num_tasks for j in big for s in j.stages)
+        small_tasks = sum(s.num_tasks for j in small for s in j.stages)
+        assert big_tasks > 5 * small_tasks
+
+    def test_uses_all_job_classes(self):
+        trace = generate_workload_suite(
+            WorkloadSuiteConfig(num_jobs=100, seed=1)
+        )
+        seen = {j.name.rsplit("-", 1)[0] for j in trace}
+        expected = {name for name, _, _ in JOB_CLASSES}
+        assert seen == expected
+
+    def test_deterministic_given_seed(self):
+        a = generate_workload_suite(WorkloadSuiteConfig(num_jobs=10, seed=2))
+        b = generate_workload_suite(WorkloadSuiteConfig(num_jobs=10, seed=2))
+        assert [j.name for j in a] == [j.name for j in b]
+        assert [j.arrival_time for j in a] == [j.arrival_time for j in b]
+
+    def test_selectivity_shapes_output(self):
+        trace = generate_workload_suite(
+            WorkloadSuiteConfig(num_jobs=60, seed=3)
+        )
+        for job in trace:
+            map_stage = job.stages[0]
+            if job.name.startswith("large-highly-selective"):
+                assert map_stage.write_mb_per_task == pytest.approx(
+                    map_stage.input_mb_per_task * 0.1
+                )
+            if job.name.startswith("medium-inflating"):
+                assert map_stage.write_mb_per_task == pytest.approx(
+                    map_stage.input_mb_per_task * 2.0
+                )
+
+
+class TestFacebookTrace:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return generate_facebook_trace(
+            FacebookTraceConfig(num_jobs=200, seed=0)
+        )
+
+    @pytest.fixture(scope="class")
+    def tasks(self, trace):
+        cluster = Cluster(50)
+        jobs = materialize_trace(trace, cluster, seed=0)
+        return [t for j in jobs for t in j.all_tasks()]
+
+    def test_job_count(self, trace):
+        assert len(trace) == 200
+
+    def test_heavy_tailed_sizes(self, trace):
+        sizes = [j.stages[0].num_tasks for j in trace]
+        assert min(sizes) < 10
+        assert max(sizes) > 100
+
+    def test_templates_recur(self, trace):
+        templates = [j.template for j in trace]
+        assert len(set(templates)) <= 20
+        assert len(set(templates)) > 3
+
+    def test_demand_diversity_matches_paper(self, tasks):
+        """Section 2.2.2: CoVs of ~1.52/0.77/1.74/1.35; we require the
+        generated population to be strongly diverse in the same ordering
+        band (clamping compresses the extremes a little)."""
+        cov = demand_cov(tasks)
+        assert cov["cores"] > 0.7
+        assert cov["memory"] > 0.4
+        assert cov["disk"] > 0.7
+        assert cov["network"] > 0.6
+
+    def test_cross_resource_correlation_low(self, tasks):
+        """Table 2: no strong correlation between any resource pair."""
+        corr = demand_correlation_matrix(tasks)
+        for pair, value in corr.items():
+            assert abs(value) < 0.55, (pair, value)
+
+    def test_dag_shapes_present(self, trace):
+        depths = {len(j.stages) for j in trace}
+        assert 1 in depths and 2 in depths and 3 in depths
+
+    def test_runs_end_to_end(self):
+        from repro.experiments.harness import ExperimentConfig, run_trace
+        from repro.schedulers.tetris import TetrisScheduler
+
+        trace = generate_facebook_trace(
+            FacebookTraceConfig(num_jobs=8, arrival_horizon=200,
+                                max_map_tasks=30, seed=4)
+        )
+        result = run_trace(
+            trace, TetrisScheduler(), ExperimentConfig(num_machines=10)
+        )
+        assert len(result.collector.jobs) == 8

@@ -1,0 +1,129 @@
+"""Resource tracker tests (Sections 4.1 and 4.3)."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.estimation.tracker import ResourceTracker, TrackerConfig
+from repro.resources import DEFAULT_MODEL
+from repro.sim.fluid import FlowSpec, FlowTable
+
+from conftest import make_task
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(2, machines_per_rack=2)
+
+
+@pytest.fixture
+def flows(cluster):
+    return FlowTable(
+        cluster.model, [m.capacity.data for m in cluster.machines]
+    )
+
+
+class TestReports:
+    def test_observed_usage_reflects_flows(self, cluster, flows):
+        flows.add_flow(
+            FlowSpec(work=1000, nominal_rate=80, slots=((0, "diskw"),))
+        )
+        tracker = ResourceTracker(cluster)
+        tracker.report(10.0, flows)
+        assert cluster.machine(0).observed_usage.get("diskw") == pytest.approx(80)
+        assert cluster.machine(1).observed_usage.get("diskw") == 0.0
+
+    def test_rigid_usage_from_allocation(self, cluster, flows):
+        cluster.machine(0).place(make_task(mem=10))
+        tracker = ResourceTracker(cluster)
+        tracker.report(0.0, flows)
+        assert cluster.machine(0).observed_usage.get("mem") == 10
+
+
+class TestRampAllowance:
+    def test_allowance_decays_linearly(self, cluster):
+        tracker = ResourceTracker(
+            cluster, TrackerConfig(ramp_seconds=10.0)
+        )
+        task = make_task(cpu=4)
+        booked = DEFAULT_MODEL.vector(cpu=4)
+        tracker.note_placement(task, 0, booked, time=0.0)
+        machine = cluster.machine(0)
+        assert tracker.ramp_allowance(machine, 0.0).get("cpu") == pytest.approx(4)
+        assert tracker.ramp_allowance(machine, 5.0).get("cpu") == pytest.approx(2)
+        assert tracker.ramp_allowance(machine, 10.0).get("cpu") == 0.0
+
+    def test_completion_clears_allowance(self, cluster):
+        tracker = ResourceTracker(cluster)
+        task = make_task(cpu=4)
+        tracker.note_placement(task, 0, DEFAULT_MODEL.vector(cpu=4), 0.0)
+        tracker.note_completion(task)
+        assert tracker.ramp_allowance(cluster.machine(0), 0.0).is_zero()
+
+    def test_allowance_scoped_to_machine(self, cluster):
+        tracker = ResourceTracker(cluster)
+        tracker.note_placement(make_task(), 1, DEFAULT_MODEL.vector(cpu=4), 0.0)
+        assert tracker.ramp_allowance(cluster.machine(0), 0.0).is_zero()
+
+
+class TestAvailability:
+    def test_overestimate_reclaimed(self, cluster, flows):
+        """Booked 8 cores but the task only burns 2: after the ramp
+        window the tracker reclaims the idle 6 (Section 4.1 — unused
+        resources are reported and re-allocated to new tasks)."""
+        machine = cluster.machine(0)
+        task = make_task(cpu=8)
+        machine.place(task, DEFAULT_MODEL.vector(cpu=8))
+        flows.add_flow(
+            FlowSpec(work=1000, nominal_rate=2, slots=((0, "cpu"),))
+        )
+        tracker = ResourceTracker(cluster, TrackerConfig(ramp_seconds=0.0))
+        tracker.report(100.0, flows)
+        avail = tracker.available(machine, time=100.0)
+        assert avail.get("cpu") == pytest.approx(16 - 2)
+
+    def test_booked_memory_never_reclaimed(self, cluster, flows):
+        """Peak memory stays reserved for the task's lifetime — giving a
+        task less than its peak risks thrashing (Section 3.1)."""
+        machine = cluster.machine(0)
+        task = make_task(mem=10)
+        machine.place(task, DEFAULT_MODEL.vector(mem=10))
+        tracker = ResourceTracker(cluster, TrackerConfig(ramp_seconds=0.0))
+        tracker.report(100.0, flows)
+        # observed memory is the allocation itself; available excludes it
+        avail = tracker.available(machine, time=100.0)
+        assert avail.get("mem") == pytest.approx(48 - 10)
+
+    def test_unbooked_activity_shrinks_availability(self, cluster, flows):
+        """Ingestion consumes disk the scheduler never booked; the
+        tracker makes the scheduler see it (Figure 6 mechanism)."""
+        flows.add_flow(
+            FlowSpec(work=100000, nominal_rate=150, slots=((0, "diskw"),))
+        )
+        tracker = ResourceTracker(cluster, TrackerConfig(ramp_seconds=0.0))
+        tracker.report(5.0, flows)
+        avail = tracker.available(cluster.machine(0), time=5.0)
+        assert avail.get("diskw") == pytest.approx(200 - 150)
+
+    def test_availability_never_negative(self, cluster, flows):
+        flows.add_flow(
+            FlowSpec(work=1e6, nominal_rate=500, slots=((0, "diskw"),))
+        )
+        flows.add_flow(
+            FlowSpec(work=1e6, nominal_rate=500, slots=((0, "diskw"),))
+        )
+        tracker = ResourceTracker(cluster, TrackerConfig(ramp_seconds=0.0))
+        tracker.report(1.0, flows)
+        avail = tracker.available(cluster.machine(0), time=1.0)
+        assert avail.is_nonnegative()
+
+    def test_ramp_blocks_premature_reclaim(self, cluster, flows):
+        machine = cluster.machine(0)
+        task = make_task(diskw=100)
+        machine.place(task, DEFAULT_MODEL.vector(diskw=100))
+        tracker = ResourceTracker(cluster, TrackerConfig(ramp_seconds=10.0))
+        tracker.note_placement(task, 0, DEFAULT_MODEL.vector(diskw=100), 0.0)
+        tracker.report(1.0, flows)  # task has no flows yet: observed 0
+        avail = tracker.available(machine, time=1.0)
+        # the decayed allowance (90% of the booking at age 1s of 10s)
+        # still protects the fresh task's booking from being reclaimed
+        assert avail.get("diskw") == pytest.approx(200 - 90)

@@ -1,0 +1,96 @@
+"""Aggregated-bin upper bound tests (Section 2.3)."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.resources import DEFAULT_MODEL
+from repro.schedulers.upper_bound import aggregate_upper_bound
+from repro.schedulers.tetris import TetrisScheduler
+from repro.sim.engine import Engine
+
+from conftest import make_simple_job, make_two_stage_job
+
+
+def fb_caps(num_machines):
+    cluster = Cluster(num_machines)
+    return cluster.total_capacity(), cluster.machine_capacity()
+
+
+class TestUpperBound:
+    def test_single_job_duration(self):
+        total, per_machine = fb_caps(2)
+        job = make_simple_job(num_tasks=4, cpu=2, cpu_work=20)
+        result = aggregate_upper_bound([job], total, per_machine)
+        # 4 tasks of 10s each all fit at once in the aggregate bin
+        assert result.makespan == pytest.approx(10.0)
+        assert result.mean_jct == pytest.approx(10.0)
+
+    def test_capacity_serializes_tasks(self):
+        total, per_machine = fb_caps(1)  # 16 cores total
+        job = make_simple_job(num_tasks=4, cpu=8, cpu_work=80)
+        result = aggregate_upper_bound([job], total, per_machine)
+        # 2 tasks at a time, 10s each -> 20s
+        assert result.makespan == pytest.approx(20.0)
+
+    def test_barrier_respected(self):
+        total, per_machine = fb_caps(4)
+        job = make_two_stage_job(num_map=2, num_reduce=2)
+        result = aggregate_upper_bound([job], total, per_machine)
+        map_t = job.dag.roots()[0].tasks[0].nominal_duration()
+        reduce_t = job.dag.leaves()[0].tasks[0].nominal_duration()
+        assert result.makespan == pytest.approx(map_t + reduce_t)
+
+    def test_arrivals_respected(self):
+        total, per_machine = fb_caps(4)
+        job = make_simple_job(num_tasks=1, cpu=1, cpu_work=10,
+                              arrival_time=100.0)
+        result = aggregate_upper_bound([job], total, per_machine)
+        assert result.completion_times[job.job_id] == pytest.approx(10.0)
+        assert result.makespan == pytest.approx(10.0)  # from first arrival
+
+    def test_arrivals_can_be_ignored(self):
+        total, per_machine = fb_caps(4)
+        jobs = [make_simple_job(num_tasks=1, cpu=1, cpu_work=10,
+                                arrival_time=100.0 * i)
+                for i in range(3)]
+        result = aggregate_upper_bound(
+            jobs, total, per_machine, consider_arrivals=False
+        )
+        assert result.makespan == pytest.approx(10.0)
+
+    def test_srtf_ordering_prefers_small_jobs(self):
+        total, per_machine = fb_caps(1)
+        small = make_simple_job(num_tasks=2, cpu=8, cpu_work=80,
+                                name="small")
+        big = make_simple_job(num_tasks=8, cpu=8, cpu_work=80, name="big")
+        result = aggregate_upper_bound([big, small], total, per_machine)
+        assert (
+            result.completion_times[small.job_id]
+            < result.completion_times[big.job_id]
+        )
+
+    def test_input_jobs_not_mutated(self):
+        total, per_machine = fb_caps(2)
+        job = make_simple_job(num_tasks=2)
+        aggregate_upper_bound([job], total, per_machine)
+        assert not job.is_finished
+        assert all(t.state.value == "runnable" for t in job.all_tasks())
+
+    def test_roughly_bounds_the_simulator(self):
+        """The relaxation solves a much easier problem (one aggregate
+        bin, no placement, no contention) so it should be at least about
+        as fast as the real engine under Tetris.  It is solved greedily,
+        so — exactly as the paper concedes ("not a true upper bound") —
+        it can occasionally trail the engine by a sliver; we allow 10%.
+        """
+        jobs = [make_two_stage_job(num_map=6, num_reduce=2,
+                                   arrival_time=2.0 * i, name=f"j{i}")
+                for i in range(4)]
+        cluster = Cluster(2, machines_per_rack=2)
+        ub = aggregate_upper_bound(
+            jobs, cluster.total_capacity(), cluster.machine_capacity()
+        )
+        engine = Engine(cluster, TetrisScheduler(), jobs)
+        collector = engine.run()
+        assert ub.makespan <= collector.makespan() * 1.1
+        assert ub.mean_jct <= collector.mean_jct() * 1.1

@@ -1,0 +1,112 @@
+"""SVG chart tests."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.viz.charts import BarChart, LineChart, _nice_ticks
+
+
+def parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+class TestNiceTicks:
+    def test_covers_range(self):
+        ticks = _nice_ticks(0.0, 100.0)
+        assert ticks[0] <= 0.0 + 1e-9
+        assert ticks[-1] >= 100.0 - 1e-9
+
+    def test_reasonable_count(self):
+        assert 3 <= len(_nice_ticks(0, 1)) <= 8
+        assert 3 <= len(_nice_ticks(-50, 1234)) <= 8
+
+    def test_degenerate_range(self):
+        assert _nice_ticks(5.0, 5.0)
+
+    def test_small_values(self):
+        ticks = _nice_ticks(0.0, 0.003)
+        assert ticks[-1] >= 0.003 - 1e-12
+
+
+class TestLineChart:
+    def make(self):
+        chart = LineChart(title="t", x_label="x", y_label="y")
+        chart.add_series("a", [(0, 0), (1, 10), (2, 5)])
+        chart.add_series("b", [(0, 3), (2, 8)])
+        return chart
+
+    def test_renders_valid_xml(self):
+        root = parse(self.make().render())
+        assert root.tag.endswith("svg")
+
+    def test_one_polyline_per_series(self):
+        svg = self.make().render()
+        assert svg.count("<polyline") == 2
+
+    def test_legend_and_labels_present(self):
+        svg = self.make().render()
+        for text in ("a", "b", "t", "x", "y"):
+            assert text in svg
+
+    def test_requires_two_points(self):
+        chart = LineChart()
+        with pytest.raises(ValueError):
+            chart.add_series("tiny", [(0, 0)])
+
+    def test_requires_series(self):
+        with pytest.raises(ValueError):
+            LineChart().render()
+
+    def test_save(self, tmp_path):
+        path = tmp_path / "chart.svg"
+        self.make().save(path)
+        assert parse(path.read_text()) is not None
+
+    def test_distinct_series_colors(self):
+        chart = self.make()
+        colors = {s.color for s in chart.series}
+        assert len(colors) == 2
+
+    def test_escapes_markup(self):
+        chart = LineChart(title="a < b & c")
+        chart.add_series("s", [(0, 0), (1, 1)])
+        root = parse(chart.render())
+        assert root is not None
+
+
+class TestBarChart:
+    def make(self):
+        chart = BarChart(["A", "B", "C"], title="bars")
+        chart.add_group("g1", [1.0, 2.0, 3.0])
+        chart.add_group("g2", [3.0, 2.0, 1.0])
+        return chart
+
+    def test_renders_valid_xml(self):
+        assert parse(self.make().render()) is not None
+
+    def test_bar_count(self):
+        svg = self.make().render()
+        # 6 bars + background + frame + 2 legend swatches
+        assert svg.count("<rect") == 6 + 2 + 2
+
+    def test_group_length_validated(self):
+        chart = BarChart(["A", "B"])
+        with pytest.raises(ValueError):
+            chart.add_group("bad", [1.0])
+
+    def test_needs_categories_and_groups(self):
+        with pytest.raises(ValueError):
+            BarChart([])
+        with pytest.raises(ValueError):
+            BarChart(["A"]).render()
+
+
+class TestFigures:
+    def test_fig1_renders(self, tmp_path):
+        from repro.experiments.figures import fig1_completion_times
+
+        path = fig1_completion_times(tmp_path / "fig1.svg")
+        svg = path.read_text()
+        assert parse(svg) is not None
+        assert "DRF" in svg and "packing" in svg

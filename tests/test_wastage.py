@@ -1,0 +1,81 @@
+"""Wastage-metric tests (Sections 1 / 2.1: stretched tasks hold memory)."""
+
+import pytest
+
+from repro.analysis.wastage import (
+    excess_holding,
+    holding_report,
+    resource_holding_integral,
+)
+from repro.cluster.cluster import Cluster
+from repro.schedulers.fifo import FifoScheduler
+from repro.schedulers.tetris import TetrisConfig, TetrisScheduler
+from repro.sim.engine import Engine
+from repro.workload.job import Job
+from repro.workload.stage import Stage
+
+from conftest import make_task
+
+
+def disk_contention_jobs(n=4):
+    """Tasks that saturate one disk each: co-scheduling them stretches
+    everyone while their memory stays booked."""
+    tasks = [
+        make_task(cpu=1, mem=8, diskw=200, write_mb=2000, cpu_work=1)
+        for _ in range(n)
+    ]
+    return [Job([Stage("w", tasks)])]
+
+
+def run(scheduler, jobs, machines):
+    cluster = Cluster(machines, machines_per_rack=2, seed=0)
+    engine = Engine(cluster, scheduler, jobs)
+    engine.run()
+    return engine
+
+
+class TestHoldingIntegrals:
+    def test_holding_integral_matches_hand_math(self):
+        jobs = disk_contention_jobs(1)
+        engine = run(TetrisScheduler(), jobs, machines=1)
+        task = jobs[0].all_tasks()[0]
+        held = resource_holding_integral(engine.placement_log, "mem")
+        assert held == pytest.approx(8.0 * task.duration)
+
+    def test_uncontended_run_has_no_excess(self):
+        jobs = disk_contention_jobs(2)
+        engine = run(TetrisScheduler(TetrisConfig(fairness_knob=0.0)),
+                     jobs, machines=2)
+        assert excess_holding(engine.placement_log, "mem") == pytest.approx(
+            0.0, abs=1e-6
+        )
+
+    def test_over_allocation_wastes_memory_seconds(self):
+        """FIFO stacks both disk writers on one machine: each stretches
+        past nominal while holding 8 GB."""
+        jobs = disk_contention_jobs(2)
+        engine = run(FifoScheduler(), jobs, machines=1)
+        excess = excess_holding(engine.placement_log, "mem")
+        # nominal 10 s; proportional sharing + penalty stretches well
+        # beyond 2x, so > 8 GB x 10 s of pure waste per task
+        assert excess > 8.0 * 10.0
+
+    def test_report_structure(self):
+        jobs = disk_contention_jobs(2)
+        engine = run(FifoScheduler(), jobs, machines=1)
+        report = holding_report(engine)
+        assert set(report) == set(engine.cluster.model.names)
+        assert report["mem"]["excess_fraction"] > 0.3
+        assert report["mem"]["held"] > report["mem"]["excess"]
+
+    def test_tetris_beats_fifo_on_waste(self):
+        fifo_engine = run(FifoScheduler(), disk_contention_jobs(4),
+                          machines=2)
+        tetris_engine = run(
+            TetrisScheduler(TetrisConfig(fairness_knob=0.0)),
+            disk_contention_jobs(4), machines=2,
+        )
+        assert (
+            excess_holding(tetris_engine.placement_log, "mem")
+            < excess_holding(fifo_engine.placement_log, "mem")
+        )

@@ -19,11 +19,14 @@ from repro.workload.task import Task, TaskWork
 from repro.resources import DEFAULT_MODEL
 
 
-def _pending_state(num_jobs, tasks_per_job, num_machines=50):
+def _pending_state(num_jobs, tasks_per_job, num_machines=50,
+                   vectorized=True):
     """A scheduler saturated with pending work; machines nearly full so
     heartbeat-time matching does real scoring but places little."""
     cluster = Cluster(num_machines, seed=0)
-    scheduler = TetrisScheduler(TetrisConfig(fairness_knob=0.25))
+    scheduler = TetrisScheduler(
+        TetrisConfig(fairness_knob=0.25, vectorized=vectorized)
+    )
     scheduler.bind(cluster)
     for j in range(num_jobs):
         tasks = [
@@ -47,18 +50,23 @@ def _pending_state(num_jobs, tasks_per_job, num_machines=50):
     return scheduler
 
 
+@pytest.mark.parametrize("vectorized", [False, True],
+                         ids=["scalar", "vectorized"])
 @pytest.mark.parametrize("pending", [10_000, 50_000])
-def test_table7_heartbeat_matching_cost(benchmark, pending):
+def test_table7_heartbeat_matching_cost(benchmark, pending, vectorized):
     tasks_per_job = pending // 100
-    scheduler = _pending_state(num_jobs=100, tasks_per_job=tasks_per_job)
+    scheduler = _pending_state(
+        num_jobs=100, tasks_per_job=tasks_per_job, vectorized=vectorized
+    )
 
     # one node-manager heartbeat = match tasks for one machine
     result = benchmark(scheduler.schedule, 0.0, [0])
 
     stats = benchmark.stats.stats
+    path = "vectorized" if vectorized else "scalar"
     print_table(
-        f"Table 7: NM-heartbeat matching cost, {pending} pending tasks "
-        "(paper: <1 ms)",
+        f"Table 7: NM-heartbeat matching cost ({path}), {pending} pending "
+        "tasks (paper: <1 ms)",
         ["metric", "value"],
         [("mean (ms)", stats.mean * 1e3),
          ("median (ms)", stats.median * 1e3)],

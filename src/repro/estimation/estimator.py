@@ -35,6 +35,14 @@ __all__ = [
 class DemandEstimator(abc.ABC):
     """Estimates a task's peak demand profile (placement-independent)."""
 
+    #: True when repeated :meth:`estimate` calls for the same task always
+    #: return the same vector for the task's lifetime.  Schedulers that
+    #: cache demand vectors (the batched Tetris packing path) keep their
+    #: caches across task completions only for stable estimators;
+    #: learning estimators (peer means, template history) force a full
+    #: cache invalidation whenever a task finishes.
+    stable_estimates: bool = True
+
     @abc.abstractmethod
     def estimate(self, task: Task) -> ResourceVector:
         """Estimated peak demand vector for ``task``."""
@@ -90,6 +98,9 @@ class ProfilingEstimator(DemandEstimator):
        reference vector (the stage's true mean is unknown, so we inflate a
        configurable default guess).
     """
+
+    #: estimates move as peers finish and history accrues
+    stable_estimates = False
 
     def __init__(
         self,

@@ -23,7 +23,7 @@ demands and utilization samples.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, Mapping, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -80,6 +80,25 @@ class ResourceModel:
 
     def zeros(self) -> "ResourceVector":
         return ResourceVector(self, np.zeros(self.dims))
+
+    def mask(self, names: Optional[Iterable[str]] = None) -> np.ndarray:
+        """Boolean dimension mask selecting ``names`` (None selects all).
+
+        Used by the batched packing path to restrict fit checks and
+        alignment scoring to a subset of dimensions without rebuilding
+        :class:`ResourceVector` objects per candidate.
+        """
+        if names is None:
+            return np.ones(self.dims, dtype=bool)
+        out = np.zeros(self.dims, dtype=bool)
+        for name in names:
+            try:
+                out[self.index[name]] = True
+            except KeyError:
+                raise KeyError(
+                    f"unknown resource {name!r}; model has {self.names}"
+                ) from None
+        return out
 
     def vector(self, **values: float) -> "ResourceVector":
         """Build a vector from keyword values; unnamed dimensions are zero.

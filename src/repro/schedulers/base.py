@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Dict, List, Optional, TYPE_CHECKING
+from typing import Dict, List, Optional, Set, TYPE_CHECKING
 
 from repro.estimation.estimator import DemandEstimator, OracleEstimator
 from repro.resources import ResourceVector
@@ -77,8 +77,15 @@ class Scheduler(abc.ABC):
         #: per-job booked allocation (sum over its running tasks)
         self.job_alloc: Dict[int, ResourceVector] = {}
         self._booked_by_task: Dict[int, ResourceVector] = {}
-        #: delay-scheduling state: offers skipped per stage (by id)
+        #: delay-scheduling state: offers skipped per stage (by stage_id)
         self._stage_skips: Dict[int, int] = {}
+        #: dirty-machine tracking: machines whose free vector or candidate
+        #: set changed since the scheduler last looked at them.  The engine
+        #: passes its own dirty set through ``schedule(machine_ids=...)``;
+        #: this mirror lets direct ``schedule(time)`` calls (and schedulers
+        #: that opt in) skip machines that cannot have new placements.
+        self._dirty_machines: Set[int] = set()
+        self._all_machines_dirty: bool = True
         #: offers a stage declines before accepting a non-local slot;
         #: None = one wave of the cluster (set at bind)
         self.locality_delay: Optional[int] = None
@@ -94,11 +101,50 @@ class Scheduler(abc.ABC):
         if estimator is not None:
             self.estimator = estimator
         self.tracker = tracker
+        self.mark_all_machines_dirty()
+
+    # -- dirty-machine tracking ------------------------------------------------
+    def mark_machine_dirty(self, machine_id: int) -> None:
+        """Note that ``machine_id``'s free vector changed."""
+        if not self._all_machines_dirty:
+            self._dirty_machines.add(machine_id)
+
+    def mark_all_machines_dirty(self) -> None:
+        """Note that every machine may have new placements (new candidates
+        appeared, or the availability view was globally refreshed)."""
+        self._all_machines_dirty = True
+        self._dirty_machines.clear()
+
+    def consume_dirty_machines(
+        self, machine_ids: Optional[List[int]]
+    ) -> Optional[List[int]]:
+        """Resolve which machines a scheduling round must visit.
+
+        When the caller supplies ``machine_ids`` (the engine plumbs its
+        own ``_dirty`` set through), that set is authoritative and the
+        mirrored entries are retired.  With ``machine_ids=None`` the
+        scheduler's own dirty bookkeeping answers: ``None`` means "all
+        machines", a (possibly empty) list means "only these changed
+        since the last round".
+        """
+        if machine_ids is not None:
+            if not self._all_machines_dirty:
+                self._dirty_machines.difference_update(machine_ids)
+            return machine_ids
+        if self._all_machines_dirty:
+            self._all_machines_dirty = False
+            self._dirty_machines.clear()
+            return None
+        out = sorted(self._dirty_machines)
+        self._dirty_machines.clear()
+        return out
 
     # -- workload callbacks ----------------------------------------------------
     def on_job_arrival(self, job: Job, time: float) -> None:
         self.active_jobs.append(job)
         self.job_alloc.setdefault(job.job_id, self.cluster.model.zeros())
+        # new runnable tasks are candidates everywhere
+        self.mark_all_machines_dirty()
 
     def on_task_started(
         self, task: Task, machine_id: int, booked: ResourceVector
@@ -110,6 +156,8 @@ class Scheduler(abc.ABC):
         booked = self._booked_by_task.pop(task.task_id, None)
         if booked is not None:
             self.job_alloc[task.job.job_id].sub_inplace(booked)
+        if task.machine_id is not None:
+            self.mark_machine_dirty(task.machine_id)
         if task.job.is_finished:
             self.active_jobs = [
                 j for j in self.active_jobs if j.job_id != task.job.job_id
@@ -118,6 +166,7 @@ class Scheduler(abc.ABC):
 
     def on_stage_released(self, stage, time: float) -> None:
         """A barrier lifted and ``stage``'s tasks became runnable."""
+        self.mark_all_machines_dirty()
 
     def on_task_failed(self, task: Task, time: float) -> None:
         """A running attempt died; undo its bookkeeping and requeue it."""
@@ -127,6 +176,8 @@ class Scheduler(abc.ABC):
         index = getattr(self, "index", None)
         if index is not None:
             index.requeue(task)
+        # the attempt's machine freed up, and the task is a candidate again
+        self.mark_all_machines_dirty()
 
     # -- helpers ---------------------------------------------------------------
     def runnable_jobs(self) -> List[Job]:
@@ -179,7 +230,7 @@ class Scheduler(abc.ABC):
         for stage in index.indexed_stages(job):
             local = index.local_candidate(stage, machine_id)
             if local is not None:
-                self._stage_skips[id(stage)] = 0
+                self._stage_skips[stage.stage_id] = 0
                 return local
             if fallback is None:
                 fallback = index.any_candidate(stage)
@@ -191,10 +242,10 @@ class Scheduler(abc.ABC):
         # pinned later, or inputs nowhere local)
         if not any(inp.locations for inp in fallback.inputs):
             return fallback
-        skips = self._stage_skips.get(id(fallback_stage), 0)
+        skips = self._stage_skips.get(fallback_stage.stage_id, 0)
         if skips >= limit:
             return fallback
-        self._stage_skips[id(fallback_stage)] = skips + 1
+        self._stage_skips[fallback_stage.stage_id] = skips + 1
         return None
 
     def iter_machine_ids(

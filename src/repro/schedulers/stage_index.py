@@ -40,7 +40,7 @@ class StageIndex:
 
     # -- maintenance ----------------------------------------------------------
     def add_stage(self, stage: Stage) -> None:
-        key = id(stage)
+        key = stage.stage_id
         if key not in self._entries:
             self._entries[key] = _StageEntry(stage)
 
@@ -58,10 +58,14 @@ class StageIndex:
         """Drop bookkeeping for a finished task."""
         self._claimed.discard(task.task_id)
 
+    def reset_claims(self) -> None:
+        """Release every tentative claim (benchmark/repro harness hook)."""
+        self._claimed.clear()
+
     def requeue(self, task: Task) -> None:
         """Put a failed task back into its stage's candidate pools."""
         self._claimed.discard(task.task_id)
-        entry = self._entries.get(id(task.stage))
+        entry = self._entries.get(task.stage.stage_id)
         if entry is None:
             return
         entry.queue.append(task)
@@ -80,7 +84,7 @@ class StageIndex:
         self, stage: Stage, machine_id: int
     ) -> Optional[Task]:
         """A runnable task of ``stage`` with a replica on ``machine_id``."""
-        entry = self._entries.get(id(stage))
+        entry = self._entries.get(stage.stage_id)
         if entry is None:
             return None
         queue = entry.local.get(machine_id)
@@ -95,7 +99,7 @@ class StageIndex:
 
     def any_candidate(self, stage: Stage) -> Optional[Task]:
         """Any runnable task of ``stage`` (front of the queue)."""
-        entry = self._entries.get(id(stage))
+        entry = self._entries.get(stage.stage_id)
         if entry is None:
             return None
         queue = entry.queue
@@ -113,6 +117,6 @@ class StageIndex:
         """This job's indexed stages that still hold eligible tasks."""
         out = []
         for stage in job.dag:
-            if id(stage) in self._entries and self.has_candidates(stage):
+            if stage.stage_id in self._entries and self.has_candidates(stage):
                 out.append(stage)
         return out

@@ -22,22 +22,44 @@ The decision procedure (Section 3):
    averages over the current candidates.  (The paper writes the combined
    score as a weighted sum of the alignment and remaining-work terms with
    ``ε = ā/p̄``; since lower ``p`` must win, the remaining-work term enters
-   with a negative sign.)  Place the argmax; repeat until nothing fits.
+   with a negative sign.)  ``ε`` is computed once over the *full*
+   candidate set, before any barrier filtering, so the SRTF weight does
+   not silently change when barrier stragglers exist.  Place the argmax;
+   repeat until nothing fits.
+
+Two execution strategies produce **identical placements**:
+
+- the *scalar* path (``vectorized=False``) scores one candidate at a
+  time through :class:`ResourceVector` objects — the reference oracle;
+- the *vectorized* path (default) caches each candidate's booked demand
+  vector and its masked, capacity-normalized form per machine, stacks a
+  machine's candidates into one ``(N, dims)`` matrix, and computes fits,
+  alignment scores, remote penalties and the combined score in a few
+  numpy passes.  Caches are invalidated when estimates can move (task
+  completions under a learning estimator) and when a stage's shuffle
+  inputs resolve.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
-from repro.resources import ResourceVector
+import numpy as np
+
+from repro.resources import EPSILON, ResourceVector
 from repro.schedulers.alignment import AlignmentScorer, get_scorer
 from repro.schedulers.base import Placement, Scheduler
 from repro.schedulers.fairness_policy import DRFFairnessPolicy, FairnessPolicy
 from repro.schedulers.stage_index import StageIndex
 from repro.workload.job import Job
+from repro.workload.stage import Stage
 from repro.workload.task import Task
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.profiling import Profiler
 
 __all__ = ["TetrisConfig", "TetrisScheduler"]
 
@@ -71,7 +93,14 @@ class TetrisConfig:
       When on, a job's remaining-work score credits running tasks for
       the progress they have already made, so a job whose last wave is
       almost done looks as short as it really is.  Off by default,
-      matching the published system.
+      matching the published system;
+    - ``vectorized``: use the batched packing engine (cached demand
+      vectors + one numpy pass per machine round).  Placements are
+      identical to the scalar path; flip off to run the scalar
+      reference oracle.  Scorers without a ``score_batch`` override
+      fall back to the scalar path automatically;
+    - ``debug_invariants``: run the remote-grant ledger invariant check
+      after every grant/release (test/debug aid; off in production).
     """
 
     fairness_knob: float = 0.25
@@ -84,6 +113,8 @@ class TetrisConfig:
     considered_dims: Optional[Tuple[str, ...]] = None
     starvation_timeout: Optional[float] = None
     progress_aware_srtf: bool = False
+    vectorized: bool = True
+    debug_invariants: bool = False
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.fairness_knob < 1.0:
@@ -131,6 +162,8 @@ class TetrisScheduler(Scheduler):
         self.group_of = group_of
         self.scorer: AlignmentScorer = get_scorer(self.config.scorer)
         self.index = StageIndex()
+        #: optional timing sink (repro.profiling.Profiler)
+        self.profiler: Optional["Profiler"] = None
         #: cached SRTF scores: job_id -> remaining work, task_id -> its term
         self._job_work: Dict[int, float] = {}
         self._task_work: Dict[int, float] = {}
@@ -142,9 +175,26 @@ class TetrisScheduler(Scheduler):
         self._remote_granted: Dict[int, float] = {}
         self._remote_by_task: Dict[int, List[Tuple[int, float]]] = {}
         #: starvation prevention: per-stage last placement time and the
-        #: current machine reservations (machine_id -> stage id)
+        #: current machine reservations (machine_id -> Stage), both keyed
+        #: by the stable ``stage_id`` (object ids can be recycled by the
+        #: allocator across back-to-back runs)
         self._stage_last_placement: Dict[int, float] = {}
-        self._reservations: Dict[int, int] = {}
+        self._reservations: Dict[int, Stage] = {}
+        #: packing cache: task_id -> machine_id -> (booked vector, masked
+        #: capacity-normalized demand row).  Fed by the vectorized path;
+        #: invalidated on estimate updates and shuffle-input resolution.
+        self._packed_cache: Dict[int, Dict[int, Tuple[ResourceVector, np.ndarray]]] = {}
+        self._dims_mask: Optional[np.ndarray] = None
+        # scorers without a batch implementation run the scalar oracle
+        self._use_vectorized = self.config.vectorized and (
+            type(self.scorer).score_batch is not AlignmentScorer.score_batch
+        )
+
+    # -- wiring -----------------------------------------------------------------
+    def bind(self, cluster, estimator=None, tracker=None) -> None:
+        super().bind(cluster, estimator=estimator, tracker=tracker)
+        self._packed_cache.clear()
+        self._dims_mask = cluster.model.mask(self.config.considered_dims)
 
     # -- SRTF bookkeeping -------------------------------------------------------
     def _task_work_term(self, task: Task) -> float:
@@ -159,7 +209,7 @@ class TetrisScheduler(Scheduler):
         self.index.add_job(job)
         for stage in job.dag:
             if stage.is_released():
-                self._stage_last_placement[id(stage)] = time
+                self._stage_last_placement[stage.stage_id] = time
         total = 0.0
         for task in job.all_tasks():
             term = self._task_work_term(task)
@@ -168,25 +218,41 @@ class TetrisScheduler(Scheduler):
         self._job_work[job.job_id] = total
 
     def on_stage_released(self, stage, time: float) -> None:
+        super().on_stage_released(stage, time)
         self.index.add_stage(stage)
-        self._stage_last_placement[id(stage)] = time
+        self._stage_last_placement[stage.stage_id] = time
+        # shuffle inputs were just pinned to source machines: any cached
+        # placement-adjusted vectors for these tasks are stale
+        for task in stage.tasks:
+            self._packed_cache.pop(task.task_id, None)
 
     def on_task_failed(self, task: Task, time: float) -> None:
         super().on_task_failed(task, time)
-        for machine_id, rate in self._remote_by_task.pop(task.task_id, ()):
-            self._remote_granted[machine_id] -= rate
+        self._release_remote_grants(task.task_id)
+        if self.config.debug_invariants:
+            self.check_remote_ledger()
 
     def on_task_finished(self, task: Task, time: float) -> None:
         super().on_task_finished(task, time)
         self.index.forget(task)
-        for machine_id, rate in self._remote_by_task.pop(task.task_id, ()):
-            self._remote_granted[machine_id] -= rate
+        self._release_remote_grants(task.task_id)
+        if self.config.debug_invariants:
+            self.check_remote_ledger()
+        if self.estimator.stable_estimates:
+            self._packed_cache.pop(task.task_id, None)
+        else:
+            # a completion can move every estimate (peer means, template
+            # history): drop the whole cache
+            self._packed_cache.clear()
         term = self._task_work.pop(task.task_id, 0.0)
         job_id = task.job.job_id
         if job_id in self._job_work:
             self._job_work[job_id] = max(0.0, self._job_work[job_id] - term)
             if task.job.is_finished:
                 self._job_work.pop(job_id, None)
+        if task.job.is_finished:
+            for stage in task.job.dag:
+                self._stage_last_placement.pop(stage.stage_id, None)
 
     # -- candidate job set (fairness knob) ------------------------------------
     def candidate_jobs(self) -> List[Job]:
@@ -241,7 +307,7 @@ class TetrisScheduler(Scheduler):
         dims = self.config.considered_dims
         if dims is None:
             return booked.fits_in(free)
-        return all(booked.get(d) <= free.get(d) + 1e-9 for d in dims)
+        return all(booked.get(d) <= free.get(d) + EPSILON for d in dims)
 
     def _masked(self, vec: ResourceVector) -> ResourceVector:
         dims = self.config.considered_dims
@@ -251,6 +317,29 @@ class TetrisScheduler(Scheduler):
         for d in dims:
             masked.set(d, vec.get(d))
         return masked
+
+    def _pick_remote_source(self, locations: Sequence[int]) -> int:
+        """The replica machine with the most remaining remote-read headroom.
+
+        Charging every transfer to ``locations[0]`` would serialize all
+        readers of a replicated block on one source; instead pick the
+        holder whose min(netout, diskr) headroom — net of rates already
+        granted to other remote readers — is largest.  Deterministic:
+        ties keep the earliest listed replica.
+        """
+        if len(locations) == 1:
+            return locations[0]
+        best = locations[0]
+        best_headroom = -math.inf
+        for machine_id in locations:
+            free = self.cluster.machine(machine_id).free_clamped()
+            headroom = min(
+                free.get("netout"), free.get("diskr")
+            ) - self._remote_granted.get(machine_id, 0.0)
+            if headroom > best_headroom:
+                best_headroom = headroom
+                best = machine_id
+        return best
 
     def _remote_requirements(
         self, task: Task, machine_id: int
@@ -267,9 +356,8 @@ class TetrisScheduler(Scheduler):
         for inp in task.inputs:
             if inp.is_local_to(machine_id) or not inp.locations:
                 continue
-            out.append(
-                (inp.locations[0], est_netin * (inp.size_mb / total_remote))
-            )
+            source = self._pick_remote_source(inp.locations)
+            out.append((source, est_netin * (inp.size_mb / total_remote)))
         return out
 
     def _remote_sources_ok(self, task: Task, machine_id: int) -> bool:
@@ -283,8 +371,8 @@ class TetrisScheduler(Scheduler):
             source_free = source.free_clamped()
             granted = self._remote_granted.get(source_id, 0.0)
             if (
-                source_free.get("netout") - granted + 1e-9 < required
-                or source_free.get("diskr") - granted + 1e-9 < required
+                source_free.get("netout") - granted + EPSILON < required
+                or source_free.get("diskr") - granted + EPSILON < required
             ):
                 return False
         return True
@@ -296,6 +384,41 @@ class TetrisScheduler(Scheduler):
             for source_id, rate in grants:
                 self._remote_granted[source_id] = (
                     self._remote_granted.get(source_id, 0.0) + rate
+                )
+            if self.config.debug_invariants:
+                self.check_remote_ledger()
+
+    def _release_remote_grants(self, task_id: int) -> None:
+        """Undo a task's grants, clamping float drift and purging empties.
+
+        Repeated ``-= rate`` arithmetic can leave tiny residues (positive
+        or negative); anything at or below EPSILON is treated as zero and
+        the entry dropped, so a drained workload leaves an empty ledger.
+        """
+        for machine_id, rate in self._remote_by_task.pop(task_id, ()):
+            left = self._remote_granted.get(machine_id, 0.0) - rate
+            if left <= EPSILON:
+                self._remote_granted.pop(machine_id, None)
+            else:
+                self._remote_granted[machine_id] = left
+
+    def check_remote_ledger(self) -> None:
+        """Invariant: per-machine granted rate is non-negative and never
+        exceeds the sum of the live per-task grants charged to it."""
+        live: Dict[int, float] = {}
+        for grants in self._remote_by_task.values():
+            for machine_id, rate in grants:
+                live[machine_id] = live.get(machine_id, 0.0) + rate
+        for machine_id, granted in self._remote_granted.items():
+            if granted < -EPSILON:
+                raise AssertionError(
+                    f"negative remote grant at machine {machine_id}: {granted}"
+                )
+            if granted > live.get(machine_id, 0.0) + 1e-6:
+                raise AssertionError(
+                    f"machine {machine_id} has {granted:.9f} MB/s granted "
+                    f"but only {live.get(machine_id, 0.0):.9f} MB/s of live "
+                    "task grants"
                 )
 
     def _score_alignment(
@@ -326,17 +449,24 @@ class TetrisScheduler(Scheduler):
     def schedule(
         self, time: float, machine_ids: Optional[List[int]] = None
     ) -> List[Placement]:
+        prof = self.profiler
+        start = perf_counter() if prof is not None else 0.0
         placements: List[Placement] = []
         jobs = self.candidate_jobs()
-        if not jobs:
-            return placements
-        if self.config.starvation_timeout is not None:
-            self._update_reservations(jobs, time)
-        barrier_stages = self._barrier_stages(jobs)
-        for machine_id in self.iter_machine_ids(machine_ids):
-            placements.extend(
-                self._fill_machine(machine_id, jobs, barrier_stages, time)
-            )
+        if jobs:
+            machine_ids = self.consume_dirty_machines(machine_ids)
+            if machine_ids is None or machine_ids:
+                if self.config.starvation_timeout is not None:
+                    self._update_reservations(jobs, time)
+                barrier_stages = self._barrier_stages(jobs)
+                for machine_id in self.iter_machine_ids(machine_ids):
+                    placements.extend(
+                        self._fill_machine(
+                            machine_id, jobs, barrier_stages, time
+                        )
+                    )
+        if prof is not None:
+            prof.record("tetris.schedule", perf_counter() - start)
         return placements
 
     # -- starvation prevention (Section 3.5 future work) ---------------------
@@ -354,19 +484,19 @@ class TetrisScheduler(Scheduler):
         for machine_id, stage in list(self._reservations.items()):
             if stage.is_finished() or not self.index.has_candidates(stage):
                 del self._reservations[machine_id]
-        reserved_stages = {id(s) for s in self._reservations.values()}
+        reserved_stages = {s.stage_id for s in self._reservations.values()}
         for job in jobs:
             for stage in self.index.indexed_stages(job):
-                if id(stage) in reserved_stages:
+                if stage.stage_id in reserved_stages:
                     continue
-                last = self._stage_last_placement.get(id(stage))
+                last = self._stage_last_placement.get(stage.stage_id)
                 if last is None or time - last <= timeout:
                     continue
                 machine_id = self._pick_reservation_machine()
                 if machine_id is None:
                     return
                 self._reservations[machine_id] = stage
-                reserved_stages.add(id(stage))
+                reserved_stages.add(stage.stage_id)
 
     def _pick_reservation_machine(self) -> Optional[int]:
         """The unreserved machine with the most normalized free capacity."""
@@ -395,7 +525,7 @@ class TetrisScheduler(Scheduler):
                     and stage.num_finished > 0
                     and stage.finished_fraction >= self.config.barrier_knob
                 ):
-                    eligible.add(id(stage))
+                    eligible.add(stage.stage_id)
         return eligible
 
     def _fill_machine(
@@ -423,24 +553,171 @@ class TetrisScheduler(Scheduler):
                     self._grant_remote(task, machine_id)
                 placements.append(Placement(task, machine_id, booked))
                 free = (free - booked).clamp_nonnegative()
-                self._stage_last_placement[id(reserved_stage)] = time
+                self._stage_last_placement[reserved_stage.stage_id] = time
                 del self._reservations[machine_id]
+        if self._use_vectorized:
+            fill = self._fill_loop_vectorized
+        else:
+            fill = self._fill_loop_scalar
+        placements.extend(fill(machine_id, jobs, barrier_stages, free, time))
+        return placements
+
+    def _place_candidate(
+        self,
+        task: Task,
+        booked: ResourceVector,
+        machine_id: int,
+        free: ResourceVector,
+        time: float,
+        placements: List[Placement],
+    ) -> ResourceVector:
+        """Claim + grant + record one placement; returns the updated free."""
+        self.index.claim(task)
+        if self.config.check_remote_resources:
+            self._grant_remote(task, machine_id)
+        placements.append(Placement(task, machine_id, booked))
+        self._stage_last_placement[task.stage.stage_id] = time
+        return (free - booked).clamp_nonnegative()
+
+    def _fill_loop_scalar(
+        self,
+        machine_id: int,
+        jobs: Sequence[Job],
+        barrier_stages: set,
+        free: ResourceVector,
+        time: float,
+    ) -> List[Placement]:
+        """The reference decision loop: one candidate at a time."""
+        placements: List[Placement] = []
         while True:
             candidates = self._gather_candidates(machine_id, jobs, free, time)
             if not candidates:
                 break
+            # ε over the FULL candidate set (§3.3), before barrier filtering
+            epsilon = self._epsilon(
+                [c.alignment for c in candidates],
+                [c.remaining_work for c in candidates],
+            )
             barrier_cands = [
-                c for c in candidates if id(c.task.stage) in barrier_stages
+                c for c in candidates if c.task.stage.stage_id in barrier_stages
             ]
             pool = barrier_cands if barrier_cands else candidates
-            best = self._pick_best(pool)
-            self.index.claim(best.task)
-            if self.config.check_remote_resources:
-                self._grant_remote(best.task, machine_id)
-            placements.append(Placement(best.task, machine_id, best.booked))
-            free = (free - best.booked).clamp_nonnegative()
-            self._stage_last_placement[id(best.task.stage)] = time
+            best = self._pick_best(pool, epsilon)
+            free = self._place_candidate(
+                best.task, best.booked, machine_id, free, time, placements
+            )
         return placements
+
+    def _fill_loop_vectorized(
+        self,
+        machine_id: int,
+        jobs: Sequence[Job],
+        barrier_stages: set,
+        free: ResourceVector,
+        time: float,
+    ) -> List[Placement]:
+        """The batched decision loop.
+
+        Gathers each stage's representative candidates exactly like the
+        scalar path, then replaces the per-candidate ResourceVector
+        arithmetic with one ``(N, dims)`` pass: a single comparison for
+        the fit checks, one ``score_batch`` call for the alignments, and
+        elementwise ops for the remote penalty and combined score.  Every
+        floating-point operation mirrors the scalar path's (same values,
+        same order), so the argmax — and therefore the placements — are
+        identical.
+        """
+        cfg = self.config
+        placements: List[Placement] = []
+        capacity = self.cluster.machine(machine_id).capacity
+        mask = self._dims_mask
+        while True:
+            tasks: List[Task] = []
+            booked_list: List[ResourceVector] = []
+            norm_rows: List[np.ndarray] = []
+            remaining_list: List[float] = []
+            for job in jobs:
+                remaining = self._remaining_work(job, time)
+                for stage in self.index.indexed_stages(job):
+                    local = self.index.local_candidate(stage, machine_id)
+                    other = self.index.any_candidate(stage)
+                    seen = [] if local is None else [local]
+                    if other is not None and other is not local:
+                        seen.append(other)
+                    for task in seen:
+                        booked, norm = self._cached_pack(
+                            task, machine_id, capacity
+                        )
+                        tasks.append(task)
+                        booked_list.append(booked)
+                        norm_rows.append(norm)
+                        remaining_list.append(remaining)
+            if not tasks:
+                break
+            booked_matrix = np.stack([b.data for b in booked_list])
+            fits = (
+                booked_matrix[:, mask] <= free.data[mask] + EPSILON
+            ).all(axis=1)
+            keep = [
+                int(i)
+                for i in np.nonzero(fits)[0]
+                if self._remote_sources_ok(tasks[i], machine_id)
+            ]
+            if not keep:
+                break
+            demand_matrix = np.stack([norm_rows[i] for i in keep])
+            free_norm = self._masked(free).normalized_by(capacity)
+            align = self.scorer.score_batch(demand_matrix, free_norm.data)
+            remote_flags = np.fromiter(
+                (tasks[i].remote_input_mb(machine_id) > 0 for i in keep),
+                dtype=bool,
+                count=len(keep),
+            )
+            if remote_flags.any():
+                align = np.where(
+                    remote_flags, align * (1.0 - cfg.remote_penalty), align
+                )
+            kept_remaining = [remaining_list[i] for i in keep]
+            epsilon = self._epsilon(align.tolist(), kept_remaining)
+            srtf_weight = cfg.srtf_multiplier * epsilon
+            scores = cfg.alignment_weight * align - srtf_weight * np.asarray(
+                kept_remaining
+            )
+            barrier_flags = np.fromiter(
+                (tasks[i].stage.stage_id in barrier_stages for i in keep),
+                dtype=bool,
+                count=len(keep),
+            )
+            if barrier_flags.any():
+                pool = np.nonzero(barrier_flags)[0]
+                best_k = int(pool[np.argmax(scores[pool])])
+            else:
+                best_k = int(np.argmax(scores))
+            best_i = keep[best_k]
+            free = self._place_candidate(
+                tasks[best_i],
+                booked_list[best_i],
+                machine_id,
+                free,
+                time,
+                placements,
+            )
+        return placements
+
+    def _cached_pack(
+        self, task: Task, machine_id: int, capacity: ResourceVector
+    ) -> Tuple[ResourceVector, np.ndarray]:
+        """The task's booked vector and its masked, capacity-normalized
+        demand row for ``machine_id``, computed once and cached."""
+        per_machine = self._packed_cache.get(task.task_id)
+        if per_machine is None:
+            per_machine = self._packed_cache[task.task_id] = {}
+        entry = per_machine.get(machine_id)
+        if entry is None:
+            booked = self.booked_demands(task, machine_id)
+            norm = self._masked(booked).normalized_by(capacity).data
+            entry = per_machine[machine_id] = (booked, norm)
+        return entry
 
     def _remaining_work(self, job: Job, time: float) -> float:
         """The job's SRTF score, optionally progress-aware (§3.5).
@@ -497,12 +774,37 @@ class TetrisScheduler(Scheduler):
                     )
         return candidates
 
-    def _pick_best(self, candidates: Sequence[_Candidate]) -> _Candidate:
-        """Combined score: alignment minus the normalized SRTF term."""
+    @staticmethod
+    def _epsilon(
+        alignments: Sequence[float], works: Sequence[float]
+    ) -> float:
+        """The SRTF weight ε = ā/p̄ over the full candidate set (§3.3)."""
+        n = len(alignments)
+        if n == 0:
+            return 0.0
+        a_bar = sum(alignments) / n
+        p_bar = sum(works) / n
+        return (a_bar / p_bar) if p_bar > 0 else 0.0
+
+    def _pick_best(
+        self,
+        candidates: Sequence[_Candidate],
+        epsilon: Optional[float] = None,
+    ) -> _Candidate:
+        """Combined score: alignment minus the normalized SRTF term.
+
+        ``epsilon`` must be the ā/p̄ weight computed over the *full*
+        candidate set; recomputing it over a barrier-filtered pool would
+        silently change the SRTF weight whenever stragglers exist.  It
+        is derived from ``candidates`` only when omitted (callers that
+        have no wider pool).
+        """
         cfg = self.config
-        a_bar = sum(c.alignment for c in candidates) / len(candidates)
-        p_bar = sum(c.remaining_work for c in candidates) / len(candidates)
-        epsilon = (a_bar / p_bar) if p_bar > 0 else 0.0
+        if epsilon is None:
+            epsilon = self._epsilon(
+                [c.alignment for c in candidates],
+                [c.remaining_work for c in candidates],
+            )
 
         def combined(c: _Candidate) -> float:
             return (

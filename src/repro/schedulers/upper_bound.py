@@ -64,7 +64,7 @@ class UpperBoundResult:
 
 
 def _job_to_spec(job: Job, capacity: ResourceVector) -> _JobSpec:
-    stage_index = {id(s): i for i, s in enumerate(job.dag.stages)}
+    stage_index = {s.stage_id: i for i, s in enumerate(job.dag.stages)}
     tasks: List[_TaskSpec] = []
     stages: List[_StageSpec] = []
     remaining_work = 0.0
@@ -83,7 +83,7 @@ def _job_to_spec(job: Job, capacity: ResourceVector) -> _JobSpec:
             )
         stages.append(
             _StageSpec(
-                parents=tuple(stage_index[id(p)] for p in stage.parents),
+                parents=tuple(stage_index[p.stage_id] for p in stage.parents),
                 tasks=task_ids,
                 unfinished=len(task_ids),
             )

@@ -31,6 +31,7 @@ from repro.workload.task import Task, TaskState
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.activity.ingestion import ClusterActivity
+    from repro.profiling import Profiler
 
 __all__ = ["Engine", "EngineConfig"]
 
@@ -73,6 +74,7 @@ class Engine:
         fluid_config: Optional[FluidConfig] = None,
         config: Optional[EngineConfig] = None,
         collector: Optional[MetricsCollector] = None,
+        profiler: Optional["Profiler"] = None,
     ):
         self.cluster = cluster
         self.scheduler = scheduler
@@ -106,6 +108,11 @@ class Engine:
         #: every placement as (task, machine_id, time, booked) — input to
         #: the Section 3.1 constraint auditor (repro.analysis.model)
         self.placement_log: List[tuple] = []
+        #: optional timing sink; also handed to the scheduler so it can
+        #: record its own phases under the same object
+        self.profiler = profiler
+        if profiler is not None and hasattr(scheduler, "profiler"):
+            scheduler.profiler = profiler
         scheduler.bind(cluster, estimator=estimator, tracker=tracker)
         self.estimator = scheduler.estimator
 
@@ -203,7 +210,10 @@ class Engine:
 
     def _tracker_tick(self) -> None:
         self.tracker.report(self.now, self.flows)
+        # the availability view just moved under every machine: both the
+        # engine's dirty set and the scheduler's own mirror must reflect it
         self._mark_all_dirty()
+        self.scheduler.mark_all_machines_dirty()
         if not (
             self._unfinished_jobs == 0 and self.flows.num_active == 0
         ):
@@ -315,7 +325,11 @@ class Engine:
             return
         machine_ids = sorted(self._dirty)
         self._dirty.clear()
-        placements = self.scheduler.schedule(self.now, machine_ids)
+        if self.profiler is not None:
+            with self.profiler.time("engine.scheduler_round"):
+                placements = self.scheduler.schedule(self.now, machine_ids)
+        else:
+            placements = self.scheduler.schedule(self.now, machine_ids)
         for placement in placements:
             self._start_task(placement)
 

@@ -9,11 +9,14 @@ barrier), which is also what the barrier knob (Section 3.5) leans on.
 
 from __future__ import annotations
 
+import itertools
 from typing import Iterable, List, Optional, Sequence
 
 from repro.workload.task import Task, TaskState
 
 __all__ = ["Stage"]
+
+_stage_ids = itertools.count()
 
 
 class Stage:
@@ -36,6 +39,11 @@ class Stage:
         tasks: Sequence[Task],
         parents: Iterable["Stage"] = (),
     ):
+        #: process-unique, never-reused identifier.  Schedulers key their
+        #: per-stage state on this instead of ``id(stage)``: a CPython
+        #: object id can be recycled after garbage collection, which
+        #: aliases stages across back-to-back runs in long sweeps.
+        self.stage_id: int = next(_stage_ids)
         self.name = name
         self.tasks: List[Task] = list(tasks)
         self.parents: List[Stage] = list(parents)

@@ -1,10 +1,12 @@
 """Alignment scorer tests (Table 8 candidates)."""
 
+import numpy as np
 import pytest
 
-from repro.resources import DEFAULT_MODEL
+from repro.resources import DEFAULT_MODEL, ResourceVector
 from repro.schedulers.alignment import (
     ALIGNMENT_SCORERS,
+    AlignmentScorer,
     CosineAlignment,
     FFDProdAlignment,
     FFDSumAlignment,
@@ -99,3 +101,40 @@ class TestFFD:
         d = vec(cpu=0.3, mem=0.3)
         assert FFDSumAlignment().score(d, a1) == FFDSumAlignment().score(d, a2)
         assert FFDProdAlignment().score(d, a1) == FFDProdAlignment().score(d, a2)
+
+
+class TestScoreBatch:
+    """score_batch must reproduce the scalar oracle *bit-for-bit* — that
+    exactness is what makes the vectorized packing engine's placements
+    identical to the scalar scheduler's."""
+
+    def _rows(self, seed, n=40):
+        rng = np.random.default_rng(seed)
+        demands = rng.uniform(0.0, 1.0, size=(n, DEFAULT_MODEL.dims))
+        # sprinkle exact zeros: FFD-Prod's active-dimension logic and
+        # L2-Norm-Ratio's zero-availability guard must agree with scalar
+        demands[rng.uniform(size=demands.shape) < 0.3] = 0.0
+        available = rng.uniform(0.0, 1.0, size=DEFAULT_MODEL.dims)
+        available[rng.uniform(size=available.shape) < 0.25] = 0.0
+        return demands, available
+
+    @pytest.mark.parametrize("name", sorted(ALIGNMENT_SCORERS))
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_batch_matches_scalar_exactly(self, name, seed):
+        scorer = get_scorer(name)
+        demands, available = self._rows(seed)
+        batch = scorer.score_batch(demands, available)
+        avail_vec = ResourceVector(DEFAULT_MODEL, available.copy())
+        for i in range(demands.shape[0]):
+            scalar = scorer.score(
+                ResourceVector(DEFAULT_MODEL, demands[i].copy()), avail_vec
+            )
+            assert batch[i] == scalar, (name, i)
+
+    def test_base_scorer_has_no_batch(self):
+        class Custom(AlignmentScorer):
+            def score(self, demand, available):
+                return 0.0
+
+        with pytest.raises(NotImplementedError, match="batched"):
+            Custom().score_batch(np.zeros((1, 6)), np.zeros(6))

@@ -117,7 +117,7 @@ class TestBarrierStages:
         for task in stage.tasks[:2]:
             task.mark_running(0, 0.0)
             task.mark_finished(1.0)
-        assert scheduler._barrier_stages([job]) == {id(stage)}
+        assert scheduler._barrier_stages([job]) == {stage.stage_id}
 
     def test_finished_stage_excluded(self):
         scheduler = bound(TetrisConfig(fairness_knob=0.0,

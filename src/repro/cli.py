@@ -199,6 +199,113 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """One fully-observed run: decision JSONL + Perfetto timeline + metrics."""
+    import os
+
+    from repro.estimation.tracker import ResourceTracker
+    from repro.obs import DecisionTrace, Registry, write_chrome_trace
+    from repro.profiling import Profiler
+    from repro.sim.engine import Engine
+    from repro.workload.trace import materialize_trace
+
+    trace = load_trace(args.trace)
+    config = _experiment_config(args)
+    cluster = config.make_cluster()
+    jobs = materialize_trace(trace, cluster, seed=config.seed)
+    tracker = ResourceTracker(cluster) if config.use_tracker else None
+    os.makedirs(args.output, exist_ok=True)
+    decisions_path = os.path.join(args.output, "decisions.jsonl")
+    timeline_path = os.path.join(args.output, "timeline.json")
+    metrics_path = os.path.join(args.output, "metrics.prom")
+    profiler = Profiler()
+    registry = Registry()
+    with DecisionTrace(decisions_path, max_events=args.max_events) as sink:
+        engine = Engine(
+            cluster,
+            _make_scheduler(args.scheduler, args),
+            jobs,
+            tracker=tracker,
+            config=config.make_engine_config(),
+            profiler=profiler,
+            decision_trace=sink,
+            metrics=registry,
+        )
+        engine.run()
+        # wall-clock phase stats ride along in the same decision log
+        for label in profiler.labels():
+            s = profiler.stats(label)
+            sink.emit(
+                "phase_stats",
+                label=label,
+                count=s.count,
+                total_ms=s.total * 1e3,
+                mean_ms=s.mean * 1e3,
+                min_ms=s.min * 1e3,
+                max_ms=s.max * 1e3,
+            )
+        write_chrome_trace(engine, timeline_path)
+        emitted, buffered = sink.emitted, len(sink)
+    with open(metrics_path, "w", encoding="utf-8") as f:
+        f.write(registry.render())
+    print(
+        f"{args.scheduler}: simulated {engine.now:.1f}s, "
+        f"{len(engine.placement_log)} placements, "
+        f"{emitted} decision events ({buffered} buffered)"
+    )
+    print(f"wrote {decisions_path}")
+    print(f"wrote {timeline_path} (load at ui.perfetto.dev)")
+    print(f"wrote {metrics_path}")
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    """Summarize a decision JSONL written by `repro trace`."""
+    from repro.obs import summarize_decision_log
+
+    summary = summarize_decision_log(args.log)
+    print(f"events:     {summary['events_total']}")
+    print(f"rounds:     {summary['rounds']}")
+    print(f"placements: {summary['placements']}")
+    if summary["by_type"]:
+        print("by type:")
+        for etype, count in sorted(summary["by_type"].items()):
+            print(f"  {etype:<16} {count}")
+    if summary["rejections"]:
+        print("top rejection reasons:")
+        for reason, count in list(summary["rejections"].items())[:10]:
+            print(f"  {reason:<16} {count}")
+    for key in ("alignment", "combined"):
+        stats = summary[key]
+        if stats["count"]:
+            print(
+                f"{key} scores: n={stats['count']} "
+                f"mean={stats['mean']:.4f} "
+                f"min={stats['min']:.4f} max={stats['max']:.4f}"
+            )
+    if summary["remote_penalized_candidates"]:
+        print(
+            "remote-penalized candidates: "
+            f"{summary['remote_penalized_candidates']}"
+        )
+    if summary["placements_by_via"]:
+        print("placements by path:")
+        for via, count in sorted(summary["placements_by_via"].items()):
+            print(f"  {via:<16} {count}")
+    for phase in summary["phases"]:
+        print(
+            f"phase {phase['label']}: n={phase['count']} "
+            f"total={phase['total_ms']:.2f}ms mean={phase['mean_ms']:.3f}ms"
+        )
+    if summary["invalid_events"]:
+        print(f"INVALID events: {summary['invalid_events']}")
+        for error in summary["errors"]:
+            print(f"  {error}")
+        if args.strict:
+            return 1
+    return 0
+
+
 def cmd_figures(args: argparse.Namespace) -> int:
     from repro.experiments.figures import render_all
 
@@ -264,6 +371,30 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("fairness", "barrier", "remote-penalty"))
     sweep.add_argument("--values", default="0,0.25,0.5,0.75")
     sweep.set_defaults(func=cmd_sweep)
+
+    tr = sub.add_parser(
+        "trace",
+        help="run with full observability: decision JSONL, Perfetto "
+        "timeline, metrics",
+    )
+    common(tr)
+    tr.add_argument("--scheduler", default="tetris",
+                    choices=sorted(SCHEDULERS))
+    tr.add_argument("--fairness-knob", type=float, default=None)
+    tr.add_argument("--barrier-knob", type=float, default=None)
+    tr.add_argument("-o", "--output", default="obs",
+                    help="output directory for the three artifacts")
+    tr.add_argument("--max-events", type=int, default=200_000,
+                    help="decision-trace ring-buffer size")
+    tr.set_defaults(func=cmd_trace)
+
+    ins = sub.add_parser(
+        "inspect", help="summarize a decision log from `repro trace`"
+    )
+    ins.add_argument("log", help="decisions.jsonl path")
+    ins.add_argument("--strict", action="store_true",
+                     help="exit non-zero if any event fails validation")
+    ins.set_defaults(func=cmd_inspect)
 
     figs = sub.add_parser(
         "figures", help="render the paper's figures as SVG files"

@@ -16,13 +16,16 @@ Four estimators are provided:
 from __future__ import annotations
 
 import abc
-from typing import Dict, Optional
+from typing import Dict, Optional, TYPE_CHECKING
 
 import numpy as np
 
 from repro.estimation.history import TemplateHistory
 from repro.resources import ResourceVector
 from repro.workload.task import Task, TaskState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.registry import Registry
 
 __all__ = [
     "DemandEstimator",
@@ -49,6 +52,9 @@ class DemandEstimator(abc.ABC):
 
     def record_completion(self, task: Task) -> None:
         """Feed back a finished task's observed demands (optional)."""
+
+    def use_metrics(self, registry: "Registry") -> None:
+        """Attach a metrics registry (optional; default does nothing)."""
 
 
 class OracleEstimator(DemandEstimator):
@@ -116,6 +122,17 @@ class ProfilingEstimator(DemandEstimator):
         self.overestimate_factor = overestimate_factor
         self.min_peer_samples = min_peer_samples
         self._peer_stats: Dict[int, TemplateHistory] = {}
+        #: per-source estimate counter (history/peers/fallback), set by
+        #: use_metrics; None keeps the hot path unchanged
+        self._m_estimates = None
+
+    def use_metrics(self, registry: "Registry") -> None:
+        self._m_estimates = registry.counter(
+            "repro_estimator_estimates_total",
+            "Demand estimates served, by pipeline stage "
+            "(history, peers, or the over-estimation fallback)",
+            labelnames=("source",),
+        )
 
     def _peer_mean(self, task: Task) -> Optional[ResourceVector]:
         """Mean demands of already-finished peers of this stage."""
@@ -142,10 +159,16 @@ class ProfilingEstimator(DemandEstimator):
         ):
             mean = self.history.mean(template, stage_name)
             if mean is not None:
+                if self._m_estimates is not None:
+                    self._m_estimates.labels(source="history").inc()
                 return mean
         peer = self._peer_mean(task)
         if peer is not None:
+            if self._m_estimates is not None:
+                self._m_estimates.labels(source="peers").inc()
             return peer
+        if self._m_estimates is not None:
+            self._m_estimates.labels(source="fallback").inc()
         if self.default_guess is not None:
             return self.default_guess * self.overestimate_factor
         return task.demands * self.overestimate_factor

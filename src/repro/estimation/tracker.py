@@ -23,6 +23,7 @@ from repro.resources import ResourceVector
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.cluster import Cluster
     from repro.cluster.machine import Machine
+    from repro.obs.registry import Registry
     from repro.sim.fluid import FlowTable
     from repro.workload.task import Task
 
@@ -46,6 +47,20 @@ class ResourceTracker:
         self.last_report_time: float = 0.0
         #: (task_id, machine_id) -> (placement time, booked demands)
         self._placements: Dict[int, Tuple[float, int, ResourceVector]] = {}
+        #: optional metrics (set by use_metrics); None costs nothing
+        self._m_reports = None
+        self._m_tracked = None
+
+    def use_metrics(self, registry: "Registry") -> None:
+        """Register this tracker's metrics in ``registry``."""
+        self._m_reports = registry.counter(
+            "repro_tracker_reports_total",
+            "Cluster-wide tracker report rounds",
+        )
+        self._m_tracked = registry.gauge(
+            "repro_tracker_tracked_placements",
+            "Live placements the tracker holds ramp-up state for",
+        )
 
     # -- engine callbacks -----------------------------------------------------
     def note_placement(
@@ -64,6 +79,9 @@ class ResourceTracker:
         what OS counters would show.
         """
         self.last_report_time = time
+        if self._m_reports is not None:
+            self._m_reports.inc()
+            self._m_tracked.set(len(self._placements))
         throughput = flows.slot_throughput()
         fluid_names = flows.fluid_dim_names()
         model = self.cluster.model

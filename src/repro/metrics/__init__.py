@@ -1,6 +1,12 @@
-"""Metrics: completion times, makespan, utilization timelines, fairness."""
+"""Metrics: completion times, makespan, utilization timelines, fairness.
+
+The Prometheus-style instrumentation registry lives in
+:mod:`repro.obs.registry`; it is re-exported here so callers that think
+of it as "the metrics" find it in the natural place.
+"""
 
 from repro.metrics.collector import MetricsCollector, TimelinePoint
+from repro.obs.registry import Counter, Gauge, Histogram, Registry
 from repro.metrics.fairness import (
     job_slowdowns,
     relative_integral_unfairness_summary,
@@ -15,6 +21,10 @@ from repro.metrics.comparison import (
 __all__ = [
     "MetricsCollector",
     "TimelinePoint",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Registry",
     "job_slowdowns",
     "relative_integral_unfairness_summary",
     "slowdown_summary",

@@ -1,0 +1,43 @@
+"""Observability: decision tracing, metrics registry, timeline export.
+
+Three coordinated pieces, all dependency-free and opt-in:
+
+- :mod:`repro.obs.trace` — :class:`DecisionTrace`, a structured sink the
+  engine and the schedulers emit per-round decision events into (who was
+  a candidate, who was rejected and why, who won), with bounded memory
+  and an optional streaming JSONL file;
+- :mod:`repro.obs.registry` — a Prometheus-style :class:`Registry` of
+  :class:`Counter` / :class:`Gauge` / :class:`Histogram` metrics with a
+  text exposition format;
+- :mod:`repro.obs.timeline` — serialize a finished run (task lifetimes
+  per machine, scheduler rounds, shuffle-flow windows) to Chrome
+  trace-event JSON loadable in Perfetto.
+
+Everything follows the same ``Optional[...]`` pattern as
+:class:`repro.profiling.Profiler`: holders keep ``None`` by default and
+skip all work when observability is off.
+"""
+
+from repro.obs.registry import Counter, Gauge, Histogram, Registry
+from repro.obs.trace import (
+    DecisionTrace,
+    EVENT_SCHEMA,
+    summarize_decision_log,
+    validate_event,
+    validate_jsonl,
+)
+from repro.obs.timeline import chrome_trace_events, write_chrome_trace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Registry",
+    "DecisionTrace",
+    "EVENT_SCHEMA",
+    "summarize_decision_log",
+    "validate_event",
+    "validate_jsonl",
+    "chrome_trace_events",
+    "write_chrome_trace",
+]

@@ -1,0 +1,310 @@
+"""A dependency-free Prometheus-style metrics registry.
+
+Three metric types, the exposition subset this project needs:
+
+- :class:`Counter` — monotonically increasing (rounds, placements,
+  cache hits);
+- :class:`Gauge` — goes up and down (ledger size, event-queue depth);
+- :class:`Histogram` — cumulative buckets plus ``_sum`` / ``_count``
+  (placements per round, round latencies).
+
+Metrics are created through :class:`Registry` and support optional
+labels::
+
+    reg = Registry()
+    hits = reg.counter("repro_cache_hits_total", "Packing-cache hits")
+    hits.inc()
+    evictions = reg.counter(
+        "repro_cache_evictions_total", "Evictions", labelnames=("scope",)
+    )
+    evictions.labels(scope="full").inc()
+    print(reg.render())
+
+``render()`` emits the Prometheus text exposition format (``# HELP`` /
+``# TYPE`` headers followed by one sample per line), so the output can be
+scraped, diffed, or dropped into any Prometheus tooling as-is.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "Registry"]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: default histogram buckets (seconds-ish scale; override per metric)
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0,
+)
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(
+    labelnames: Sequence[str], labelvalues: Sequence[str], extra: str = ""
+) -> str:
+    parts = [
+        f'{name}="{value}"'
+        for name, value in zip(labelnames, labelvalues)
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up: {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Cumulative-bucket histogram with ``_sum`` and ``_count``."""
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        upper = sorted(float(b) for b in buckets)
+        if not upper:
+            raise ValueError("histogram needs at least one bucket")
+        if upper[-1] != math.inf:
+            upper.append(math.inf)
+        self.buckets: Tuple[float, ...] = tuple(upper)
+        self.counts: List[int] = [0] * len(self.buckets)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                break
+
+    def cumulative_counts(self) -> List[int]:
+        out: List[int] = []
+        running = 0
+        for c in self.counts:
+            running += c
+            out.append(running)
+        return out
+
+
+_TYPES = {Counter: "counter", Gauge: "gauge", Histogram: "histogram"}
+
+
+class MetricFamily:
+    """One named metric and its per-label-value children.
+
+    An unlabeled family delegates ``inc``/``set``/``dec``/``observe`` to
+    its single implicit child, so ``reg.counter("x", "...").inc()`` works
+    without a ``labels()`` round-trip.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        documentation: str,
+        cls: type,
+        labelnames: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name: {name!r}")
+        for label in labelnames:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name: {label!r}")
+        self.name = name
+        self.documentation = documentation
+        self.cls = cls
+        self.labelnames = tuple(labelnames)
+        self._buckets = buckets
+        self._children: Dict[Tuple[str, ...], object] = {}
+        if not self.labelnames:
+            self._children[()] = self._make_child()
+
+    @property
+    def type(self) -> str:
+        return _TYPES[self.cls]
+
+    def _make_child(self):
+        if self.cls is Histogram:
+            return Histogram(
+                self._buckets if self._buckets is not None else DEFAULT_BUCKETS
+            )
+        return self.cls()
+
+    def labels(self, **labelvalues: str):
+        if set(labelvalues) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name} takes labels {self.labelnames}, "
+                f"got {sorted(labelvalues)}"
+            )
+        key = tuple(str(labelvalues[n]) for n in self.labelnames)
+        child = self._children.get(key)
+        if child is None:
+            child = self._children[key] = self._make_child()
+        return child
+
+    def children(self) -> Iterable[Tuple[Tuple[str, ...], object]]:
+        return sorted(self._children.items())
+
+    # -- unlabeled convenience --------------------------------------------------
+    def _solo(self):
+        if self.labelnames:
+            raise ValueError(
+                f"metric {self.name} is labeled; call .labels(...) first"
+            )
+        return self._children[()]
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._solo().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._solo().dec(amount)
+
+    def set(self, value: float) -> None:
+        self._solo().set(value)
+
+    def observe(self, value: float) -> None:
+        self._solo().observe(value)
+
+    @property
+    def value(self) -> float:
+        return self._solo().value
+
+    @property
+    def count(self) -> int:
+        return self._solo().count
+
+    @property
+    def sum(self) -> float:
+        return self._solo().sum
+
+
+class Registry:
+    """Holds metric families; renders the text exposition format.
+
+    Registering the same (name, type) twice returns the existing family,
+    so components re-wired across runs share their metrics instead of
+    erroring; a name re-registered as a *different* type raises.
+    """
+
+    def __init__(self) -> None:
+        self._families: Dict[str, MetricFamily] = {}
+
+    def _register(
+        self,
+        name: str,
+        documentation: str,
+        cls: type,
+        labelnames: Sequence[str],
+        buckets: Optional[Sequence[float]] = None,
+    ) -> MetricFamily:
+        existing = self._families.get(name)
+        if existing is not None:
+            if existing.cls is not cls:
+                raise ValueError(
+                    f"metric {name!r} already registered as {existing.type}"
+                )
+            return existing
+        family = MetricFamily(name, documentation, cls, labelnames, buckets)
+        self._families[name] = family
+        return family
+
+    def counter(
+        self, name: str, documentation: str = "", labelnames: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._register(name, documentation, Counter, labelnames)
+
+    def gauge(
+        self, name: str, documentation: str = "", labelnames: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._register(name, documentation, Gauge, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        documentation: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ) -> MetricFamily:
+        return self._register(name, documentation, Histogram, labelnames, buckets)
+
+    def get(self, name: str) -> Optional[MetricFamily]:
+        return self._families.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._families)
+
+    def render(self) -> str:
+        """The Prometheus text exposition of every registered metric."""
+        lines: List[str] = []
+        for name in self.names():
+            family = self._families[name]
+            if family.documentation:
+                lines.append(f"# HELP {name} {family.documentation}")
+            lines.append(f"# TYPE {name} {family.type}")
+            for labelvalues, child in family.children():
+                if family.cls is Histogram:
+                    cumulative = child.cumulative_counts()
+                    for bound, count in zip(child.buckets, cumulative):
+                        le = _format_labels(
+                            family.labelnames,
+                            labelvalues,
+                            extra=f'le="{_format_value(bound)}"',
+                        )
+                        lines.append(f"{name}_bucket{le} {count}")
+                    labels = _format_labels(family.labelnames, labelvalues)
+                    lines.append(
+                        f"{name}_sum{labels} {_format_value(child.sum)}"
+                    )
+                    lines.append(f"{name}_count{labels} {child.count}")
+                else:
+                    labels = _format_labels(family.labelnames, labelvalues)
+                    lines.append(
+                        f"{name}{labels} {_format_value(child.value)}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def __repr__(self) -> str:
+        return f"Registry(metrics={self.names()})"

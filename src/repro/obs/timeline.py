@@ -1,0 +1,158 @@
+"""Serialize a finished run to Chrome trace-event (Perfetto) JSON.
+
+The export maps the simulation onto the trace-event model:
+
+- one *process* per machine, with task lifetimes as complete (``"X"``)
+  slices; concurrent tasks on a machine are packed greedily into lanes
+  (threads) so slices never overlap within a track;
+- a ``scheduler`` process with one instant event per scheduling round
+  (machines visited, placements made, wall-clock cost) and counter
+  (``"C"``) tracks for running tasks and event-queue depth;
+- a ``shuffle`` process whose slices are the remote-read windows: tasks
+  that pulled input across the network, spanning their runtime.
+
+Timestamps are simulation seconds scaled to microseconds (the unit the
+trace-event format expects).  Load the output at ``ui.perfetto.dev`` or
+``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+
+__all__ = ["chrome_trace_events", "write_chrome_trace"]
+
+_US = 1e6  # simulation seconds -> trace-event microseconds
+
+
+def _assign_lanes(intervals: List[tuple]) -> List[int]:
+    """Greedy interval packing: the lane index for each (start, end).
+
+    ``intervals`` must be sorted by start.  Returns one lane id per
+    interval such that intervals sharing a lane never overlap — Perfetto
+    renders each lane as its own thread track.
+    """
+    lane_free_at: List[float] = []
+    lanes: List[int] = []
+    for start, end in intervals:
+        for lane, free_at in enumerate(lane_free_at):
+            if free_at <= start + 1e-12:
+                lane_free_at[lane] = end
+                lanes.append(lane)
+                break
+        else:
+            lane_free_at.append(end)
+            lanes.append(len(lane_free_at) - 1)
+    return lanes
+
+
+def chrome_trace_events(engine: "Engine") -> List[dict]:
+    """The run's trace-event list (call after ``engine.run()``)."""
+    events: List[dict] = []
+    num_machines = engine.cluster.num_machines
+    scheduler_pid = num_machines
+    shuffle_pid = num_machines + 1
+
+    # -- process metadata ---------------------------------------------------
+    for machine in engine.cluster.machines:
+        events.append({
+            "name": "process_name", "ph": "M", "pid": machine.machine_id,
+            "args": {"name": f"machine {machine.machine_id}"},
+        })
+        events.append({
+            "name": "process_sort_index", "ph": "M",
+            "pid": machine.machine_id,
+            "args": {"sort_index": machine.machine_id},
+        })
+    events.append({
+        "name": "process_name", "ph": "M", "pid": scheduler_pid,
+        "args": {"name": "scheduler"},
+    })
+    events.append({
+        "name": "process_name", "ph": "M", "pid": shuffle_pid,
+        "args": {"name": "shuffle flows"},
+    })
+
+    # -- task lifetimes, one process per machine, greedy lanes --------------
+    by_machine: Dict[int, List] = {}
+    for job in engine.jobs:
+        for task in job.all_tasks():
+            if (
+                task.machine_id is None
+                or task.start_time is None
+                or task.finish_time is None
+            ):
+                continue
+            by_machine.setdefault(task.machine_id, []).append(task)
+    for machine_id, tasks in sorted(by_machine.items()):
+        tasks.sort(key=lambda t: (t.start_time, t.task_id))
+        lanes = _assign_lanes(
+            [(t.start_time, t.finish_time) for t in tasks]
+        )
+        for task, lane in zip(tasks, lanes):
+            remote_mb = task.remote_input_mb(machine_id)
+            events.append({
+                "name": f"{task.job.name}/{task.stage.name}#{task.index}",
+                "cat": "task", "ph": "X", "pid": machine_id, "tid": lane,
+                "ts": task.start_time * _US,
+                "dur": (task.finish_time - task.start_time) * _US,
+                "args": {
+                    "job": task.job.name,
+                    "stage": task.stage.name,
+                    "task": task.index,
+                    "attempts": task.attempts,
+                    "remote_input_mb": remote_mb,
+                },
+            })
+            if remote_mb > 0:
+                events.append({
+                    "name": f"shuffle {task.job.name}/{task.stage.name}"
+                            f"#{task.index}",
+                    "cat": "shuffle", "ph": "X", "pid": shuffle_pid,
+                    "tid": machine_id,
+                    "ts": task.start_time * _US,
+                    "dur": (task.finish_time - task.start_time) * _US,
+                    "args": {"remote_input_mb": remote_mb,
+                             "dest_machine": machine_id},
+                })
+
+    # -- scheduler rounds ---------------------------------------------------
+    for time, machines, placements, wall in engine.round_log:
+        events.append({
+            "name": "scheduler round", "cat": "scheduler", "ph": "i",
+            "pid": scheduler_pid, "tid": 0, "ts": time * _US, "s": "p",
+            "args": {
+                "machines_visited": machines,
+                "placements": placements,
+                "wall_ms": wall * 1e3,
+            },
+        })
+
+    # -- counters from the metrics timeline ---------------------------------
+    for point in engine.collector.timeline:
+        events.append({
+            "name": "running tasks", "cat": "scheduler", "ph": "C",
+            "pid": scheduler_pid, "ts": point.time * _US,
+            "args": {"running": point.running_tasks},
+        })
+    return events
+
+
+def write_chrome_trace(engine: "Engine", path) -> None:
+    """Write the run as a Perfetto-loadable JSON object file."""
+    payload = {
+        "traceEvents": chrome_trace_events(engine),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "scheduler": engine.scheduler.name,
+            "machines": engine.cluster.num_machines,
+            "jobs": len(engine.jobs),
+            "sim_duration_s": engine.now,
+        },
+    }
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(payload, f)

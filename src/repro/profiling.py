@@ -21,7 +21,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Dict, Iterator
+from typing import Dict, Iterator, List
 
 __all__ = ["PhaseStats", "Profiler"]
 
@@ -32,16 +32,22 @@ class PhaseStats:
 
     count: int = 0
     total: float = 0.0
-    min: float = field(default=float("inf"))
     max: float = 0.0
+    _min: float = field(default=float("inf"), repr=False)
 
     def add(self, duration: float) -> None:
         self.count += 1
         self.total += duration
-        if duration < self.min:
-            self.min = duration
+        if duration < self._min:
+            self._min = duration
         if duration > self.max:
             self.max = duration
+
+    @property
+    def min(self) -> float:
+        """Smallest sample, or ``0.0`` when no samples were recorded
+        (an empty phase must not report ``inf``)."""
+        return self._min if self.count else 0.0
 
     @property
     def mean(self) -> float:
@@ -71,10 +77,16 @@ class Profiler:
             self.record(label, perf_counter() - start)
 
     def stats(self, label: str) -> PhaseStats:
-        """Samples recorded under ``label`` (empty stats if none)."""
+        """Samples recorded under ``label``.
+
+        Unknown labels return a *detached* empty :class:`PhaseStats` —
+        the label is **not** registered, so probing never pollutes
+        :meth:`labels` or :meth:`summary`, and ``add()`` on the returned
+        object does not feed back into this profiler.
+        """
         return self._stats.get(label, PhaseStats())
 
-    def labels(self) -> list:
+    def labels(self) -> List[str]:
         return sorted(self._stats)
 
     def reset(self) -> None:

@@ -48,8 +48,19 @@ __all__ = [
     "FFDProdAlignment",
     "FFDSumAlignment",
     "ALIGNMENT_SCORERS",
+    "batch_capable",
     "get_scorer",
 ]
+
+
+def batch_capable(scorer: "AlignmentScorer") -> bool:
+    """True when ``scorer`` overrides :meth:`AlignmentScorer.score_batch`.
+
+    Schedulers use this to decide whether the vectorized packing path can
+    run; scorers without a batch implementation fall back to the scalar
+    reference oracle.
+    """
+    return type(scorer).score_batch is not AlignmentScorer.score_batch
 
 
 class AlignmentScorer(abc.ABC):

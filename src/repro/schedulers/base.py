@@ -29,6 +29,8 @@ from repro.workload.task import Task
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.cluster import Cluster
     from repro.estimation.tracker import ResourceTracker
+    from repro.obs.registry import Registry
+    from repro.obs.trace import DecisionTrace
 
 __all__ = ["Placement", "Scheduler", "adjust_for_placement"]
 
@@ -89,6 +91,28 @@ class Scheduler(abc.ABC):
         #: offers a stage declines before accepting a non-local slot;
         #: None = one wave of the cluster (set at bind)
         self.locality_delay: Optional[int] = None
+        #: optional decision-event sink (repro.obs.trace.DecisionTrace);
+        #: like the profiler, None means tracing costs nothing
+        self.trace: Optional["DecisionTrace"] = None
+
+    # -- observability -----------------------------------------------------------
+    def use_observability(
+        self,
+        trace: Optional["DecisionTrace"] = None,
+        metrics: Optional["Registry"] = None,
+    ) -> None:
+        """Attach a decision-trace sink and/or a metrics registry.
+
+        The engine calls this for every scheduler; subclasses register
+        their own metrics by overriding :meth:`_register_metrics`.
+        """
+        if trace is not None:
+            self.trace = trace
+        if metrics is not None:
+            self._register_metrics(metrics)
+
+    def _register_metrics(self, registry: "Registry") -> None:
+        """Hook for subclasses to create their metric instruments."""
 
     # -- wiring -------------------------------------------------------------
     def bind(
@@ -213,14 +237,18 @@ class Scheduler(abc.ABC):
                 )
         return adjusted
 
-    def pick_task_with_locality(self, index, job: Job, machine_id: int):
+    def pick_task_with_locality(
+        self, index, job: Job, machine_id: int, time: float = 0.0
+    ):
         """Delay-scheduling task choice (Zaharia et al., EuroSys 2010).
 
         The production baselines the paper compares against place map
         tasks on local slots when they can, *waiting* a bounded number of
         scheduling offers before settling for a remote slot.  A stage
         accepts a non-local slot only after declining ``locality_delay``
-        offers; a local launch resets its patience.
+        offers; a local launch resets its patience.  With a decision
+        trace attached, every declined offer is emitted as a
+        ``locality_defer`` event.
         """
         limit = self.locality_delay
         if limit is None:
@@ -246,6 +274,15 @@ class Scheduler(abc.ABC):
         if skips >= limit:
             return fallback
         self._stage_skips[fallback_stage.stage_id] = skips + 1
+        if self.trace is not None:
+            self.trace.emit(
+                "locality_defer",
+                time=time,
+                job=job.name,
+                stage=fallback_stage.name,
+                machine=machine_id,
+                skips=skips + 1,
+            )
         return None
 
     def iter_machine_ids(

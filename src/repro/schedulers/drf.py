@@ -63,8 +63,12 @@ class DRFScheduler(Scheduler):
             demand.get(d) <= free.get(d) + 1e-9 for d in self.dims
         )
 
-    def _pick_task(self, job: Job, machine_id: int) -> Optional[Task]:
-        return self.pick_task_with_locality(self.index, job, machine_id)
+    def _pick_task(
+        self, job: Job, machine_id: int, time: float = 0.0
+    ) -> Optional[Task]:
+        return self.pick_task_with_locality(
+            self.index, job, machine_id, time
+        )
 
     # -- decisions ----------------------------------------------------------
     def schedule(
@@ -87,7 +91,7 @@ class DRFScheduler(Scheduler):
                 )
                 placed = False
                 for job in jobs:
-                    task = self._pick_task(job, machine_id)
+                    task = self._pick_task(job, machine_id, time)
                     if task is None:
                         continue
                     booked = self.booked_demands(task, machine_id)

@@ -47,8 +47,12 @@ class FifoScheduler(Scheduler):
         super().on_task_finished(task, time)
         self.index.forget(task)
 
-    def _pick_task(self, job: Job, machine_id: int) -> Optional[Task]:
-        return self.pick_task_with_locality(self.index, job, machine_id)
+    def _pick_task(
+        self, job: Job, machine_id: int, time: float = 0.0
+    ) -> Optional[Task]:
+        return self.pick_task_with_locality(
+            self.index, job, machine_id, time
+        )
 
     def schedule(
         self, time: float, machine_ids: Optional[List[int]] = None
@@ -64,7 +68,7 @@ class FifoScheduler(Scheduler):
             while True:
                 placed = False
                 for job in jobs:
-                    task = self._pick_task(job, machine_id)
+                    task = self._pick_task(job, machine_id, time)
                     if task is None:
                         continue
                     booked = self.booked_demands(task, machine_id)

@@ -100,8 +100,12 @@ class SlotFairScheduler(Scheduler):
 
         return sorted(jobs, key=deficit, reverse=True)
 
-    def _pick_task(self, job: Job, machine_id: int) -> Optional[Task]:
-        return self.pick_task_with_locality(self.index, job, machine_id)
+    def _pick_task(
+        self, job: Job, machine_id: int, time: float = 0.0
+    ) -> Optional[Task]:
+        return self.pick_task_with_locality(
+            self.index, job, machine_id, time
+        )
 
     # -- decisions ------------------------------------------------------------
     def schedule(
@@ -112,7 +116,7 @@ class SlotFairScheduler(Scheduler):
             while self._slots_free[machine_id] > 0:
                 placed = False
                 for job in self._job_order():
-                    task = self._pick_task(job, machine_id)
+                    task = self._pick_task(job, machine_id, time)
                     if task is None:
                         continue
                     slots = self.task_slots(task)

@@ -50,7 +50,11 @@ from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 import numpy as np
 
 from repro.resources import EPSILON, ResourceVector
-from repro.schedulers.alignment import AlignmentScorer, get_scorer
+from repro.schedulers.alignment import (
+    AlignmentScorer,
+    batch_capable,
+    get_scorer,
+)
 from repro.schedulers.base import Placement, Scheduler
 from repro.schedulers.fairness_policy import DRFFairnessPolicy, FairnessPolicy
 from repro.schedulers.stage_index import StageIndex
@@ -59,6 +63,7 @@ from repro.workload.stage import Stage
 from repro.workload.task import Task
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.registry import Registry
     from repro.profiling import Profiler
 
 __all__ = ["TetrisConfig", "TetrisScheduler"]
@@ -185,9 +190,45 @@ class TetrisScheduler(Scheduler):
         #: invalidated on estimate updates and shuffle-input resolution.
         self._packed_cache: Dict[int, Dict[int, Tuple[ResourceVector, np.ndarray]]] = {}
         self._dims_mask: Optional[np.ndarray] = None
+        self._masked_names: Tuple[str, ...] = ()
         # scorers without a batch implementation run the scalar oracle
-        self._use_vectorized = self.config.vectorized and (
-            type(self.scorer).score_batch is not AlignmentScorer.score_batch
+        self._use_vectorized = self.config.vectorized and batch_capable(
+            self.scorer
+        )
+        #: optional metric instruments (set by use_observability via
+        #: _register_metrics); None keeps the hot paths branch-cheap
+        self._m_cache_hits = None
+        self._m_cache_misses = None
+        self._m_invalidations = None
+        self._m_remote_grants = None
+        self._m_ledger_size = None
+        self._m_reservations = None
+
+    def _register_metrics(self, registry: "Registry") -> None:
+        lookups = registry.counter(
+            "repro_tetris_pack_cache_total",
+            "Packing-cache lookups by outcome",
+            labelnames=("outcome",),
+        )
+        self._m_cache_hits = lookups.labels(outcome="hit")
+        self._m_cache_misses = lookups.labels(outcome="miss")
+        self._m_invalidations = registry.counter(
+            "repro_tetris_cache_invalidations_total",
+            "Packing-cache invalidations by scope (task completion, "
+            "full flush under unstable estimates, shuffle resolution)",
+            labelnames=("scope",),
+        )
+        self._m_remote_grants = registry.counter(
+            "repro_tetris_remote_grants_total",
+            "Remote-read bandwidth grants charged to source machines",
+        )
+        self._m_ledger_size = registry.gauge(
+            "repro_tetris_remote_ledger_machines",
+            "Machines with outstanding remote-read grants",
+        )
+        self._m_reservations = registry.counter(
+            "repro_tetris_reservations_total",
+            "Machines reserved for starved stages",
         )
 
     # -- wiring -----------------------------------------------------------------
@@ -195,6 +236,11 @@ class TetrisScheduler(Scheduler):
         super().bind(cluster, estimator=estimator, tracker=tracker)
         self._packed_cache.clear()
         self._dims_mask = cluster.model.mask(self.config.considered_dims)
+        self._masked_names = tuple(
+            name
+            for name, on in zip(cluster.model.names, self._dims_mask)
+            if on
+        )
 
     # -- SRTF bookkeeping -------------------------------------------------------
     def _task_work_term(self, task: Task) -> float:
@@ -224,7 +270,11 @@ class TetrisScheduler(Scheduler):
         # shuffle inputs were just pinned to source machines: any cached
         # placement-adjusted vectors for these tasks are stale
         for task in stage.tasks:
-            self._packed_cache.pop(task.task_id, None)
+            if (
+                self._packed_cache.pop(task.task_id, None) is not None
+                and self._m_invalidations is not None
+            ):
+                self._m_invalidations.labels(scope="shuffle").inc()
 
     def on_task_failed(self, task: Task, time: float) -> None:
         super().on_task_failed(task, time)
@@ -239,11 +289,17 @@ class TetrisScheduler(Scheduler):
         if self.config.debug_invariants:
             self.check_remote_ledger()
         if self.estimator.stable_estimates:
-            self._packed_cache.pop(task.task_id, None)
-        else:
+            if (
+                self._packed_cache.pop(task.task_id, None) is not None
+                and self._m_invalidations is not None
+            ):
+                self._m_invalidations.labels(scope="task").inc()
+        elif self._packed_cache:
             # a completion can move every estimate (peer means, template
             # history): drop the whole cache
             self._packed_cache.clear()
+            if self._m_invalidations is not None:
+                self._m_invalidations.labels(scope="full").inc()
         term = self._task_work.pop(task.task_id, 0.0)
         job_id = task.job.job_id
         if job_id in self._job_work:
@@ -385,6 +441,9 @@ class TetrisScheduler(Scheduler):
                 self._remote_granted[source_id] = (
                     self._remote_granted.get(source_id, 0.0) + rate
                 )
+            if self._m_remote_grants is not None:
+                self._m_remote_grants.inc(len(grants))
+                self._m_ledger_size.set(len(self._remote_granted))
             if self.config.debug_invariants:
                 self.check_remote_ledger()
 
@@ -401,6 +460,8 @@ class TetrisScheduler(Scheduler):
                 self._remote_granted.pop(machine_id, None)
             else:
                 self._remote_granted[machine_id] = left
+        if self._m_ledger_size is not None:
+            self._m_ledger_size.set(len(self._remote_granted))
 
     def check_remote_ledger(self) -> None:
         """Invariant: per-machine granted rate is non-negative and never
@@ -454,6 +515,18 @@ class TetrisScheduler(Scheduler):
         placements: List[Placement] = []
         jobs = self.candidate_jobs()
         if jobs:
+            if self.trace is not None:
+                runnable = self.runnable_jobs()
+                kept_ids = {j.job_id for j in jobs}
+                self.trace.emit(
+                    "fairness_filter",
+                    time=time,
+                    total_jobs=len(runnable),
+                    kept_jobs=len(jobs),
+                    dropped=sorted(
+                        j.name for j in runnable if j.job_id not in kept_ids
+                    ),
+                )
             machine_ids = self.consume_dirty_machines(machine_ids)
             if machine_ids is None or machine_ids:
                 if self.config.starvation_timeout is not None:
@@ -497,6 +570,16 @@ class TetrisScheduler(Scheduler):
                     return
                 self._reservations[machine_id] = stage
                 reserved_stages.add(stage.stage_id)
+                if self._m_reservations is not None:
+                    self._m_reservations.inc()
+                if self.trace is not None:
+                    self.trace.emit(
+                        "reservation",
+                        time=time,
+                        job=job.name,
+                        stage=stage.name,
+                        machine=machine_id,
+                    )
 
     def _pick_reservation_machine(self) -> Optional[int]:
         """The unreserved machine with the most normalized free capacity."""
@@ -548,12 +631,15 @@ class TetrisScheduler(Scheduler):
                 booked = self.booked_demands(task, machine_id)
                 if not self._fits(booked, free):
                     return placements  # keep holding resources free
-                self.index.claim(task)
-                if self.config.check_remote_resources:
-                    self._grant_remote(task, machine_id)
-                placements.append(Placement(task, machine_id, booked))
-                free = (free - booked).clamp_nonnegative()
-                self._stage_last_placement[reserved_stage.stage_id] = time
+                free = self._place_candidate(
+                    task,
+                    booked,
+                    machine_id,
+                    free,
+                    time,
+                    placements,
+                    via="reservation",
+                )
                 del self._reservations[machine_id]
         if self._use_vectorized:
             fill = self._fill_loop_vectorized
@@ -570,6 +656,8 @@ class TetrisScheduler(Scheduler):
         free: ResourceVector,
         time: float,
         placements: List[Placement],
+        via: str = "pack",
+        score_info: Optional[Dict[str, float]] = None,
     ) -> ResourceVector:
         """Claim + grant + record one placement; returns the updated free."""
         self.index.claim(task)
@@ -577,6 +665,17 @@ class TetrisScheduler(Scheduler):
             self._grant_remote(task, machine_id)
         placements.append(Placement(task, machine_id, booked))
         self._stage_last_placement[task.stage.stage_id] = time
+        if self.trace is not None:
+            self.trace.emit(
+                "placement",
+                time=time,
+                job=task.job.name,
+                stage=task.stage.name,
+                task=task.index,
+                machine=machine_id,
+                via=via,
+                **(score_info or {}),
+            )
         return (free - booked).clamp_nonnegative()
 
     def _fill_loop_scalar(
@@ -589,24 +688,121 @@ class TetrisScheduler(Scheduler):
     ) -> List[Placement]:
         """The reference decision loop: one candidate at a time."""
         placements: List[Placement] = []
+        trace = self.trace
+        cfg = self.config
         while True:
-            candidates = self._gather_candidates(machine_id, jobs, free, time)
+            entries: Optional[List[tuple]] = [] if trace is not None else None
+            candidates = self._gather_candidates(
+                machine_id, jobs, free, time, entries
+            )
             if not candidates:
+                if entries:
+                    self._emit_decision_entries(entries, machine_id, time, 0.0)
                 break
             # ε over the FULL candidate set (§3.3), before barrier filtering
             epsilon = self._epsilon(
                 [c.alignment for c in candidates],
                 [c.remaining_work for c in candidates],
             )
+            if entries:
+                self._emit_decision_entries(entries, machine_id, time, epsilon)
             barrier_cands = [
                 c for c in candidates if c.task.stage.stage_id in barrier_stages
             ]
             pool = barrier_cands if barrier_cands else candidates
+            if trace is not None and barrier_cands:
+                trace.emit(
+                    "barrier_filter",
+                    time=time,
+                    machine=machine_id,
+                    barrier_candidates=len(barrier_cands),
+                    candidates=len(candidates),
+                )
             best = self._pick_best(pool, epsilon)
+            score_info = None
+            if trace is not None:
+                srtf_weight = cfg.srtf_multiplier * epsilon
+                score_info = {
+                    "alignment": best.alignment,
+                    "remaining_work": best.remaining_work,
+                    "combined": cfg.alignment_weight * best.alignment
+                    - srtf_weight * best.remaining_work,
+                }
             free = self._place_candidate(
-                best.task, best.booked, machine_id, free, time, placements
+                best.task,
+                best.booked,
+                machine_id,
+                free,
+                time,
+                placements,
+                score_info=score_info,
             )
         return placements
+
+    def _violating_dim(
+        self, booked: ResourceVector, free: ResourceVector
+    ) -> str:
+        """The first considered dimension (model order) that overflows."""
+        mask = self._dims_mask
+        over = booked.data[mask] > free.data[mask] + EPSILON
+        return self._masked_names[int(np.argmax(over))]
+
+    def _emit_decision_entries(
+        self,
+        entries: List[tuple],
+        machine_id: int,
+        time: float,
+        epsilon: float,
+    ) -> None:
+        """Emit one gather round's rejections and scored candidates.
+
+        Both decision paths funnel through here with identical entry
+        tuples, so the emitted streams agree bit-for-bit: the combined
+        score is recomputed as ``w*a - (m*ε)*p`` from plain floats, which
+        matches the vectorized ``scores`` array elementwise.
+        """
+        trace = self.trace
+        cfg = self.config
+        srtf_weight = cfg.srtf_multiplier * epsilon
+        for entry in entries:
+            kind = entry[0]
+            if kind == "cand":
+                _, cand, remote = entry
+                task = cand.task
+                trace.emit(
+                    "candidate",
+                    time=time,
+                    job=task.job.name,
+                    stage=task.stage.name,
+                    task=task.index,
+                    machine=machine_id,
+                    alignment=cand.alignment,
+                    remaining_work=cand.remaining_work,
+                    combined=cfg.alignment_weight * cand.alignment
+                    - srtf_weight * cand.remaining_work,
+                    remote=remote,
+                )
+            elif kind == "fit":
+                _, task, dim = entry
+                trace.emit(
+                    "fit_reject",
+                    time=time,
+                    job=task.job.name,
+                    stage=task.stage.name,
+                    task=task.index,
+                    machine=machine_id,
+                    dim=dim,
+                )
+            else:
+                task = entry[1]
+                trace.emit(
+                    "remote_reject",
+                    time=time,
+                    job=task.job.name,
+                    stage=task.stage.name,
+                    task=task.index,
+                    machine=machine_id,
+                )
 
     def _fill_loop_vectorized(
         self,
@@ -631,6 +827,7 @@ class TetrisScheduler(Scheduler):
         placements: List[Placement] = []
         capacity = self.cluster.machine(machine_id).capacity
         mask = self._dims_mask
+        trace = self.trace
         while True:
             tasks: List[Task] = []
             booked_list: List[ResourceVector] = []
@@ -664,6 +861,20 @@ class TetrisScheduler(Scheduler):
                 if self._remote_sources_ok(tasks[i], machine_id)
             ]
             if not keep:
+                if trace is not None:
+                    entries = [
+                        ("remote", task)
+                        if fits[idx]
+                        else (
+                            "fit",
+                            task,
+                            self._violating_dim(booked_list[idx], free),
+                        )
+                        for idx, task in enumerate(tasks)
+                    ]
+                    self._emit_decision_entries(
+                        entries, machine_id, time, 0.0
+                    )
                 break
             demand_matrix = np.stack([norm_rows[i] for i in keep])
             free_norm = self._masked(free).normalized_by(capacity)
@@ -683,6 +894,31 @@ class TetrisScheduler(Scheduler):
             scores = cfg.alignment_weight * align - srtf_weight * np.asarray(
                 kept_remaining
             )
+            if trace is not None:
+                pos = {i: k for k, i in enumerate(keep)}
+                entries = []
+                for idx, task in enumerate(tasks):
+                    k = pos.get(idx)
+                    if k is not None:
+                        entries.append((
+                            "cand",
+                            _Candidate(
+                                task,
+                                None,
+                                float(align[k]),
+                                kept_remaining[k],
+                            ),
+                            bool(remote_flags[k]),
+                        ))
+                    elif not fits[idx]:
+                        entries.append((
+                            "fit",
+                            task,
+                            self._violating_dim(booked_list[idx], free),
+                        ))
+                    else:
+                        entries.append(("remote", task))
+                self._emit_decision_entries(entries, machine_id, time, epsilon)
             barrier_flags = np.fromiter(
                 (tasks[i].stage.stage_id in barrier_stages for i in keep),
                 dtype=bool,
@@ -691,9 +927,24 @@ class TetrisScheduler(Scheduler):
             if barrier_flags.any():
                 pool = np.nonzero(barrier_flags)[0]
                 best_k = int(pool[np.argmax(scores[pool])])
+                if trace is not None:
+                    trace.emit(
+                        "barrier_filter",
+                        time=time,
+                        machine=machine_id,
+                        barrier_candidates=int(pool.size),
+                        candidates=len(keep),
+                    )
             else:
                 best_k = int(np.argmax(scores))
             best_i = keep[best_k]
+            score_info = None
+            if trace is not None:
+                score_info = {
+                    "alignment": float(align[best_k]),
+                    "remaining_work": kept_remaining[best_k],
+                    "combined": float(scores[best_k]),
+                }
             free = self._place_candidate(
                 tasks[best_i],
                 booked_list[best_i],
@@ -701,6 +952,7 @@ class TetrisScheduler(Scheduler):
                 free,
                 time,
                 placements,
+                score_info=score_info,
             )
         return placements
 
@@ -714,9 +966,13 @@ class TetrisScheduler(Scheduler):
             per_machine = self._packed_cache[task.task_id] = {}
         entry = per_machine.get(machine_id)
         if entry is None:
+            if self._m_cache_misses is not None:
+                self._m_cache_misses.inc()
             booked = self.booked_demands(task, machine_id)
             norm = self._masked(booked).normalized_by(capacity).data
             entry = per_machine[machine_id] = (booked, norm)
+        elif self._m_cache_hits is not None:
+            self._m_cache_hits.inc()
         return entry
 
     def _remaining_work(self, job: Job, time: float) -> float:
@@ -747,7 +1003,15 @@ class TetrisScheduler(Scheduler):
         jobs: Sequence[Job],
         free: ResourceVector,
         time: float = 0.0,
+        event_log: Optional[List[tuple]] = None,
     ) -> List[_Candidate]:
+        """Fit-checked, scored candidates for one machine.
+
+        When ``event_log`` is given (tracing on), every considered task
+        appends an entry — ``("fit", task, dim)``, ``("remote", task)``
+        or ``("cand", candidate, remote)`` — in iteration order, for
+        :meth:`_emit_decision_entries` once ε is known.
+        """
         candidates: List[_Candidate] = []
         for job in jobs:
             remaining = self._remaining_work(job, time)
@@ -762,16 +1026,25 @@ class TetrisScheduler(Scheduler):
                 for task in seen:
                     booked = self.booked_demands(task, machine_id)
                     if not self._fits(booked, free):
+                        if event_log is not None:
+                            event_log.append((
+                                "fit",
+                                task,
+                                self._violating_dim(booked, free),
+                            ))
                         continue
                     if not self._remote_sources_ok(task, machine_id):
+                        if event_log is not None:
+                            event_log.append(("remote", task))
                         continue
                     remote = task.remote_input_mb(machine_id) > 0
                     alignment = self._score_alignment(
                         booked, free, remote, machine_id
                     )
-                    candidates.append(
-                        _Candidate(task, booked, alignment, remaining)
-                    )
+                    cand = _Candidate(task, booked, alignment, remaining)
+                    candidates.append(cand)
+                    if event_log is not None:
+                        event_log.append(("cand", cand, remote))
         return candidates
 
     @staticmethod

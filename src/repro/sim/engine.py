@@ -13,6 +13,7 @@ mis-estimation and over-allocation behave as they would on a real cluster.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, Iterable, List, Optional, Sequence, Set, TYPE_CHECKING
 
 import numpy as np
@@ -31,6 +32,8 @@ from repro.workload.task import Task, TaskState
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.activity.ingestion import ClusterActivity
+    from repro.obs.registry import Registry
+    from repro.obs.trace import DecisionTrace
     from repro.profiling import Profiler
 
 __all__ = ["Engine", "EngineConfig"]
@@ -75,6 +78,8 @@ class Engine:
         config: Optional[EngineConfig] = None,
         collector: Optional[MetricsCollector] = None,
         profiler: Optional["Profiler"] = None,
+        decision_trace: Optional["DecisionTrace"] = None,
+        metrics: Optional["Registry"] = None,
     ):
         self.cluster = cluster
         self.scheduler = scheduler
@@ -108,13 +113,60 @@ class Engine:
         #: every placement as (task, machine_id, time, booked) — input to
         #: the Section 3.1 constraint auditor (repro.analysis.model)
         self.placement_log: List[tuple] = []
+        #: every scheduling round as (time, machines visited, placements,
+        #: wall seconds) — the scheduler track of the Perfetto export
+        self.round_log: List[tuple] = []
         #: optional timing sink; also handed to the scheduler so it can
         #: record its own phases under the same object
         self.profiler = profiler
         if profiler is not None and hasattr(scheduler, "profiler"):
             scheduler.profiler = profiler
+        #: optional decision-event sink and metrics registry, shared with
+        #: the scheduler / tracker / estimator (same Optional[...] pattern
+        #: as the profiler: None costs nothing)
+        self.trace = decision_trace
+        self.metrics = metrics
+        self._m_rounds = self._m_placements = self._m_tasks_finished = None
+        self._m_task_failures = self._m_jobs_finished = None
+        self._m_queue_depth = self._m_sim_time = self._m_round_placements = None
+        if metrics is not None:
+            self._register_metrics(metrics)
+        scheduler.use_observability(trace=decision_trace, metrics=metrics)
         scheduler.bind(cluster, estimator=estimator, tracker=tracker)
         self.estimator = scheduler.estimator
+        if metrics is not None:
+            if tracker is not None:
+                tracker.use_metrics(metrics)
+            self.estimator.use_metrics(metrics)
+
+    def _register_metrics(self, registry: "Registry") -> None:
+        self._m_rounds = registry.counter(
+            "repro_engine_rounds_total", "Scheduling rounds run"
+        )
+        self._m_placements = registry.counter(
+            "repro_engine_placements_total", "Task placements applied"
+        )
+        self._m_tasks_finished = registry.counter(
+            "repro_engine_tasks_finished_total", "Task completions"
+        )
+        self._m_task_failures = registry.counter(
+            "repro_engine_task_failures_total",
+            "Failed (retried) task attempts",
+        )
+        self._m_jobs_finished = registry.counter(
+            "repro_engine_jobs_finished_total", "Job completions"
+        )
+        self._m_queue_depth = registry.gauge(
+            "repro_engine_event_queue_depth", "Pending simulator events"
+        )
+        self._m_sim_time = registry.gauge(
+            "repro_engine_sim_time_seconds", "Current simulation time"
+        )
+        self._m_round_placements = registry.histogram(
+            "repro_engine_round_placements",
+            "Placements made per scheduling round",
+            buckets=(0, 1, 2, 5, 10, 20, 50, 100),
+        )
 
     # -- public API -------------------------------------------------------------
     def run(self) -> MetricsCollector:
@@ -204,6 +256,8 @@ class Engine:
             job.mark_finished(self.now)
             self.collector.job_finished(job, self.now)
             self._unfinished_jobs -= 1
+            if self._m_jobs_finished is not None:
+                self._m_jobs_finished.inc()
             return
         self.scheduler.on_job_arrival(job, self.now)
         self._mark_all_dirty()
@@ -264,10 +318,14 @@ class Engine:
             self.scheduler.on_task_failed(task, self.now)
             task.mark_failed(self.now)
             self.collector.task_failed()
+            if self._m_task_failures is not None:
+                self._m_task_failures.inc()
             self._dirty.add(machine.machine_id)
             return
         task.mark_finished(self.now)
         self.collector.task_finished(task.duration)
+        if self._m_tasks_finished is not None:
+            self._m_tasks_finished.inc()
         self.estimator.record_completion(task)
         if self.tracker is not None:
             self.tracker.note_completion(task)
@@ -284,6 +342,8 @@ class Engine:
             job.mark_finished(self.now)
             self.collector.job_finished(job, self.now)
             self._unfinished_jobs -= 1
+            if self._m_jobs_finished is not None:
+                self._m_jobs_finished.inc()
 
     def _resolve_shuffle_inputs(self, stage: Stage) -> None:
         """Assign source machines to inputs produced by upstream stages.
@@ -325,11 +385,29 @@ class Engine:
             return
         machine_ids = sorted(self._dirty)
         self._dirty.clear()
+        start = perf_counter()
         if self.profiler is not None:
             with self.profiler.time("engine.scheduler_round"):
                 placements = self.scheduler.schedule(self.now, machine_ids)
         else:
             placements = self.scheduler.schedule(self.now, machine_ids)
+        wall = perf_counter() - start
+        self.round_log.append(
+            (self.now, len(machine_ids), len(placements), wall)
+        )
+        if self.trace is not None:
+            self.trace.emit(
+                "round",
+                time=self.now,
+                machines=len(machine_ids),
+                placements=len(placements),
+                queue_depth=len(self.events),
+            )
+        if self._m_rounds is not None:
+            self._m_rounds.inc()
+            self._m_round_placements.observe(len(placements))
+            self._m_queue_depth.set(len(self.events))
+            self._m_sim_time.set(self.now)
         for placement in placements:
             self._start_task(placement)
 
@@ -341,6 +419,17 @@ class Engine:
         self.placement_log.append(
             (task, placement.machine_id, self.now, placement.booked)
         )
+        if self.trace is not None:
+            self.trace.emit(
+                "task_start",
+                time=self.now,
+                job=task.job.name,
+                stage=task.stage.name,
+                task=task.index,
+                machine=placement.machine_id,
+            )
+        if self._m_placements is not None:
+            self._m_placements.inc()
         self.scheduler.on_task_started(
             task, placement.machine_id, placement.booked
         )

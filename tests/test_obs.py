@@ -1,0 +1,464 @@
+"""The observability subsystem: registry, decision trace, timeline export.
+
+Covers:
+
+- the Prometheus-style registry: counter/gauge/histogram semantics,
+  labels, idempotent re-registration, and the text exposition format;
+- the decision trace: ring-buffer bounds, JSONL streaming, schema
+  validation, and the log summarizer;
+- the Chrome trace-event (Perfetto) export: lane packing and the event
+  shapes Perfetto requires;
+- end-to-end wiring: a traced engine run emits the documented event
+  types, metrics move, and the estimator/tracker instruments fire.
+"""
+
+import json
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.estimation.estimator import ProfilingEstimator
+from repro.estimation.tracker import ResourceTracker
+from repro.obs import (
+    Counter,
+    DecisionTrace,
+    Gauge,
+    Histogram,
+    Registry,
+    chrome_trace_events,
+    summarize_decision_log,
+    validate_event,
+    validate_jsonl,
+    write_chrome_trace,
+)
+from repro.obs.timeline import _assign_lanes
+from repro.schedulers.drf import DRFScheduler
+from repro.schedulers.tetris import TetrisConfig, TetrisScheduler
+from repro.sim.engine import Engine, EngineConfig
+from repro.workload.trace import materialize_trace
+from repro.workload.tracegen import WorkloadSuiteConfig, generate_workload_suite
+
+
+def _workload(num_jobs=6, seed=11, horizon=100.0):
+    return generate_workload_suite(
+        WorkloadSuiteConfig(
+            num_jobs=num_jobs,
+            task_scale=0.02,
+            arrival_horizon=horizon,
+            seed=seed,
+        )
+    )
+
+
+def _traced_run(
+    scheduler=None, num_machines=4, seed=0, trace_seed=11, **engine_kwargs
+):
+    trace = _workload(seed=trace_seed)
+    cluster = Cluster(num_machines, seed=seed)
+    jobs = materialize_trace(trace, cluster, seed=seed)
+    sink = DecisionTrace(max_events=500_000)
+    registry = Registry()
+    engine = Engine(
+        cluster,
+        scheduler if scheduler is not None else TetrisScheduler(),
+        jobs,
+        decision_trace=sink,
+        metrics=registry,
+        config=EngineConfig(seed=seed),
+        **engine_kwargs,
+    )
+    engine.run()
+    return engine, sink, registry
+
+
+# -- the registry ---------------------------------------------------------------
+class TestRegistry:
+    def test_counter_monotonic(self):
+        reg = Registry()
+        c = reg.counter("x_total", "doc")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_up_and_down(self):
+        reg = Registry()
+        g = reg.gauge("depth", "doc")
+        g.set(10)
+        g.dec(3)
+        g.inc(1)
+        assert g.value == 8
+
+    def test_histogram_buckets_and_sum(self):
+        h = Histogram(buckets=(1.0, 5.0))
+        for v in (0.5, 2.0, 100.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == 102.5
+        assert h.cumulative_counts() == [1, 2, 3]  # le=1, le=5, le=+Inf
+
+    def test_labels_create_children(self):
+        reg = Registry()
+        fam = reg.counter("hits_total", "doc", labelnames=("scope",))
+        fam.labels(scope="a").inc()
+        fam.labels(scope="a").inc()
+        fam.labels(scope="b").inc()
+        assert fam.labels(scope="a").value == 2
+        assert fam.labels(scope="b").value == 1
+
+    def test_wrong_labels_rejected(self):
+        reg = Registry()
+        fam = reg.counter("hits_total", "doc", labelnames=("scope",))
+        with pytest.raises(ValueError):
+            fam.labels(other="x")
+        with pytest.raises(ValueError):
+            fam.inc()  # labeled family has no implicit child
+
+    def test_reregistration_idempotent_same_type(self):
+        reg = Registry()
+        a = reg.counter("x_total", "doc")
+        b = reg.counter("x_total", "doc")
+        assert a is b
+        with pytest.raises(ValueError):
+            reg.gauge("x_total", "doc")
+
+    def test_invalid_names_rejected(self):
+        reg = Registry()
+        with pytest.raises(ValueError):
+            reg.counter("0bad", "doc")
+        with pytest.raises(ValueError):
+            reg.counter("ok_total", "doc", labelnames=("bad-label",))
+
+    def test_render_exposition_format(self):
+        reg = Registry()
+        reg.counter("a_total", "counts things").inc(2)
+        reg.gauge("b").set(1.5)
+        fam = reg.counter("c_total", "labeled", labelnames=("kind",))
+        fam.labels(kind="x").inc()
+        reg.histogram("d", "hist", buckets=(1.0,)).observe(0.5)
+        text = reg.render()
+        assert "# HELP a_total counts things" in text
+        assert "# TYPE a_total counter" in text
+        assert "a_total 2" in text
+        assert "b 1.5" in text
+        assert 'c_total{kind="x"} 1' in text
+        assert 'd_bucket{le="1"} 1' in text
+        assert 'd_bucket{le="+Inf"} 1' in text
+        assert "d_sum 0.5" in text
+        assert "d_count 1" in text
+        assert text.endswith("\n")
+
+    def test_empty_render(self):
+        assert Registry().render() == ""
+
+    def test_reexported_from_metrics_package(self):
+        from repro.metrics import (
+            Counter as C,
+            Gauge as G,
+            Histogram as H,
+            Registry as R,
+        )
+
+        assert (C, G, H, R) == (Counter, Gauge, Histogram, Registry)
+
+
+# -- the decision trace ---------------------------------------------------------
+class TestDecisionTrace:
+    def test_ring_buffer_bounds_memory(self):
+        sink = DecisionTrace(max_events=10)
+        for i in range(25):
+            sink.emit("round", time=float(i), machines=1, placements=0,
+                      queue_depth=0)
+        assert len(sink) == 10
+        assert sink.emitted == 25
+        assert sink.dropped == 15
+        # oldest events fell off the front
+        assert sink.events()[0]["time"] == 15.0
+
+    def test_streaming_survives_ring_overflow(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        with DecisionTrace(path, max_events=5) as sink:
+            for i in range(20):
+                sink.emit("round", time=float(i), machines=1,
+                          placements=0, queue_depth=0)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 20  # the file kept everything
+        valid, errors = validate_jsonl(path)
+        assert (valid, errors) == (20, [])
+
+    def test_events_filter_and_tally(self):
+        sink = DecisionTrace()
+        sink.emit("round", time=0.0, machines=1, placements=1, queue_depth=0)
+        sink.emit("task_start", time=0.0, job="j", stage="s", task=0,
+                  machine=0)
+        assert len(sink.events("round")) == 1
+        assert sink.tally() == {"round": 1, "task_start": 1}
+
+    def test_write_jsonl_dumps_buffer(self, tmp_path):
+        sink = DecisionTrace()
+        sink.emit("round", time=0.0, machines=2, placements=0, queue_depth=3)
+        path = tmp_path / "dump.jsonl"
+        sink.write_jsonl(path)
+        assert json.loads(path.read_text())["queue_depth"] == 3
+
+    def test_invalid_max_events(self):
+        with pytest.raises(ValueError):
+            DecisionTrace(max_events=0)
+
+
+class TestEventValidation:
+    def test_valid_events_pass(self):
+        validate_event({
+            "type": "candidate", "time": 1.0, "job": "j", "stage": "s",
+            "task": 3, "machine": 0, "alignment": 0.5,
+            "remaining_work": 2.0, "combined": 0.1, "remote": True,
+        })
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown event type"):
+            validate_event({"type": "nope"})
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ValueError, match="missing field"):
+            validate_event({"type": "round", "time": 0.0})
+
+    def test_bool_not_accepted_as_int(self):
+        with pytest.raises(ValueError, match="bool"):
+            validate_event({
+                "type": "round", "time": 0.0, "machines": True,
+                "placements": 0, "queue_depth": 0,
+            })
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown field"):
+            validate_event({
+                "type": "round", "time": 0.0, "machines": 1,
+                "placements": 0, "queue_depth": 0, "extra": 1,
+            })
+
+    def test_optional_placement_scores_accepted(self):
+        validate_event({
+            "type": "placement", "time": 0.0, "job": "j", "stage": "s",
+            "task": 0, "machine": 1, "via": "pack", "alignment": 0.2,
+            "remaining_work": 1.0, "combined": 0.1,
+        })
+
+    def test_validate_jsonl_reports_bad_lines(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text(
+            '{"type":"round","time":0.0,"machines":1,"placements":0,'
+            '"queue_depth":0}\n'
+            "not json\n"
+            '{"type":"bogus"}\n'
+        )
+        valid, errors = validate_jsonl(path)
+        assert valid == 1
+        assert len(errors) == 2
+        assert "line 2" in errors[0] and "line 3" in errors[1]
+
+
+# -- end-to-end wiring ----------------------------------------------------------
+class TestTracedRun:
+    def test_tetris_emits_documented_event_types(self):
+        _, sink, _ = _traced_run()
+        tally = sink.tally()
+        for etype in (
+            "round", "fairness_filter", "candidate", "fit_reject",
+            "placement", "task_start",
+        ):
+            assert tally.get(etype, 0) > 0, etype
+        for event in sink.events():
+            validate_event(event)
+
+    def test_placements_match_placement_log(self):
+        engine, sink, _ = _traced_run()
+        placed = [
+            (e["job"], e["stage"], e["task"], e["machine"])
+            for e in sink.events("placement")
+        ]
+        logged = [
+            (t.job.name, t.stage.name, t.index, m)
+            for (t, m, _time, _b) in engine.placement_log
+        ]
+        assert placed == logged
+
+    def test_task_start_mirrors_placements(self):
+        engine, sink, _ = _traced_run()
+        assert len(sink.events("task_start")) == len(engine.placement_log)
+
+    def test_engine_metrics_move(self):
+        engine, _, reg = _traced_run()
+        assert reg.get("repro_engine_rounds_total").value > 0
+        assert reg.get("repro_engine_placements_total").value == len(
+            engine.placement_log
+        )
+        assert reg.get("repro_engine_jobs_finished_total").value == len(
+            engine.jobs
+        )
+        hist = reg.get("repro_engine_round_placements")
+        assert hist.count == reg.get("repro_engine_rounds_total").value
+        assert reg.get("repro_engine_sim_time_seconds").value == engine.now
+
+    def test_tetris_cache_and_ledger_metrics(self):
+        _, _, reg = _traced_run()
+        cache = reg.get("repro_tetris_pack_cache_total")
+        assert cache.labels(outcome="hit").value > 0
+        assert cache.labels(outcome="miss").value > 0
+        assert reg.get("repro_tetris_remote_grants_total").value > 0
+        # drained run: no outstanding grants
+        assert reg.get("repro_tetris_remote_ledger_machines").value == 0
+
+    def test_estimator_fallback_counter(self):
+        _, _, reg = _traced_run(
+            scheduler=TetrisScheduler(),
+            estimator=ProfilingEstimator(),
+        )
+        fam = reg.get("repro_estimator_estimates_total")
+        assert fam.labels(source="fallback").value > 0
+
+    def test_tracker_metrics(self):
+        trace = _workload()
+        cluster = Cluster(4, seed=0)
+        jobs = materialize_trace(trace, cluster, seed=0)
+        reg = Registry()
+        engine = Engine(
+            cluster,
+            TetrisScheduler(),
+            jobs,
+            tracker=ResourceTracker(cluster),
+            metrics=reg,
+        )
+        engine.run()
+        assert reg.get("repro_tracker_reports_total").value > 0
+        assert reg.get("repro_tracker_tracked_placements").value == 0
+
+    def test_baseline_scheduler_gets_engine_events(self):
+        _, sink, reg = _traced_run(scheduler=DRFScheduler())
+        tally = sink.tally()
+        assert tally.get("round", 0) > 0
+        assert tally.get("task_start", 0) > 0
+        assert reg.get("repro_engine_placements_total").value > 0
+        for event in sink.events():
+            validate_event(event)
+
+    def test_reservation_events(self):
+        _, sink, reg = _traced_run(
+            scheduler=TetrisScheduler(
+                TetrisConfig(starvation_timeout=20.0)
+            ),
+            trace_seed=7,
+        )
+        reservations = sink.events("reservation")
+        if reservations:  # workload-dependent; metrics must agree
+            assert (
+                reg.get("repro_tetris_reservations_total").value
+                == len(reservations)
+            )
+            via = [
+                e for e in sink.events("placement")
+                if e["via"] == "reservation"
+            ]
+            assert len(via) <= len(reservations)
+
+    def test_disabled_observability_costs_nothing(self):
+        trace = _workload()
+        cluster = Cluster(4, seed=0)
+        jobs = materialize_trace(trace, cluster, seed=0)
+        engine = Engine(cluster, TetrisScheduler(), jobs)
+        engine.run()
+        assert engine.trace is None
+        assert engine.metrics is None
+        assert engine.scheduler.trace is None
+
+    def test_fit_reject_dims_are_model_names(self):
+        engine, sink, _ = _traced_run()
+        names = set(engine.cluster.model.names)
+        dims = {e["dim"] for e in sink.events("fit_reject")}
+        assert dims and dims <= names
+
+
+class TestSummarizer:
+    def test_summary_of_real_log(self, tmp_path):
+        trace = _workload()
+        cluster = Cluster(4, seed=0)
+        jobs = materialize_trace(trace, cluster, seed=0)
+        path = tmp_path / "d.jsonl"
+        with DecisionTrace(path) as sink:
+            Engine(
+                cluster, TetrisScheduler(), jobs, decision_trace=sink
+            ).run()
+        summary = summarize_decision_log(path)
+        assert summary["invalid_events"] == 0
+        assert summary["placements"] > 0
+        assert summary["rounds"] > 0
+        assert summary["alignment"]["count"] > 0
+        assert any(r.startswith("fit:") for r in summary["rejections"])
+        assert summary["placements_by_via"].get("pack", 0) > 0
+
+
+# -- the Perfetto export --------------------------------------------------------
+class TestLaneAssignment:
+    def test_non_overlapping_share_lane(self):
+        assert _assign_lanes([(0, 1), (1, 2), (2, 3)]) == [0, 0, 0]
+
+    def test_overlapping_split_lanes(self):
+        assert _assign_lanes([(0, 10), (1, 2), (3, 4)]) == [0, 1, 1]
+
+    def test_no_overlap_within_any_lane(self):
+        intervals = [(i * 0.5, i * 0.5 + 2.0) for i in range(20)]
+        lanes = _assign_lanes(intervals)
+        by_lane = {}
+        for (start, end), lane in zip(intervals, lanes):
+            for s, e in by_lane.get(lane, []):
+                assert end <= s + 1e-12 or e <= start + 1e-12
+            by_lane.setdefault(lane, []).append((start, end))
+
+
+class TestChromeTrace:
+    def test_event_shapes(self):
+        engine, _, _ = _traced_run()
+        events = chrome_trace_events(engine)
+        phases = {e["ph"] for e in events}
+        assert {"M", "X", "i", "C"} <= phases
+        slices = [e for e in events if e["ph"] == "X"]
+        task_slices = [e for e in slices if e["cat"] == "task"]
+        placed = {
+            t.task_id
+            for job in engine.jobs
+            for t in job.all_tasks()
+            if t.finish_time is not None
+        }
+        assert len(task_slices) == len(placed)
+        for s in slices:
+            assert s["dur"] >= 0 and s["ts"] >= 0
+
+    def test_rounds_match_round_log(self):
+        engine, _, _ = _traced_run()
+        instants = [
+            e for e in chrome_trace_events(engine) if e["ph"] == "i"
+        ]
+        assert len(instants) == len(engine.round_log)
+
+    def test_no_overlap_within_machine_lane(self):
+        engine, _, _ = _traced_run()
+        busy = {}
+        for e in chrome_trace_events(engine):
+            if e["ph"] != "X" or e["cat"] != "task":
+                continue
+            key = (e["pid"], e["tid"])
+            for ts, end in busy.get(key, []):
+                assert (
+                    e["ts"] + e["dur"] <= ts + 1e-3
+                    or end <= e["ts"] + 1e-3
+                )
+            busy.setdefault(key, []).append((e["ts"], e["ts"] + e["dur"]))
+
+    def test_write_chrome_trace_file(self, tmp_path):
+        engine, _, _ = _traced_run()
+        path = tmp_path / "timeline.json"
+        write_chrome_trace(engine, path)
+        payload = json.loads(path.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        assert payload["otherData"]["machines"] == 4
+        assert len(payload["traceEvents"]) > 0

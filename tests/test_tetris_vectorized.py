@@ -54,6 +54,7 @@ def _run_engine(
     estimator=None,
     use_tracker=False,
     engine_config=None,
+    decision_trace=None,
 ):
     """One end-to-end run; returns (placement key list, scheduler)."""
     cluster = Cluster(num_machines, seed=seed)
@@ -69,6 +70,7 @@ def _run_engine(
         config=(
             engine_config if engine_config is not None else EngineConfig(seed=seed)
         ),
+        decision_trace=decision_trace,
     )
     engine.run()
     key = [
@@ -188,6 +190,90 @@ class TestPlacementEquivalence:
             trace,
             TetrisConfig(vectorized=True, debug_invariants=True),
             engine_config=engine_config,
+        )
+        assert len(scalar) > 0
+        assert scalar == vector
+
+
+class TestEventStreamEquivalence:
+    """PR 2 extends the equivalence bar: the vectorized path must emit
+    the *same decision events* as the scalar oracle — every candidate
+    score, rejection, filter and placement, in the same order, with
+    bit-identical floats."""
+
+    def _streams(
+        self, config_kwargs, trace_seed=7, estimator_factory=None, **run_kwargs
+    ):
+        from repro.obs import DecisionTrace, validate_event
+
+        trace = _workload(seed=trace_seed)
+        streams = []
+        for vectorized in (False, True):
+            sink = DecisionTrace(max_events=1_000_000)
+            _, sched = _run_engine(
+                trace,
+                TetrisConfig(vectorized=vectorized, **config_kwargs),
+                decision_trace=sink,
+                estimator=(
+                    estimator_factory() if estimator_factory else None
+                ),
+                **run_kwargs,
+            )
+            assert sched._use_vectorized == vectorized
+            events = sink.events()
+            for event in events:
+                validate_event(event)
+            streams.append(events)
+        return streams
+
+    def test_default_config(self):
+        scalar, vector = self._streams({})
+        assert len(scalar) > 0
+        assert scalar == vector
+        types = {e["type"] for e in scalar}
+        assert {"candidate", "fit_reject", "placement"} <= types
+
+    @pytest.mark.parametrize(
+        "scorer", ["cosine", "l2norm-diff", "l2norm-ratio", "ffd-sum"]
+    )
+    def test_every_batchable_scorer(self, scorer):
+        scalar, vector = self._streams({"scorer": scorer})
+        assert len(scalar) > 0
+        assert scalar == vector
+
+    def test_barrier_knob(self):
+        scalar, vector = self._streams({"barrier_knob": 0.5})
+        assert scalar == vector
+        assert any(e["type"] == "barrier_filter" for e in scalar)
+
+    def test_masked_dimensions(self):
+        scalar, vector = self._streams(
+            {"considered_dims": ("cpu", "mem")}
+        )
+        assert scalar == vector
+        # fit rejections name only considered dimensions
+        dims = {e["dim"] for e in scalar if e["type"] == "fit_reject"}
+        assert dims <= {"cpu", "mem"}
+
+    def test_starvation_reservations(self):
+        scalar, vector = self._streams({"starvation_timeout": 30.0})
+        assert scalar == vector
+
+    def test_remote_penalty_and_no_fairness(self):
+        scalar, vector = self._streams(
+            {"fairness_knob": 0.0, "remote_penalty": 0.3}
+        )
+        assert scalar == vector
+        assert any(
+            e["type"] == "candidate" and e["remote"] for e in scalar
+        )
+
+    def test_unstable_estimator_with_tracker(self):
+        scalar, vector = self._streams(
+            {},
+            trace_seed=9,
+            estimator_factory=ProfilingEstimator,
+            use_tracker=True,
         )
         assert len(scalar) > 0
         assert scalar == vector

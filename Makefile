@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench figures examples clean
+.PHONY: install test bench bench-profiles bench-gate figures examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -12,6 +12,12 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+bench-profiles:
+	$(PYTHON) -m repro bench run --quick -o bench-out
+
+bench-gate: bench-profiles
+	$(PYTHON) -m repro bench compare --current bench-out
 
 figures:
 	$(PYTHON) -m repro figures -o figures/

@@ -1,0 +1,70 @@
+"""Benchmark telemetry: capture, version, and gate scheduler performance.
+
+The paper's Table 7 argues the packing logic stays cheap at scale; this
+package turns that claim (and the headline fidelity numbers) into
+durable, comparable artifacts instead of hand re-derived measurements:
+
+- :mod:`repro.bench.scenarios` — the canonical benchmark workloads
+  (shared with ``benchmarks/conftest.py``), each with a config
+  fingerprint;
+- :mod:`repro.bench.profile` — run a scenario ``k`` times and serialize
+  one schema-versioned ``BENCH_<scenario>.json`` profile stamped with
+  git SHA, host, and a host-speed calibration constant;
+- :mod:`repro.bench.store` — a directory of profiles (the committed
+  baseline in ``benchmarks/baselines/``);
+- :mod:`repro.bench.detect` — noise-aware comparison against a baseline
+  (median-of-k, per-kind tolerance bands, calibration rescaling, a
+  Mann–Whitney confirmation when repeat samples exist) with per-phase
+  attribution of slowdowns;
+- :mod:`repro.bench.report` — the trajectory table across stored
+  profiles.
+
+Surfaced on the command line as ``repro bench run|compare|report``; the
+same shape as Perun's per-version performance profiles, scaled to this
+repo.
+"""
+
+from repro.bench.detect import (
+    ComparisonResult,
+    MetricVerdict,
+    compare_profiles,
+    mann_whitney_p,
+)
+from repro.bench.profile import (
+    SCHEMA,
+    capture,
+    dump_json,
+    load_profile,
+    profile_filename,
+    save_profile,
+)
+from repro.bench.report import collect_profiles, render_trajectory
+from repro.bench.scenarios import (
+    SCENARIOS,
+    PackingScenario,
+    TraceScenario,
+    get_scenario,
+    scenario_names,
+)
+from repro.bench.store import ProfileStore
+
+__all__ = [
+    "ComparisonResult",
+    "MetricVerdict",
+    "compare_profiles",
+    "mann_whitney_p",
+    "SCHEMA",
+    "capture",
+    "dump_json",
+    "load_profile",
+    "profile_filename",
+    "save_profile",
+    "collect_profiles",
+    "render_trajectory",
+    "SCENARIOS",
+    "PackingScenario",
+    "TraceScenario",
+    "get_scenario",
+    "scenario_names",
+    "ProfileStore",
+]

@@ -1,0 +1,99 @@
+"""Render the performance trajectory across stored profiles.
+
+``repro bench report`` loads every ``BENCH_*.json`` it can find (the
+committed baselines plus any fresh capture directories) and prints one
+row per profile, grouped by scenario and ordered by capture time — the
+repo's perf history at a glance, in terminal or Markdown form.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.bench.store import ProfileStore
+
+__all__ = ["collect_profiles", "trajectory_rows", "render_trajectory"]
+
+#: headline metrics, in display order; a profile lacking one shows "-"
+_COLUMNS: Tuple[Tuple[str, str], ...] = (
+    ("mean_jct", "mean JCT (s)"),
+    ("makespan", "makespan (s)"),
+    ("wall_seconds", "wall (s)"),
+    ("placements_per_sec", "plc/s"),
+    ("round_ms", "round (ms)"),
+)
+
+
+def collect_profiles(directories: Iterable) -> List[Dict[str, object]]:
+    """Every profile in every directory, sorted by (scenario, capture
+    time).  Missing directories are skipped, not errors — the report
+    should render from whatever history exists."""
+    profiles: List[Dict[str, object]] = []
+    for directory in directories:
+        profiles.extend(ProfileStore(directory).load_all().values())
+    profiles.sort(
+        key=lambda p: (str(p.get("scenario")), float(p.get("created_unix", 0)))
+    )
+    return profiles
+
+
+def _metric_value(profile: Dict, name: str) -> Optional[float]:
+    record = (profile.get("metrics") or {}).get(name)
+    if record is None:
+        return None
+    return float(record["value"])
+
+
+def trajectory_rows(
+    profiles: Sequence[Dict[str, object]],
+) -> Tuple[List[str], List[List[str]]]:
+    """(header, rows) of the trajectory table, already stringified."""
+    header = ["scenario", "captured", "git"] + [
+        label for _, label in _COLUMNS
+    ]
+    rows: List[List[str]] = []
+    for profile in profiles:
+        meta = profile.get("meta") or {}
+        sha = meta.get("git_sha")
+        sha_label = (sha[:9] if isinstance(sha, str) else "-") + (
+            "*" if meta.get("git_dirty") else ""
+        )
+        created = profile.get("created_unix")
+        when = (
+            time.strftime("%Y-%m-%d %H:%M", time.gmtime(float(created)))
+            if created
+            else "-"
+        )
+        row = [str(profile.get("scenario")), when, sha_label]
+        for name, _ in _COLUMNS:
+            value = _metric_value(profile, name)
+            row.append(f"{value:.2f}" if value is not None else "-")
+        rows.append(row)
+    return header, rows
+
+
+def render_trajectory(
+    profiles: Sequence[Dict[str, object]], fmt: str = "term"
+) -> str:
+    """The trajectory table as a terminal or Markdown string."""
+    header, rows = trajectory_rows(profiles)
+    if not rows:
+        return "no profiles found"
+    if fmt == "md":
+        lines = ["| " + " | ".join(header) + " |",
+                 "|" + "---|" * len(header)]
+        lines += ["| " + " | ".join(row) + " |" for row in rows]
+        return "\n".join(lines)
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in rows))
+        for i in range(len(header))
+    ]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths))]
+    previous_scenario = None
+    for row in rows:
+        if previous_scenario is not None and row[0] != previous_scenario:
+            lines.append("")
+        previous_scenario = row[0]
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""The on-disk profile store.
+
+A store is just a directory of ``BENCH_<scenario>.json`` files — the
+committed baseline lives in ``benchmarks/baselines/``, a fresh capture
+in whatever output directory ``repro bench run`` was pointed at.  The
+same class reads both sides of a comparison and feeds the trajectory
+report.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.bench.profile import load_profile, profile_filename, save_profile
+
+__all__ = ["ProfileStore"]
+
+_PROFILE_RE = re.compile(r"^BENCH_(?P<scenario>.+)\.json$")
+
+
+class ProfileStore:
+    """Load/save profiles keyed by scenario name under one directory."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+
+    def path_for(self, scenario: str) -> Path:
+        return self.root / profile_filename(scenario)
+
+    def scenarios(self) -> List[str]:
+        """Scenario names with a stored profile, sorted."""
+        if not self.root.is_dir():
+            return []
+        out = []
+        for entry in self.root.iterdir():
+            match = _PROFILE_RE.match(entry.name)
+            if match and entry.is_file():
+                out.append(match.group("scenario"))
+        return sorted(out)
+
+    def load(self, scenario: str) -> Optional[Dict[str, object]]:
+        """The stored profile for ``scenario``, or ``None`` if absent."""
+        path = self.path_for(scenario)
+        if not path.is_file():
+            return None
+        return load_profile(path)
+
+    def load_all(self) -> Dict[str, Dict[str, object]]:
+        return {name: load_profile(self.path_for(name))
+                for name in self.scenarios()}
+
+    def save(self, profile: Dict[str, object]) -> Path:
+        return save_profile(profile, self.root)
+
+    def __repr__(self) -> str:
+        return f"ProfileStore({str(self.root)!r}, scenarios={self.scenarios()})"

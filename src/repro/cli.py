@@ -129,6 +129,22 @@ def cmd_run(args: argparse.Namespace) -> int:
     scheduler = _make_scheduler(args.scheduler, args)
     result = run_trace(trace, scheduler, _experiment_config(args))
     _print_summary(args.scheduler, result)
+    if args.json:
+        from repro.bench.profile import dump_json
+
+        dump_json(
+            {
+                "scheduler": args.scheduler,
+                "trace": args.trace,
+                "machines": args.machines,
+                "seed": args.seed,
+                "summary": result.summary(),
+                "wall_seconds": result.wall_seconds,
+                "placements": result.num_placements,
+            },
+            args.json,
+        )
+        print(f"wrote {args.json}")
     if args.audit:
         # re-run with a kept engine to audit; run_trace does not expose
         # the engine, so audit on a fresh engine run
@@ -166,18 +182,41 @@ def cmd_compare(args: argparse.Namespace) -> int:
             trace, _make_scheduler(name, args), _experiment_config(args)
         )
         _print_summary(name, results[name])
+    improvements = {}
     if args.baseline and args.baseline in results:
         base = results[args.baseline]
         print(f"\nimprovement over {args.baseline}:")
         for name, result in results.items():
             if name == args.baseline:
                 continue
+            jct = improvement_percent(base.mean_jct, result.mean_jct)
+            makespan = improvement_percent(base.makespan, result.makespan)
+            improvements[name] = {
+                "jct_percent": jct, "makespan_percent": makespan,
+            }
             print(
                 f"  {name:<14} "
-                f"JCT {improvement_percent(base.mean_jct, result.mean_jct):6.1f}%  "
-                f"makespan "
-                f"{improvement_percent(base.makespan, result.makespan):6.1f}%"
+                f"JCT {jct:6.1f}%  "
+                f"makespan {makespan:6.1f}%"
             )
+    if args.json:
+        from repro.bench.profile import dump_json
+
+        dump_json(
+            {
+                "trace": args.trace,
+                "machines": args.machines,
+                "seed": args.seed,
+                "baseline": args.baseline,
+                "summaries": {
+                    name: result.summary()
+                    for name, result in results.items()
+                },
+                "improvement_over_baseline": improvements,
+            },
+            args.json,
+        )
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -325,6 +364,134 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+#: where the repo keeps its committed baseline profiles
+BENCH_BASELINE_DIR = "benchmarks/baselines"
+
+
+def _bench_scenarios(args: argparse.Namespace) -> list:
+    from repro.bench import scenario_names
+
+    if args.scenarios:
+        return [n.strip() for n in args.scenarios.split(",") if n.strip()]
+    return scenario_names(quick_only=args.quick)
+
+
+def cmd_bench_run(args: argparse.Namespace) -> int:
+    """Capture a BENCH_<scenario>.json profile per requested scenario."""
+    from repro.bench import ProfileStore, capture, get_scenario
+
+    store = ProfileStore(args.output)
+    for name in _bench_scenarios(args):
+        try:
+            scenario = get_scenario(name)  # fail fast on unknown names
+        except KeyError as exc:
+            raise SystemExit(str(exc))
+        profile = capture(scenario, repeats=args.repeats)
+        path = store.save(profile)
+        wall = profile["metrics"].get("wall_seconds") or \
+            profile["metrics"].get("round_ms")
+        headline = f"{wall['value']:.2f}{wall['unit']}" if wall else "-"
+        print(f"{name:<14} captured ({headline} median of "
+              f"{args.repeats}) -> {path}")
+    return 0
+
+
+def cmd_bench_compare(args: argparse.Namespace) -> int:
+    """Gate fresh profiles against the committed baseline."""
+    from repro.bench import ProfileStore, compare_profiles
+    from repro.bench.profile import dump_json
+
+    baseline_store = ProfileStore(args.baseline)
+    current_store = ProfileStore(args.current)
+    names = (
+        [n.strip() for n in args.scenarios.split(",") if n.strip()]
+        if args.scenarios
+        else current_store.scenarios()
+    )
+    if not names:
+        print(f"no profiles found under {args.current}")
+        return 1
+    failed = []
+    results = []
+    for name in names:
+        current = current_store.load(name)
+        if current is None:
+            print(f"scenario {name}: no current profile under "
+                  f"{args.current}")
+            failed.append(name)
+            continue
+        baseline = baseline_store.load(name)
+        if baseline is None:
+            print(f"scenario {name}: no baseline under {args.baseline} "
+                  "(skipped; commit one with `repro bench run -o "
+                  f"{args.baseline}`)")
+            continue
+        result = compare_profiles(
+            baseline,
+            current,
+            timing_tolerance=args.timing_tolerance,
+            fidelity_tolerance=args.fidelity_tolerance,
+        )
+        results.append(result)
+        print(result.render())
+        if not result.ok:
+            failed.append(name)
+    if args.json:
+        dump_json(
+            {
+                "baseline_dir": args.baseline,
+                "current_dir": args.current,
+                "failed": sorted(failed),
+                "scenarios": {
+                    r.scenario: {
+                        "ok": r.ok,
+                        "config_mismatch": r.config_mismatch,
+                        "notes": r.notes,
+                        "verdicts": [
+                            {
+                                "name": v.name,
+                                "kind": v.kind,
+                                "status": v.status,
+                                "baseline": v.baseline,
+                                "current": v.current,
+                                "ratio": v.ratio,
+                                "note": v.note,
+                            }
+                            for v in r.verdicts
+                        ],
+                    }
+                    for r in results
+                },
+            },
+            args.json,
+        )
+        print(f"wrote {args.json}")
+    if failed:
+        print(f"\nDEGRADED: {', '.join(sorted(failed))}")
+        return 1
+    print("\nall scenarios within tolerance")
+    return 0
+
+
+def cmd_bench_report(args: argparse.Namespace) -> int:
+    """Render the perf trajectory across every stored profile."""
+    from repro.bench import collect_profiles, render_trajectory
+
+    directories = [d.strip() for d in args.dirs.split(",") if d.strip()]
+    profiles = collect_profiles(directories)
+    if not profiles:
+        print(f"no BENCH_*.json profiles under: {', '.join(directories)}")
+        return 1
+    text = render_trajectory(profiles, fmt=args.format)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as f:
+            f.write(text + "\n")
+        print(f"wrote {args.output} ({len(profiles)} profiles)")
+    else:
+        print(text)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -357,12 +524,16 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--barrier-knob", type=float, default=None)
     run.add_argument("--audit", action="store_true",
                      help="verify the Section 3.1 constraints afterwards")
+    run.add_argument("--json", default=None, metavar="PATH",
+                     help="also write the summary as JSON")
     run.set_defaults(func=cmd_run)
 
     cmp_ = sub.add_parser("compare", help="race several schedulers")
     common(cmp_)
     cmp_.add_argument("--schedulers", default="tetris,slot-fair,drf")
     cmp_.add_argument("--baseline", default="slot-fair")
+    cmp_.add_argument("--json", default=None, metavar="PATH",
+                      help="also write the per-scheduler summaries as JSON")
     cmp_.set_defaults(func=cmd_compare)
 
     sweep = sub.add_parser("sweep", help="sweep a Tetris knob")
@@ -412,6 +583,65 @@ def build_parser() -> argparse.ArgumentParser:
                         help="benchmark-scale runs (slower)")
     report.add_argument("--seed", type=int, default=1)
     report.set_defaults(func=cmd_report)
+
+    bench = sub.add_parser(
+        "bench",
+        help="capture, compare, and report performance profiles "
+        "(BENCH_<scenario>.json)",
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+
+    brun = bench_sub.add_parser(
+        "run", help="capture profiles for the benchmark scenarios"
+    )
+    brun.add_argument("--scenarios", default=None,
+                      help="comma-separated scenario names "
+                      "(default: the quick set, or all with --all)")
+    group = brun.add_mutually_exclusive_group()
+    group.add_argument("--quick", dest="quick", action="store_true",
+                       default=True,
+                       help="quick scenario set (default)")
+    group.add_argument("--all", dest="quick", action="store_false",
+                       help="every scenario, including the slow ones")
+    brun.add_argument("--repeats", type=int, default=3,
+                      help="independent repeats per scenario "
+                      "(profiles store the median + raw samples)")
+    brun.add_argument("-o", "--output", default="bench-out",
+                      help="profile output directory")
+    brun.set_defaults(func=cmd_bench_run)
+
+    bcmp = bench_sub.add_parser(
+        "compare",
+        help="compare fresh profiles against the committed baseline; "
+        "exits non-zero on confirmed degradation",
+    )
+    bcmp.add_argument("--baseline", default=BENCH_BASELINE_DIR,
+                      help="baseline profile directory")
+    bcmp.add_argument("--current", default="bench-out",
+                      help="freshly captured profile directory")
+    bcmp.add_argument("--scenarios", default=None,
+                      help="restrict to these scenarios "
+                      "(default: every current profile)")
+    bcmp.add_argument("--timing-tolerance", type=float, default=0.5,
+                      help="relative band for timing metrics "
+                      "(0.5 = flag beyond 1.5x)")
+    bcmp.add_argument("--fidelity-tolerance", type=float, default=0.02,
+                      help="relative band for fidelity metrics")
+    bcmp.add_argument("--json", default=None, metavar="PATH",
+                      help="also write the structured verdicts as JSON")
+    bcmp.set_defaults(func=cmd_bench_compare)
+
+    brep = bench_sub.add_parser(
+        "report", help="render the trajectory across stored profiles"
+    )
+    brep.add_argument("--dirs",
+                      default=f"{BENCH_BASELINE_DIR},bench-out",
+                      help="comma-separated profile directories "
+                      "(missing ones are skipped)")
+    brep.add_argument("--format", choices=("term", "md"), default="term")
+    brep.add_argument("-o", "--output", default=None,
+                      help="write to a file instead of stdout")
+    brep.set_defaults(func=cmd_bench_report)
     return parser
 
 

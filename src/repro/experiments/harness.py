@@ -10,7 +10,8 @@ Figures 4a and 7.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from time import perf_counter
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, TYPE_CHECKING
 
 from repro.activity.ingestion import ClusterActivity
 from repro.cluster.cluster import Cluster
@@ -23,6 +24,10 @@ from repro.sim.engine import Engine, EngineConfig
 from repro.sim.fluid import FluidConfig
 from repro.workload.job import Job
 from repro.workload.trace import TraceJob, materialize_trace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.registry import Registry
+    from repro.profiling import Profiler
 
 __all__ = ["ExperimentConfig", "RunResult", "run_trace", "run_comparison"]
 
@@ -69,6 +74,17 @@ class RunResult:
     collector: MetricsCollector
     jobs: List[Job]
     activities: List[ClusterActivity] = field(default_factory=list)
+    #: wall-clock seconds spent inside ``Engine.run`` and how many
+    #: placements it made — the bench subsystem's throughput metrics
+    wall_seconds: float = 0.0
+    num_placements: int = 0
+
+    @property
+    def placements_per_sec(self) -> float:
+        """Scheduler throughput (placements per wall-clock second)."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.num_placements / self.wall_seconds
 
     @property
     def mean_jct(self) -> float:
@@ -106,8 +122,16 @@ def run_trace(
     scheduler: Scheduler,
     config: Optional[ExperimentConfig] = None,
     activities: Iterable[ClusterActivity] = (),
+    profiler: Optional["Profiler"] = None,
+    metrics: Optional["Registry"] = None,
 ) -> RunResult:
-    """Materialize the trace on a fresh cluster and run one scheduler."""
+    """Materialize the trace on a fresh cluster and run one scheduler.
+
+    ``profiler`` and ``metrics`` are handed straight to the
+    :class:`Engine` (same opt-in ``Optional[...]`` contract), so a bench
+    capture can collect phase timings and counters from an otherwise
+    unmodified run.
+    """
     cfg = config if config is not None else ExperimentConfig()
     cluster = cfg.make_cluster()
     jobs = materialize_trace(trace, cluster, seed=cfg.seed)
@@ -126,13 +150,19 @@ def run_trace(
         tracker=tracker,
         fluid_config=cfg.fluid_config,
         config=cfg.make_engine_config(),
+        profiler=profiler,
+        metrics=metrics,
     )
+    start = perf_counter()
     collector = engine.run()
+    wall = perf_counter() - start
     return RunResult(
         scheduler_name=scheduler.name,
         collector=collector,
         jobs=jobs,
         activities=list(activities),
+        wall_seconds=wall,
+        num_placements=len(engine.placement_log),
     )
 
 

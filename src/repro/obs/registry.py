@@ -128,6 +128,56 @@ class Histogram:
             out.append(running)
         return out
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile by linear interpolation within the
+        bucket holding the target rank (the ``histogram_quantile`` model:
+        observations spread uniformly inside each bucket).
+
+        Returns ``nan`` with no observations.  A rank landing in the
+        ``+Inf`` bucket clamps to that bucket's lower bound — the largest
+        finite boundary is the best available estimate.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return math.nan
+        rank = q * self.count
+        cumulative = 0
+        for i, bound in enumerate(self.buckets):
+            prev_cumulative = cumulative
+            cumulative += self.counts[i]
+            if cumulative >= rank:
+                lower = 0.0 if i == 0 else self.buckets[i - 1]
+                if bound == math.inf:
+                    return lower
+                in_bucket = cumulative - prev_cumulative
+                if in_bucket == 0:
+                    return lower
+                fraction = (rank - prev_cumulative) / in_bucket
+                return lower + fraction * (bound - lower)
+        return self.buckets[-2] if len(self.buckets) > 1 else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict export: counts per upper bound plus sum/count and
+        interpolated p50/p90/p99 — everything a bench profile embeds.
+        Quantiles of an empty histogram export as ``None`` (strict JSON
+        has no NaN)."""
+        def finite(q: float) -> Optional[float]:
+            value = self.quantile(q)
+            return None if math.isnan(value) else value
+
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "buckets": {
+                _format_value(bound): cum
+                for bound, cum in zip(self.buckets, self.cumulative_counts())
+            },
+            "p50": finite(0.5),
+            "p90": finite(0.9),
+            "p99": finite(0.99),
+        }
+
 
 _TYPES = {Counter: "counter", Gauge: "gauge", Histogram: "histogram"}
 
@@ -275,6 +325,39 @@ class Registry:
 
     def names(self) -> List[str]:
         return sorted(self._families)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Plain-dict export of every family, JSON-serializable as-is.
+
+        Children are keyed by ``label=value`` pairs joined with commas
+        (``""`` for the unlabeled child), so bench profiles can embed
+        metric state without parsing the text exposition::
+
+            {"repro_engine_rounds_total": {
+                "type": "counter", "help": "...",
+                "values": {"": 12.0}}}
+
+        Histogram children export the :meth:`Histogram.as_dict` shape.
+        """
+        out: Dict[str, Dict[str, object]] = {}
+        for name in self.names():
+            family = self._families[name]
+            values: Dict[str, object] = {}
+            for labelvalues, child in family.children():
+                key = ",".join(
+                    f"{n}={v}"
+                    for n, v in zip(family.labelnames, labelvalues)
+                )
+                if family.cls is Histogram:
+                    values[key] = child.as_dict()
+                else:
+                    values[key] = child.value
+            out[name] = {
+                "type": family.type,
+                "help": family.documentation,
+                "values": values,
+            }
+        return out
 
     def render(self) -> str:
         """The Prometheus text exposition of every registered metric."""

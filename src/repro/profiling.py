@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from math import sqrt
 from time import perf_counter
 from typing import Dict, Iterator, List
 
@@ -28,12 +29,20 @@ __all__ = ["PhaseStats", "Profiler"]
 
 @dataclass
 class PhaseStats:
-    """Accumulated samples for one labelled phase."""
+    """Accumulated samples for one labelled phase.
+
+    Dispersion is tracked with Welford's online algorithm (numerically
+    stable single-pass mean/M2), so downstream consumers — the bench
+    degradation detector's tolerance bands in particular — get
+    ``variance``/``stddev`` without the profiler keeping every sample.
+    """
 
     count: int = 0
     total: float = 0.0
     max: float = 0.0
     _min: float = field(default=float("inf"), repr=False)
+    _mean: float = field(default=0.0, repr=False)
+    _m2: float = field(default=0.0, repr=False)
 
     def add(self, duration: float) -> None:
         self.count += 1
@@ -42,6 +51,9 @@ class PhaseStats:
             self._min = duration
         if duration > self.max:
             self.max = duration
+        delta = duration - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (duration - self._mean)
 
     @property
     def min(self) -> float:
@@ -51,7 +63,29 @@ class PhaseStats:
 
     @property
     def mean(self) -> float:
+        # total/count, not the Welford running mean: bit-exact with the
+        # pre-Welford behavior (the running mean only feeds ``_m2``)
         return self.total / self.count if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (Bessel-corrected); ``0.0`` below 2 samples."""
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def stddev(self) -> float:
+        return sqrt(self.variance)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict export (the shape bench profiles embed)."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "stddev": self.stddev,
+        }
 
 
 class Profiler:
@@ -88,6 +122,10 @@ class Profiler:
 
     def labels(self) -> List[str]:
         return sorted(self._stats)
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """Per-label plain-dict export of every recorded phase."""
+        return {label: self._stats[label].as_dict() for label in self.labels()}
 
     def reset(self) -> None:
         self._stats.clear()

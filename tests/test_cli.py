@@ -180,6 +180,140 @@ class TestInspect:
         assert "INVALID" in capsys.readouterr().out
 
 
+class TestJsonOutputs:
+    def test_run_json_summary(self, trace_file, tmp_path):
+        out = tmp_path / "run.json"
+        rc = main([
+            "run", str(trace_file), "--scheduler", "tetris",
+            "--machines", "8", "--json", str(out),
+        ])
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        assert payload["scheduler"] == "tetris"
+        assert payload["summary"]["jobs"] == 6
+        assert payload["summary"]["mean_jct"] > 0
+        assert payload["wall_seconds"] > 0
+        assert payload["placements"] > 0
+
+    def test_compare_json_summaries(self, trace_file, tmp_path):
+        out = tmp_path / "cmp.json"
+        rc = main([
+            "compare", str(trace_file), "--machines", "8",
+            "--schedulers", "tetris,slot-fair",
+            "--baseline", "slot-fair", "--json", str(out),
+        ])
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        assert set(payload["summaries"]) == {"tetris", "slot-fair"}
+        assert "jct_percent" in payload["improvement_over_baseline"]["tetris"]
+
+
+class TestBench:
+    @pytest.fixture(scope="class")
+    def profile_dirs(self, tmp_path_factory):
+        """One baseline + one fresh capture of the smoke scenario."""
+        root = tmp_path_factory.mktemp("bench")
+        baseline, fresh = root / "baselines", root / "fresh"
+        for directory in (baseline, fresh):
+            rc = main([
+                "bench", "run", "--scenarios", "smoke",
+                "--repeats", "2", "-o", str(directory),
+            ])
+            assert rc == 0
+        return baseline, fresh
+
+    def test_run_writes_schema_valid_profile(self, profile_dirs):
+        from repro.bench import load_profile
+
+        baseline, _ = profile_dirs
+        profile = load_profile(baseline / "BENCH_smoke.json")
+        assert profile["scenario"] == "smoke"
+        assert profile["meta"]["config_fingerprint"]
+        assert "mean_jct" in profile["metrics"]
+
+    def test_compare_clean_rerun_passes(self, profile_dirs, capsys):
+        baseline, fresh = profile_dirs
+        rc = main([
+            "bench", "compare",
+            "--baseline", str(baseline), "--current", str(fresh),
+        ])
+        assert rc == 0
+        assert "within tolerance" in capsys.readouterr().out
+
+    def test_compare_detects_injected_slowdown(
+        self, profile_dirs, tmp_path, capsys
+    ):
+        baseline, fresh = profile_dirs
+        slowed_dir = tmp_path / "slowed"
+        slowed_dir.mkdir()
+        profile = json.loads((fresh / "BENCH_smoke.json").read_text())
+        for record in profile["metrics"].values():
+            if record["kind"] == "timing" and record["direction"] == "lower":
+                record["value"] *= 2.5
+                record["samples"] = [s * 2.5 for s in record["samples"]]
+        (slowed_dir / "BENCH_smoke.json").write_text(json.dumps(profile))
+        verdicts = tmp_path / "verdicts.json"
+        rc = main([
+            "bench", "compare",
+            "--baseline", str(baseline), "--current", str(slowed_dir),
+            "--json", str(verdicts),
+        ])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "DEGRADED" in out
+        payload = json.loads(verdicts.read_text())
+        assert payload["failed"] == ["smoke"]
+        assert not payload["scenarios"]["smoke"]["ok"]
+
+    def test_compare_missing_baseline_skips(self, profile_dirs, tmp_path,
+                                            capsys):
+        _, fresh = profile_dirs
+        rc = main([
+            "bench", "compare",
+            "--baseline", str(tmp_path / "empty"), "--current", str(fresh),
+        ])
+        assert rc == 0
+        assert "no baseline" in capsys.readouterr().out
+
+    def test_compare_empty_current_fails(self, tmp_path, capsys):
+        rc = main([
+            "bench", "compare",
+            "--baseline", str(tmp_path), "--current", str(tmp_path),
+        ])
+        assert rc == 1
+        assert "no profiles" in capsys.readouterr().out
+
+    def test_report_renders_trajectory(self, profile_dirs, capsys):
+        baseline, fresh = profile_dirs
+        rc = main([
+            "bench", "report", "--dirs", f"{baseline},{fresh}",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "smoke" in out and "mean JCT (s)" in out
+
+    def test_report_markdown_to_file(self, profile_dirs, tmp_path):
+        baseline, fresh = profile_dirs
+        out = tmp_path / "trajectory.md"
+        rc = main([
+            "bench", "report", "--dirs", f"{baseline},{fresh}",
+            "--format", "md", "-o", str(out),
+        ])
+        assert rc == 0
+        assert out.read_text().startswith("| scenario |")
+
+    def test_report_no_profiles_fails(self, tmp_path, capsys):
+        rc = main(["bench", "report", "--dirs", str(tmp_path / "none")])
+        assert rc == 1
+
+    def test_unknown_scenario_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main([
+                "bench", "run", "--scenarios", "bogus",
+                "-o", str(tmp_path),
+            ])
+
+
 class TestParser:
     def test_all_registered_schedulers_constructible(self):
         for factory in SCHEDULERS.values():
@@ -191,3 +325,12 @@ class TestParser:
             ["generate", "-o", "x.json"]
         )
         assert args.command == "generate"
+
+    def test_bench_parser_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(["bench", "run"])
+        assert args.quick is True and args.repeats == 3
+        args = parser.parse_args(["bench", "run", "--all"])
+        assert args.quick is False
+        args = parser.parse_args(["bench", "compare"])
+        assert args.baseline == "benchmarks/baselines"

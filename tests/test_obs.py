@@ -163,6 +163,85 @@ class TestRegistry:
         assert (C, G, H, R) == (Counter, Gauge, Histogram, Registry)
 
 
+class TestHistogramQuantile:
+    def test_linear_interpolation_within_bucket(self):
+        h = Histogram(buckets=(10.0, 20.0))
+        for v in (1.0, 2.0, 3.0, 4.0):  # all land in (0, 10]
+            h.observe(v)
+        # rank 2 of 4 → half-way through the only occupied bucket
+        assert h.quantile(0.5) == pytest.approx(5.0)
+        assert h.quantile(1.0) == pytest.approx(10.0)
+
+    def test_interpolates_across_buckets(self):
+        h = Histogram(buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 1.6, 3.0):
+            h.observe(v)
+        # p75 → rank 3 = upper edge of the (1, 2] bucket
+        assert h.quantile(0.75) == pytest.approx(2.0)
+        # p100 lands in (2, 4]
+        assert h.quantile(1.0) == pytest.approx(4.0)
+
+    def test_overflow_bucket_clamps_to_last_finite_bound(self):
+        h = Histogram(buckets=(1.0,))
+        h.observe(100.0)
+        assert h.quantile(0.5) == pytest.approx(1.0)
+
+    def test_empty_is_nan(self):
+        import math
+
+        assert math.isnan(Histogram(buckets=(1.0,)).quantile(0.5))
+
+    def test_out_of_range_rejected(self):
+        h = Histogram(buckets=(1.0,))
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+
+    def test_as_dict_shape(self):
+        h = Histogram(buckets=(1.0, 5.0))
+        for v in (0.5, 2.0, 100.0):
+            h.observe(v)
+        d = h.as_dict()
+        assert d["count"] == 3
+        assert d["sum"] == pytest.approx(102.5)
+        assert d["buckets"] == {"1": 1, "5": 2, "+Inf": 3}
+        assert 0.0 < d["p50"] <= 5.0
+
+    def test_empty_as_dict_has_null_quantiles(self):
+        d = Histogram(buckets=(1.0,)).as_dict()
+        assert d["p50"] is None and d["p99"] is None
+        json.dumps(d)  # strict-JSON serializable
+
+
+class TestRegistrySnapshot:
+    def test_snapshot_plain_dict(self):
+        reg = Registry()
+        reg.counter("a_total", "counts").inc(2)
+        reg.gauge("depth").set(1.5)
+        fam = reg.counter("c_total", "labeled", labelnames=("kind",))
+        fam.labels(kind="x").inc()
+        fam.labels(kind="y").inc(3)
+        reg.histogram("lat", "latency", buckets=(1.0,)).observe(0.5)
+        snap = reg.snapshot()
+        assert snap["a_total"] == {
+            "type": "counter", "help": "counts", "values": {"": 2.0},
+        }
+        assert snap["depth"]["values"][""] == 1.5
+        assert snap["c_total"]["values"] == {"kind=x": 1.0, "kind=y": 3.0}
+        assert snap["lat"]["values"][""]["count"] == 1
+        assert snap["lat"]["values"][""]["buckets"]["+Inf"] == 1
+
+    def test_snapshot_is_json_serializable(self):
+        reg = Registry()
+        reg.counter("a_total").inc()
+        reg.histogram("h", buckets=(0.1, 1.0)).observe(0.05)
+        json.dumps(reg.snapshot(), allow_nan=False)
+
+    def test_empty_snapshot(self):
+        assert Registry().snapshot() == {}
+
+
 # -- the decision trace ---------------------------------------------------------
 class TestDecisionTrace:
     def test_ring_buffer_bounds_memory(self):

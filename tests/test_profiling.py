@@ -1,5 +1,10 @@
 """The profiling hooks: PhaseStats edge cases and Profiler round-trips."""
 
+import math
+import statistics
+
+import pytest
+
 from repro.profiling import PhaseStats, Profiler
 
 
@@ -26,6 +31,59 @@ class TestPhaseStats:
         stats = PhaseStats()
         stats.add(0.25)
         assert stats.min == 0.25 == stats.max == stats.mean
+
+
+class TestWelford:
+    def test_variance_matches_statistics_module(self):
+        samples = [0.5, 0.1, 0.9, 0.4, 0.40001, 12.0]
+        stats = PhaseStats()
+        for s in samples:
+            stats.add(s)
+        assert stats.variance == pytest.approx(statistics.variance(samples))
+        assert stats.stddev == pytest.approx(statistics.stdev(samples))
+        assert stats.mean == pytest.approx(statistics.mean(samples))
+
+    def test_variance_zero_below_two_samples(self):
+        stats = PhaseStats()
+        assert stats.variance == 0.0
+        assert stats.stddev == 0.0
+        stats.add(3.0)
+        assert stats.variance == 0.0
+
+    def test_identical_samples_have_zero_variance(self):
+        stats = PhaseStats()
+        for _ in range(100):
+            stats.add(0.125)
+        assert stats.variance == pytest.approx(0.0, abs=1e-18)
+
+    def test_numerically_stable_with_large_offset(self):
+        """Welford's one-pass form must not cancel catastrophically when
+        the spread is tiny relative to the magnitude (the naive
+        sum-of-squares formula fails this)."""
+        offset = 1e9
+        samples = [offset + d for d in (0.0, 1.0, 2.0)]
+        stats = PhaseStats()
+        for s in samples:
+            stats.add(s)
+        assert stats.variance == pytest.approx(1.0, rel=1e-6)
+
+    def test_as_dict_shape(self):
+        stats = PhaseStats()
+        stats.add(0.2)
+        stats.add(0.4)
+        d = stats.as_dict()
+        assert d["count"] == 2
+        assert d["mean"] == pytest.approx(0.3)
+        assert d["stddev"] == pytest.approx(statistics.stdev([0.2, 0.4]))
+        assert set(d) == {"count", "total", "mean", "min", "max", "stddev"}
+        assert all(
+            isinstance(v, (int, float)) and math.isfinite(v)
+            for v in d.values()
+        )
+
+    def test_empty_as_dict_is_finite(self):
+        d = PhaseStats().as_dict()
+        assert d["min"] == 0.0 and d["stddev"] == 0.0
 
 
 class TestProfiler:
@@ -77,3 +135,13 @@ class TestProfiler:
         prof.record("x", 0.1)
         prof.reset()
         assert prof.labels() == []
+
+    def test_as_dict_exports_every_label(self):
+        prof = Profiler()
+        prof.record("a", 0.1)
+        prof.record("a", 0.3)
+        prof.record("b", 0.2)
+        d = prof.as_dict()
+        assert sorted(d) == ["a", "b"]
+        assert d["a"]["count"] == 2
+        assert d["a"]["mean"] == pytest.approx(0.2)

@@ -5,6 +5,21 @@ import pytest
 from repro.experiments.report import _md_table, generate_report
 
 
+@pytest.fixture
+def tiny_workload(monkeypatch):
+    """Shrink the report workload so report tests stay fast."""
+    import repro.experiments.report as report_mod
+    from repro.workload.tracegen import WorkloadSuiteConfig
+
+    original = report_mod.WorkloadSuiteConfig
+
+    def tiny(**kwargs):
+        kwargs.update(num_jobs=5, task_scale=0.02, arrival_horizon=100)
+        return original(**kwargs)
+
+    monkeypatch.setattr(report_mod, "WorkloadSuiteConfig", tiny)
+
+
 class TestMdTable:
     def test_structure(self):
         lines = _md_table(["a", "b"], [["x", 1.25], ["y", 2.0]])
@@ -12,6 +27,15 @@ class TestMdTable:
         assert lines[1] == "|---|---|"
         assert "| x | 1.2 |" in lines
         assert lines[-1] == ""
+
+    def test_integers_and_strings_pass_through(self):
+        lines = _md_table(["n"], [[3], ["raw"]])
+        assert "| 3 |" in lines
+        assert "| raw |" in lines
+
+    def test_empty_rows(self):
+        lines = _md_table(["a"], [])
+        assert lines == ["| a |", "|---|", ""]
 
 
 class TestGenerateReport:
@@ -60,3 +84,45 @@ class TestGenerateReport:
         # every table row has a consistent pipe structure
         for line in table_lines:
             assert line.endswith("|")
+
+    def test_workload_header_reflects_config(self, report_text):
+        assert "5 jobs" in report_text
+        assert "12 machines" in report_text
+        assert "seed 3" in report_text
+
+    def test_fairness_knob_rows_cover_all_knobs(self, report_text):
+        from repro.experiments.report import KNOBS
+
+        for knob in KNOBS:
+            assert f"| {knob:.2f} |" in report_text
+
+    def test_returns_the_written_path(self, tiny_workload, tmp_path):
+        target = tmp_path / "out.md"
+        path = generate_report(target, quick=True, seed=4)
+        assert path == target
+        assert target.exists()
+
+
+class TestCmdReport:
+    """The `repro report` CLI path over the same generator."""
+
+    def test_cmd_report_writes_markdown(self, tiny_workload, tmp_path,
+                                        capsys):
+        from repro.cli import main
+
+        out = tmp_path / "cli-report.md"
+        rc = main(["report", "-o", str(out), "--seed", "3"])
+        assert rc == 0
+        assert f"wrote {out}" in capsys.readouterr().out
+        text = out.read_text()
+        assert text.startswith("# Tetris reproduction report")
+        assert "## Upper bound (Section 2.3)" in text
+
+    def test_cmd_report_seed_changes_workload(self, tiny_workload,
+                                              tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "seeded.md"
+        rc = main(["report", "-o", str(out), "--seed", "9"])
+        assert rc == 0
+        assert "seed 9" in out.read_text()

@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-profiles bench-gate figures examples clean
+.PHONY: install test bench bench-profiles bench-gate sweep figures examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -18,6 +18,17 @@ bench-profiles:
 
 bench-gate: bench-profiles
 	$(PYTHON) -m repro bench compare --current bench-out
+
+# Parallel scheduler-comparison sweep over a generated workload.
+# WORKERS controls the process pool (results are bit-identical to serial).
+WORKERS ?= 4
+sweep:
+	$(PYTHON) -m repro generate --kind suite --jobs 30 --horizon 400 \
+		--seed 1 -o sweep-trace.json
+	$(PYTHON) -m repro compare sweep-trace.json --machines 20 \
+		--schedulers tetris,slot-fair,drf,fifo --baseline fifo \
+		--workers $(WORKERS) --json sweep-out.json
+	@echo "wrote sweep-out.json"
 
 figures:
 	$(PYTHON) -m repro figures -o figures/

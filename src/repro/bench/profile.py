@@ -40,8 +40,15 @@ from repro.bench.scenarios import (
     TraceScenario,
     get_scenario,
 )
-from repro.experiments.harness import ExperimentConfig, run_trace
-from repro.obs.registry import Registry
+from repro.exec import (
+    RunSpec,
+    SerialBackend,
+    get_backend,
+    raise_on_failure,
+    run_specs,
+)
+from repro.exec.backends import ExecutionError
+from repro.experiments.harness import ExperimentConfig
 from repro.profiling import Profiler
 
 __all__ = [
@@ -152,28 +159,35 @@ def _phase_metrics(
 # capture
 # ---------------------------------------------------------------------------
 
-def _capture_trace(scenario: TraceScenario, repeats: int) -> Dict[str, object]:
-    from repro.cli import SCHEDULERS  # deferred: bench is a cli dependency
-
-    trace = scenario.make_trace()
+def _capture_trace(
+    scenario: TraceScenario, repeats: int, backend=None
+) -> Dict[str, object]:
+    trace = tuple(scenario.make_trace())
     config = ExperimentConfig(
         num_machines=scenario.num_machines,
         seed=getattr(scenario.trace_config, "seed", 0),
         use_tracker=scenario.use_tracker,
     )
+    # identical specs on purpose: repeats measure run-to-run timing
+    # noise of the same workload, so only the wall clock may differ
+    specs = [
+        RunSpec(
+            trace=trace,
+            scheduler=scenario.scheduler,
+            config=config,
+            label=f"{scenario.name}[{i}]",
+            collect_profile=True,
+        )
+        for i in range(repeats)
+    ]
+    outcomes = run_specs(specs, backend)
+    raise_on_failure(outcomes)
     wall, pps, mean_jct, median_jct, makespan = [], [], [], [], []
     jobs_done, placements = [], []
     phase_dicts = []
-    profiler = registry = None
-    for _ in range(repeats):
-        profiler, registry = Profiler(), Registry()
-        result = run_trace(
-            trace,
-            SCHEDULERS[scenario.scheduler](),
-            config,
-            profiler=profiler,
-            metrics=registry,
-        )
+    merged_profiler = Profiler()
+    for outcome in outcomes:
+        result = outcome.result
         summary = result.summary()
         wall.append(result.wall_seconds)
         pps.append(result.placements_per_sec)
@@ -182,7 +196,8 @@ def _capture_trace(scenario: TraceScenario, repeats: int) -> Dict[str, object]:
         makespan.append(summary["makespan"])
         jobs_done.append(summary["jobs"])
         placements.append(result.num_placements)
-        phase_dicts.append(profiler.as_dict())
+        phase_dicts.append(outcome.profiler.as_dict())
+        merged_profiler.merge(outcome.profiler)
     metrics = {
         "wall_seconds": _metric("timing", "lower", "s", wall),
         "placements_per_sec": _metric("timing", "higher", "1/s", pps),
@@ -197,36 +212,59 @@ def _capture_trace(scenario: TraceScenario, repeats: int) -> Dict[str, object]:
     return {
         "metrics": metrics,
         "phases": phase_dicts[-1],
-        "registry": registry.snapshot(),
+        #: all repeats pooled via Profiler.merge (per-phase sample union)
+        "phases_merged": merged_profiler.as_dict(),
+        "registry": outcomes[-1].registry.snapshot(),
     }
 
 
-def _capture_packing(
-    scenario: PackingScenario, repeats: int
-) -> Dict[str, object]:
+def _packing_repeat(scenario: PackingScenario) -> Dict[str, object]:
+    """One independent repeat of a packing scenario (worker-side body)."""
     from repro.bench.scenarios import packing_state
 
     round_ms: List[float] = []
     placed_counts: List[float] = []
-    phase_dicts = []
-    profiler = None
     machine_ids = list(range(scenario.num_machines))
-    for _ in range(repeats):
-        scheduler = packing_state(scenario)
-        profiler = Profiler()
-        scheduler.profiler = profiler
-        for i in range(scenario.warmup + scenario.rounds):
-            # undo tentative state so every round packs the same backlog
-            scheduler.index.reset_claims()
-            scheduler._remote_granted.clear()
-            scheduler._remote_by_task.clear()
-            start = perf_counter()
-            placements = scheduler.schedule(0.0, machine_ids)
-            elapsed = perf_counter() - start
-            if i >= scenario.warmup:
-                round_ms.append(elapsed * 1e3)
-                placed_counts.append(float(len(placements)))
-        phase_dicts.append(profiler.as_dict())
+    scheduler = packing_state(scenario)
+    profiler = Profiler()
+    scheduler.profiler = profiler
+    for i in range(scenario.warmup + scenario.rounds):
+        # undo tentative state so every round packs the same backlog
+        scheduler.index.reset_claims()
+        scheduler._remote_granted.clear()
+        scheduler._remote_by_task.clear()
+        start = perf_counter()
+        placements = scheduler.schedule(0.0, machine_ids)
+        elapsed = perf_counter() - start
+        if i >= scenario.warmup:
+            round_ms.append(elapsed * 1e3)
+            placed_counts.append(float(len(placements)))
+    return {
+        "round_ms": round_ms,
+        "placed_counts": placed_counts,
+        "phases": profiler.as_dict(),
+    }
+
+
+def _capture_packing(
+    scenario: PackingScenario, repeats: int, backend=None
+) -> Dict[str, object]:
+    if backend is None:
+        backend = SerialBackend()
+    outcomes = backend.map(_packing_repeat, [scenario] * repeats)
+    failed = [o for o in outcomes if not o.ok]
+    if failed:
+        raise ExecutionError(
+            f"{len(failed)} of {repeats} packing repeats failed: "
+            + "; ".join(str(o.error) for o in failed)
+        )
+    round_ms: List[float] = []
+    placed_counts: List[float] = []
+    phase_dicts = []
+    for outcome in outcomes:
+        round_ms.extend(outcome.value["round_ms"])
+        placed_counts.extend(outcome.value["placed_counts"])
+        phase_dicts.append(outcome.value["phases"])
     metrics = {
         "round_ms": _metric("timing", "lower", "ms", round_ms),
         "placements_per_round": _metric(
@@ -241,8 +279,23 @@ def _capture_packing(
     }
 
 
-def capture(scenario_or_name, repeats: int = 3) -> Dict[str, object]:
-    """Run one scenario ``repeats`` times and return its profile dict."""
+def capture(
+    scenario_or_name,
+    repeats: int = 3,
+    workers: Optional[int] = None,
+    backend=None,
+) -> Dict[str, object]:
+    """Run one scenario ``repeats`` times and return its profile dict.
+
+    Repeats are independent, so they run on an execution backend
+    (``workers`` > 1 / ``REPRO_WORKERS`` selects the process pool; the
+    per-repeat profilers and registries come back across the process
+    boundary and aggregate exactly as in-process ones would).  The
+    profile's ``meta.execution`` stanza records how results were
+    produced.  Note that with more repeats in flight than cores, the
+    repeats contend for CPU and wall-clock timing metrics degrade —
+    fidelity metrics are unaffected.
+    """
     scenario = (
         get_scenario(scenario_or_name)
         if isinstance(scenario_or_name, str)
@@ -250,16 +303,20 @@ def capture(scenario_or_name, repeats: int = 3) -> Dict[str, object]:
     )
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
+    if backend is None:
+        backend = get_backend(workers)
     if isinstance(scenario, TraceScenario):
-        body = _capture_trace(scenario, repeats)
+        body = _capture_trace(scenario, repeats, backend)
     else:
-        body = _capture_packing(scenario, repeats)
+        body = _capture_packing(scenario, repeats, backend)
+    meta = _meta(scenario, repeats)
+    meta["execution"] = {"backend": backend.name, "workers": backend.workers}
     profile = {
         "schema": SCHEMA,
         "scenario": scenario.name,
         "kind": scenario.kind,
         "created_unix": time.time(),
-        "meta": _meta(scenario, repeats),
+        "meta": meta,
     }
     profile.update(body)
     return profile

@@ -17,16 +17,11 @@ import sys
 from typing import Callable, Dict, Optional, Sequence
 
 from repro.analysis.model import audit_engine
-from repro.experiments.harness import ExperimentConfig, run_trace
+from repro.exec import RunSpec, get_backend, run_specs
+from repro.exec.backends import WORKERS_ENV
+from repro.experiments.harness import ExperimentConfig
 from repro.metrics.comparison import improvement_percent
-from repro.schedulers.capacity import CapacityScheduler
-from repro.schedulers.drf import DRFScheduler
-from repro.schedulers.fifo import FifoScheduler
-from repro.schedulers.flow_network import FlowNetworkScheduler
-from repro.schedulers.packing_only import PackingOnlyScheduler
-from repro.schedulers.slot_fair import SlotFairScheduler
-from repro.schedulers.srtf import SRTFScheduler
-from repro.schedulers.tetris import TetrisConfig, TetrisScheduler
+from repro.schedulers.registry import SCHEDULER_REGISTRY, build_scheduler
 from repro.workload.trace import load_trace, save_trace
 from repro.workload.tracegen import (
     BingTraceConfig,
@@ -39,38 +34,47 @@ from repro.workload.tracegen import (
 
 __all__ = ["main", "SCHEDULERS"]
 
-SCHEDULERS: Dict[str, Callable[[], object]] = {
-    "tetris": TetrisScheduler,
-    "slot-fair": SlotFairScheduler,
-    "capacity": CapacityScheduler,
-    "drf": DRFScheduler,
-    "fifo": FifoScheduler,
-    "flow-network": FlowNetworkScheduler,
-    "srtf-only": SRTFScheduler,
-    "packing-only": PackingOnlyScheduler,
-}
+#: backward-compatible alias for the shared scheduler registry
+SCHEDULERS: Dict[str, Callable[[], object]] = SCHEDULER_REGISTRY
+
+
+def _scheduler_knobs(
+    name: str, args: argparse.Namespace
+) -> Optional[Dict[str, float]]:
+    """The knob dict a command's flags select (None = defaults)."""
+    if name != "tetris":
+        return None
+    knobs = {}
+    if getattr(args, "fairness_knob", None) is not None:
+        knobs["fairness_knob"] = args.fairness_knob
+    if getattr(args, "barrier_knob", None) is not None:
+        knobs["barrier_knob"] = args.barrier_knob
+    return knobs or None
 
 
 def _make_scheduler(name: str, args: argparse.Namespace):
-    if name == "tetris" and (
-        getattr(args, "fairness_knob", None) is not None
-        or getattr(args, "barrier_knob", None) is not None
-    ):
-        config = TetrisConfig(
-            fairness_knob=(
-                args.fairness_knob if args.fairness_knob is not None else 0.25
-            ),
-            barrier_knob=(
-                args.barrier_knob if args.barrier_knob is not None else 0.9
-            ),
-        )
-        return TetrisScheduler(config)
     try:
-        return SCHEDULERS[name]()
-    except KeyError:
-        raise SystemExit(
-            f"unknown scheduler {name!r}; choose from {sorted(SCHEDULERS)}"
-        )
+        return build_scheduler(name, _scheduler_knobs(name, args))
+    except KeyError as exc:
+        raise SystemExit(str(exc))
+
+
+def _execution_stanza(backend, outcomes, wall_seconds_total):
+    """The ``--json`` stanza recording how the results were produced."""
+    return {
+        "backend": backend.name,
+        "workers": backend.workers,
+        "wall_seconds_total": wall_seconds_total,
+        "runs": {
+            outcome.label: {
+                "ok": outcome.ok,
+                "attempts": outcome.attempts,
+                "wall_seconds": outcome.wall_seconds,
+                "error": outcome.error,
+            }
+            for outcome in outcomes
+        },
+    }
 
 
 def _experiment_config(args: argparse.Namespace) -> ExperimentConfig:
@@ -125,9 +129,30 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    from time import perf_counter
+
     trace = load_trace(args.trace)
-    scheduler = _make_scheduler(args.scheduler, args)
-    result = run_trace(trace, scheduler, _experiment_config(args))
+    if args.scheduler not in SCHEDULERS:
+        raise SystemExit(
+            f"unknown scheduler {args.scheduler!r}; "
+            f"choose from {sorted(SCHEDULERS)}"
+        )
+    backend = get_backend(args.workers)
+    spec = RunSpec(
+        trace=tuple(trace),
+        scheduler=args.scheduler,
+        knobs=_scheduler_knobs(args.scheduler, args),
+        config=_experiment_config(args),
+    )
+    start = perf_counter()
+    outcome = run_specs([spec], backend)[0]
+    total_wall = perf_counter() - start
+    if not outcome.ok:
+        print(f"{args.scheduler}: FAILED ({outcome.error})", file=sys.stderr)
+        if outcome.traceback:
+            print(outcome.traceback, file=sys.stderr)
+        return 1
+    result = outcome.result
     _print_summary(args.scheduler, result)
     if args.json:
         from repro.bench.profile import dump_json
@@ -141,6 +166,9 @@ def cmd_run(args: argparse.Namespace) -> int:
                 "summary": result.summary(),
                 "wall_seconds": result.wall_seconds,
                 "placements": result.num_placements,
+                "execution": _execution_stanza(
+                    backend, [outcome], total_wall
+                ),
             },
             args.json,
         )
@@ -174,14 +202,33 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
+    from time import perf_counter
+
     trace = load_trace(args.trace)
     names = [n.strip() for n in args.schedulers.split(",") if n.strip()]
-    results = {}
-    for name in names:
-        results[name] = run_trace(
-            trace, _make_scheduler(name, args), _experiment_config(args)
+    unknown = [n for n in names if n not in SCHEDULERS]
+    if unknown:
+        raise SystemExit(
+            f"unknown scheduler(s) {unknown}; choose from {sorted(SCHEDULERS)}"
         )
-        _print_summary(name, results[name])
+    backend = get_backend(args.workers)
+    config = _experiment_config(args)
+    specs = [
+        RunSpec(trace=tuple(trace), scheduler=name, config=config)
+        for name in names
+    ]
+    start = perf_counter()
+    outcomes = run_specs(specs, backend)
+    total_wall = perf_counter() - start
+    results = {}
+    failed = []
+    for outcome in outcomes:
+        if outcome.ok:
+            results[outcome.label] = outcome.result
+            _print_summary(outcome.label, outcome.result)
+        else:
+            failed.append(outcome.label)
+            print(f"{outcome.label:<14} FAILED ({outcome.error})")
     improvements = {}
     if args.baseline and args.baseline in results:
         base = results[args.baseline]
@@ -213,29 +260,55 @@ def cmd_compare(args: argparse.Namespace) -> int:
                     for name, result in results.items()
                 },
                 "improvement_over_baseline": improvements,
+                "failed": failed,
+                "execution": _execution_stanza(
+                    backend, outcomes, total_wall
+                ),
             },
             args.json,
         )
         print(f"wrote {args.json}")
-    return 0
+    return 1 if failed else 0
+
+
+#: sweepable Tetris knobs: CLI name -> TetrisConfig field
+SWEEP_KNOBS = {
+    "fairness": "fairness_knob",
+    "barrier": "barrier_knob",
+    "remote-penalty": "remote_penalty",
+}
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     trace = load_trace(args.trace)
     values = [float(v) for v in args.values.split(",")]
+    try:
+        knob_field = SWEEP_KNOBS[args.knob]
+    except KeyError:
+        raise SystemExit(f"unknown knob {args.knob!r}")
+    config = _experiment_config(args)
+    specs = [
+        RunSpec(
+            trace=tuple(trace),
+            scheduler="tetris",
+            knobs={knob_field: value},
+            config=config,
+            label=f"{args.knob}={value:g}",
+        )
+        for value in values
+    ]
+    outcomes = run_specs(specs, get_backend(args.workers))
     print(f"{'value':>8}{'mean JCT':>12}{'makespan':>12}")
-    for value in values:
-        if args.knob == "fairness":
-            scheduler = TetrisScheduler(TetrisConfig(fairness_knob=value))
-        elif args.knob == "barrier":
-            scheduler = TetrisScheduler(TetrisConfig(barrier_knob=value))
-        elif args.knob == "remote-penalty":
-            scheduler = TetrisScheduler(TetrisConfig(remote_penalty=value))
+    failed = 0
+    for value, outcome in zip(values, outcomes):
+        if outcome.ok:
+            result = outcome.result
+            print(f"{value:>8.2f}{result.mean_jct:>12.1f}"
+                  f"{result.makespan:>12.1f}")
         else:
-            raise SystemExit(f"unknown knob {args.knob!r}")
-        result = run_trace(trace, scheduler, _experiment_config(args))
-        print(f"{value:>8.2f}{result.mean_jct:>12.1f}{result.makespan:>12.1f}")
-    return 0
+            failed += 1
+            print(f"{value:>8.2f}  FAILED ({outcome.error})")
+    return 1 if failed else 0
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -386,7 +459,9 @@ def cmd_bench_run(args: argparse.Namespace) -> int:
             scenario = get_scenario(name)  # fail fast on unknown names
         except KeyError as exc:
             raise SystemExit(str(exc))
-        profile = capture(scenario, repeats=args.repeats)
+        profile = capture(
+            scenario, repeats=args.repeats, workers=args.workers
+        )
         path = store.save(profile)
         wall = profile["metrics"].get("wall_seconds") or \
             profile["metrics"].get("round_ms")
@@ -516,8 +591,17 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--no-tracker", action="store_true",
                        help="disable the resource tracker")
 
+    def workers_arg(p):
+        p.add_argument(
+            "--workers", type=int, default=None, metavar="N",
+            help="parallel worker processes (default: the "
+            f"{WORKERS_ENV} env var, else 1 = serial); results are "
+            "bit-identical to a serial run",
+        )
+
     run = sub.add_parser("run", help="run one scheduler on a trace")
     common(run)
+    workers_arg(run)
     run.add_argument("--scheduler", default="tetris",
                      choices=sorted(SCHEDULERS))
     run.add_argument("--fairness-knob", type=float, default=None)
@@ -530,6 +614,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     cmp_ = sub.add_parser("compare", help="race several schedulers")
     common(cmp_)
+    workers_arg(cmp_)
     cmp_.add_argument("--schedulers", default="tetris,slot-fair,drf")
     cmp_.add_argument("--baseline", default="slot-fair")
     cmp_.add_argument("--json", default=None, metavar="PATH",
@@ -538,8 +623,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     sweep = sub.add_parser("sweep", help="sweep a Tetris knob")
     common(sweep)
+    workers_arg(sweep)
     sweep.add_argument("--knob", default="fairness",
-                       choices=("fairness", "barrier", "remote-penalty"))
+                       choices=sorted(SWEEP_KNOBS))
     sweep.add_argument("--values", default="0,0.25,0.5,0.75")
     sweep.set_defaults(func=cmd_sweep)
 
@@ -608,6 +694,7 @@ def build_parser() -> argparse.ArgumentParser:
                       "(profiles store the median + raw samples)")
     brun.add_argument("-o", "--output", default="bench-out",
                       help="profile output directory")
+    workers_arg(brun)
     brun.set_defaults(func=cmd_bench_run)
 
     bcmp = bench_sub.add_parser(

@@ -1,0 +1,293 @@
+"""Pluggable execution backends: run independent tasks, keep spec order.
+
+A backend maps a picklable function over a list of picklable items and
+returns one :class:`TaskOutcome` per item, **in item order**, regardless
+of completion order.  Two implementations:
+
+- :class:`SerialBackend` — in-process loop, the default.  Exceptions are
+  caught per item (failure isolation has the same semantics as the
+  process backend), so a grid with one bad cell still yields every other
+  cell.
+- :class:`ProcessPoolBackend` — one worker process per in-flight item,
+  at most ``workers`` alive at once.  Each item gets its own process and
+  pipe, so a hung run can be *killed* (``timeout`` seconds, enforced
+  with ``Process.terminate``) without poisoning a shared pool, and a
+  worker that dies without reporting (OOM kill, segfault, ``os._exit``)
+  is retried up to ``retries`` times.  Deterministic Python exceptions
+  are **not** retried — they would fail identically — and are returned
+  as failed outcomes with the worker's traceback.
+
+Worker counts resolve ``workers`` argument → ``REPRO_WORKERS`` env var →
+1, so CI and users can set a fleet-wide default without threading an
+argument through every call site.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing.connection import wait as _mp_wait
+from time import perf_counter
+from typing import Callable, Dict, List, Optional, Sequence
+
+__all__ = [
+    "TaskOutcome",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "ExecutionError",
+    "resolve_workers",
+    "get_backend",
+]
+
+#: environment variable holding the default worker count
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: progress callback: (completed_count, total, outcome_just_finished)
+ProgressCallback = Callable[[int, int, "TaskOutcome"], None]
+
+
+class ExecutionError(RuntimeError):
+    """A backend run failed and the caller asked for results, not rows."""
+
+
+@dataclass
+class TaskOutcome:
+    """Result row for one item: a value or a reported failure."""
+
+    index: int
+    ok: bool
+    value: object = None
+    error: Optional[str] = None
+    traceback: Optional[str] = None
+    attempts: int = 1
+    #: wall-clock seconds spent inside the (last attempted) call
+    wall_seconds: float = 0.0
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Explicit argument, else ``REPRO_WORKERS``, else 1."""
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV, "").strip()
+        if env:
+            try:
+                workers = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"{WORKERS_ENV} must be an integer, got {env!r}"
+                ) from None
+        else:
+            workers = 1
+    return max(1, int(workers))
+
+
+def get_backend(
+    workers: Optional[int] = None,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+):
+    """The backend for a worker count: serial at 1, process pool above."""
+    count = resolve_workers(workers)
+    if count <= 1:
+        return SerialBackend()
+    return ProcessPoolBackend(workers=count, timeout=timeout, retries=retries)
+
+
+class SerialBackend:
+    """Run every item in-process, in order (the current behavior)."""
+
+    name = "serial"
+    workers = 1
+
+    def map(
+        self,
+        fn: Callable[[object], object],
+        items: Sequence[object],
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[TaskOutcome]:
+        items = list(items)
+        outcomes: List[TaskOutcome] = []
+        for index, item in enumerate(items):
+            start = perf_counter()
+            try:
+                value = fn(item)
+                outcome = TaskOutcome(
+                    index, True, value=value,
+                    wall_seconds=perf_counter() - start,
+                )
+            except Exception as exc:
+                outcome = TaskOutcome(
+                    index, False,
+                    error=f"{type(exc).__name__}: {exc}",
+                    traceback=traceback.format_exc(),
+                    wall_seconds=perf_counter() - start,
+                )
+            outcomes.append(outcome)
+            if progress is not None:
+                progress(len(outcomes), len(items), outcome)
+        return outcomes
+
+
+def _child_main(fn, item, conn) -> None:
+    """Worker entry: run one item, report (status, ...) over the pipe."""
+    start = perf_counter()
+    try:
+        value = fn(item)
+        payload = ("ok", value, None, perf_counter() - start)
+    except BaseException as exc:  # report, never crash silently
+        payload = (
+            "error",
+            f"{type(exc).__name__}: {exc}",
+            traceback.format_exc(),
+            perf_counter() - start,
+        )
+    try:
+        conn.send(payload)
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Attempt:
+    index: int
+    item: object
+    attempts: int = 0
+
+
+class ProcessPoolBackend:
+    """Bounded fleet of single-shot worker processes.
+
+    ``timeout`` is per attempt (seconds of wall clock before the worker
+    is terminated); ``retries`` bounds how many *additional* attempts a
+    timed-out or silently-dead worker gets, so total attempts are at
+    most ``retries + 1``.  ``start_method`` selects the multiprocessing
+    context (platform default when ``None``; items and ``fn`` must be
+    picklable under ``spawn``).
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        timeout: Optional[float] = None,
+        retries: int = 1,
+        start_method: Optional[str] = None,
+        poll_interval: float = 0.05,
+    ) -> None:
+        self.workers = resolve_workers(workers)
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        if retries < 0:
+            raise ValueError(f"retries must be non-negative, got {retries}")
+        self.timeout = timeout
+        self.retries = retries
+        self.poll_interval = poll_interval
+        self._ctx = (
+            mp.get_context(start_method) if start_method else mp.get_context()
+        )
+
+    def map(
+        self,
+        fn: Callable[[object], object],
+        items: Sequence[object],
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[TaskOutcome]:
+        items = list(items)
+        total = len(items)
+        results: List[Optional[TaskOutcome]] = [None] * total
+        pending = deque(_Attempt(i, item) for i, item in enumerate(items))
+        #: parent pipe end -> (process, attempt, deadline or None)
+        live: Dict[object, tuple] = {}
+        done = 0
+
+        def finish(outcome: TaskOutcome) -> None:
+            nonlocal done
+            results[outcome.index] = outcome
+            done += 1
+            if progress is not None:
+                progress(done, total, outcome)
+
+        def retry_or_fail(attempt: _Attempt, error: str) -> None:
+            if attempt.attempts <= self.retries:
+                pending.append(attempt)
+            else:
+                finish(TaskOutcome(
+                    attempt.index, False, error=error,
+                    attempts=attempt.attempts,
+                    wall_seconds=self.timeout or 0.0,
+                ))
+
+        try:
+            while pending or live:
+                while pending and len(live) < self.workers:
+                    attempt = pending.popleft()
+                    attempt.attempts += 1
+                    parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+                    proc = self._ctx.Process(
+                        target=_child_main,
+                        args=(fn, attempt.item, child_conn),
+                        daemon=True,
+                    )
+                    proc.start()
+                    child_conn.close()
+                    deadline = (
+                        None if self.timeout is None
+                        else time.monotonic() + self.timeout
+                    )
+                    live[parent_conn] = (proc, attempt, deadline)
+                for conn in _mp_wait(list(live), timeout=self.poll_interval):
+                    proc, attempt, _ = live.pop(conn)
+                    try:
+                        payload = conn.recv()
+                    except (EOFError, OSError):
+                        payload = None
+                    conn.close()
+                    proc.join()
+                    if payload is None:
+                        retry_or_fail(
+                            attempt,
+                            f"worker exited with code {proc.exitcode} "
+                            "before returning a result",
+                        )
+                    elif payload[0] == "ok":
+                        finish(TaskOutcome(
+                            attempt.index, True, value=payload[1],
+                            attempts=attempt.attempts,
+                            wall_seconds=payload[3],
+                        ))
+                    else:
+                        finish(TaskOutcome(
+                            attempt.index, False, error=payload[1],
+                            traceback=payload[2],
+                            attempts=attempt.attempts,
+                            wall_seconds=payload[3],
+                        ))
+                now = time.monotonic()
+                expired = [
+                    conn for conn, (_, _, deadline) in live.items()
+                    if deadline is not None and now > deadline
+                ]
+                for conn in expired:
+                    proc, attempt, _ = live.pop(conn)
+                    proc.terminate()
+                    proc.join(1.0)
+                    if proc.is_alive():  # pragma: no cover - stubborn child
+                        proc.kill()
+                        proc.join(1.0)
+                    conn.close()
+                    retry_or_fail(
+                        attempt,
+                        f"timed out after {self.timeout}s "
+                        f"(attempt {attempt.attempts})",
+                    )
+        finally:
+            # never leak workers, even if the parent is interrupted
+            for conn, (proc, _, _) in live.items():
+                proc.terminate()
+                proc.join(1.0)
+                conn.close()
+        return results  # type: ignore[return-value]

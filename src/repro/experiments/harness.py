@@ -170,9 +170,34 @@ def run_comparison(
     trace: Sequence[TraceJob],
     scheduler_factories: Dict[str, Callable[[], Scheduler]],
     config: Optional[ExperimentConfig] = None,
+    workers: Optional[int] = None,
+    backend=None,
+    progress=None,
 ) -> Dict[str, RunResult]:
-    """Run the same trace under several schedulers; returns per-name results."""
-    results = {}
-    for name, factory in scheduler_factories.items():
-        results[name] = run_trace(trace, factory(), config=config)
-    return results
+    """Run the same trace under several schedulers; returns per-name results.
+
+    Each (name, factory) cell becomes a :class:`repro.exec.RunSpec` and
+    the grid executes on an execution backend: the default resolves from
+    ``workers`` (falling back to the ``REPRO_WORKERS`` env var, then
+    serial), or pass ``backend`` explicitly.  Results are keyed and
+    ordered by factory-dict insertion order regardless of which run
+    finished first, and are bit-identical across backends.  If any cell
+    fails, every other cell still runs and a single
+    :class:`repro.exec.ExecutionError` naming the failed rows is raised
+    at the end; callers that want per-row failure reporting should build
+    specs and call :func:`repro.exec.run_specs` directly.
+    """
+    from repro.exec import RunSpec, get_backend, raise_on_failure, run_specs
+
+    cfg = config if config is not None else ExperimentConfig()
+    specs = [
+        RunSpec(trace=tuple(trace), scheduler=factory, config=cfg, label=name)
+        for name, factory in scheduler_factories.items()
+    ]
+    outcomes = run_specs(
+        specs,
+        backend if backend is not None else get_backend(workers),
+        progress=progress,
+    )
+    raise_on_failure(outcomes)
+    return {outcome.label: outcome.result for outcome in outcomes}

@@ -9,11 +9,12 @@ aggregates the metrics, so claims can be made with error bars.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.experiments.harness import ExperimentConfig, run_comparison
+from repro.exec.seeds import spawn_seeds
+from repro.experiments.harness import ExperimentConfig
 from repro.metrics.comparison import improvement_percent
 
 __all__ = ["MetricSummary", "ReplicatedComparison", "replicate"]
@@ -62,8 +63,12 @@ class ReplicatedComparison:
 def replicate(
     make_trace: Callable[[int], Sequence],
     scheduler_factories: Dict[str, Callable],
-    seeds: Sequence[int],
+    seeds: Optional[Sequence[int]] = None,
     num_machines: int = 20,
+    workers: Optional[int] = None,
+    backend=None,
+    num_seeds: Optional[int] = None,
+    base_seed: int = 0,
     **config_kw,
 ) -> ReplicatedComparison:
     """Run the comparison once per seed and aggregate.
@@ -71,20 +76,49 @@ def replicate(
     ``make_trace(seed)`` builds the workload for a seed (regenerate it
     per seed so both the workload sample and the simulation randomness
     vary, as in repeated real experiments).
+
+    Seeds come either explicitly (``seeds=...``) or derived: with
+    ``num_seeds=n`` the seeds are ``SeedSequence``-spawned children of
+    ``base_seed`` (:func:`repro.exec.spawn_seeds`), the repo-wide scheme
+    for seed-only sweeps — sibling runs never share RNG state and
+    growing ``num_seeds`` later keeps the earlier runs identical.
+
+    The whole seeds × schedulers grid is independent cells, executed on
+    an execution backend (``workers`` > 1 / ``REPRO_WORKERS`` selects
+    the process pool); results are aggregated in seed order and are
+    bit-identical across backends.
     """
+    from repro.exec import RunSpec, get_backend, raise_on_failure, run_specs
+
+    if seeds is None:
+        if not num_seeds:
+            raise ValueError("need at least one seed")
+        seeds = spawn_seeds(base_seed, num_seeds)
+    seeds = tuple(seeds)
     if not seeds:
         raise ValueError("need at least one seed")
-    per_seed: List[Dict[str, object]] = []
+    names = list(scheduler_factories)
+    specs = []
     for seed in seeds:
-        trace = make_trace(seed)
-        results = run_comparison(
-            trace,
-            scheduler_factories,
-            ExperimentConfig(num_machines=num_machines, seed=seed,
-                             **config_kw),
+        trace = tuple(make_trace(seed))
+        config = ExperimentConfig(num_machines=num_machines, seed=seed,
+                                  **config_kw)
+        specs.extend(
+            RunSpec(trace=trace, scheduler=factory, config=config,
+                    label=f"{name}@seed={seed}")
+            for name, factory in scheduler_factories.items()
         )
-        per_seed.append(results)
-    names = list(per_seed[0])
+    outcomes = run_specs(
+        specs, backend if backend is not None else get_backend(workers)
+    )
+    raise_on_failure(outcomes)
+    per_seed: List[Dict[str, object]] = [
+        {
+            name: outcomes[i * len(names) + j].result
+            for j, name in enumerate(names)
+        }
+        for i in range(len(seeds))
+    ]
     return ReplicatedComparison(
         seeds=tuple(seeds),
         mean_jct={

@@ -55,6 +55,37 @@ class PhaseStats:
         self._mean += delta / self.count
         self._m2 += delta * (duration - self._mean)
 
+    def merge(self, other: "PhaseStats") -> "PhaseStats":
+        """Fold another phase's samples into this one and return self.
+
+        Combines the Welford accumulators with the parallel-variance
+        formula (Chan et al.), so merged ``mean``/``variance``/``stddev``
+        equal what a single pass over the union of samples would give.
+        Used to aggregate per-run profilers across process boundaries;
+        ``other`` is never modified.
+        """
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.count = other.count
+            self.total = other.total
+            self.max = other.max
+            self._min = other._min
+            self._mean = other._mean
+            self._m2 = other._m2
+            return self
+        combined = self.count + other.count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / combined
+        self._mean += delta * other.count / combined
+        self.count = combined
+        self.total += other.total
+        if other.max > self.max:
+            self.max = other.max
+        if other._min < self._min:
+            self._min = other._min
+        return self
+
     @property
     def min(self) -> float:
         """Smallest sample, or ``0.0`` when no samples were recorded
@@ -119,6 +150,20 @@ class Profiler:
         object does not feed back into this profiler.
         """
         return self._stats.get(label, PhaseStats())
+
+    def merge(self, other: "Profiler") -> "Profiler":
+        """Fold another profiler's phases into this one and return self.
+
+        Per-run profilers are picklable, so ``repro.exec`` workers ship
+        theirs back whole and the parent merges them label by label
+        (:meth:`PhaseStats.merge`); ``other`` is never modified.
+        """
+        for label in other.labels():
+            stats = self._stats.get(label)
+            if stats is None:
+                stats = self._stats[label] = PhaseStats()
+            stats.merge(other._stats[label])
+        return self
 
     def labels(self) -> List[str]:
         return sorted(self._stats)

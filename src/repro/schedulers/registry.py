@@ -1,0 +1,64 @@
+"""Name-keyed scheduler construction, shared by the CLI and ``repro.exec``.
+
+A :class:`~repro.exec.spec.RunSpec` describes its scheduler as a *name*
+plus a *knob dict* so the spec stays picklable and serializable — the
+class object and its config are resolved here, on whichever side of a
+process boundary the run actually executes.  The CLI's ``SCHEDULERS``
+mapping re-exports :data:`SCHEDULER_REGISTRY` for backward
+compatibility.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional
+
+from repro.schedulers.base import Scheduler
+from repro.schedulers.capacity import CapacityScheduler
+from repro.schedulers.drf import DRFScheduler
+from repro.schedulers.fifo import FifoScheduler
+from repro.schedulers.flow_network import FlowNetworkScheduler
+from repro.schedulers.packing_only import PackingOnlyScheduler
+from repro.schedulers.slot_fair import SlotFairScheduler
+from repro.schedulers.srtf import SRTFScheduler
+from repro.schedulers.tetris import TetrisConfig, TetrisScheduler
+
+__all__ = ["SCHEDULER_REGISTRY", "build_scheduler", "scheduler_names"]
+
+#: canonical name -> zero-argument scheduler class
+SCHEDULER_REGISTRY: Dict[str, Callable[[], Scheduler]] = {
+    "tetris": TetrisScheduler,
+    "slot-fair": SlotFairScheduler,
+    "capacity": CapacityScheduler,
+    "drf": DRFScheduler,
+    "fifo": FifoScheduler,
+    "flow-network": FlowNetworkScheduler,
+    "srtf-only": SRTFScheduler,
+    "packing-only": PackingOnlyScheduler,
+}
+
+
+def scheduler_names() -> list:
+    return sorted(SCHEDULER_REGISTRY)
+
+
+def build_scheduler(
+    name: str, knobs: Optional[Mapping[str, object]] = None
+) -> Scheduler:
+    """Construct a scheduler from its registry name and optional knobs.
+
+    Tetris knobs are the :class:`TetrisConfig` fields (``fairness_knob``,
+    ``barrier_knob``, ``remote_penalty``, ...); other schedulers pass
+    knobs straight to their constructor (all current baselines take
+    none).
+    """
+    try:
+        cls = SCHEDULER_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheduler {name!r}; choose from {scheduler_names()}"
+        ) from None
+    if not knobs:
+        return cls()
+    if name == "tetris":
+        return TetrisScheduler(TetrisConfig(**dict(knobs)))
+    return cls(**dict(knobs))

@@ -491,3 +491,36 @@ class TestHarnessBenchHooks:
         assert result.placements_per_sec > 0
         assert "tetris.schedule" in profiler.labels()
         assert registry.snapshot()["repro_engine_rounds_total"]["values"][""] > 0
+
+
+class TestParallelCapture:
+    """Capture through the process pool: identical fidelity, stamped meta."""
+
+    def test_trace_capture_workers_parity(self):
+        serial = capture("smoke", repeats=2)
+        parallel = capture("smoke", repeats=2, workers=2)
+        assert serial["meta"]["execution"] == {
+            "backend": "serial", "workers": 1,
+        }
+        assert parallel["meta"]["execution"] == {
+            "backend": "process", "workers": 2,
+        }
+        # fidelity samples are bit-identical across backends; wall-clock
+        # timing metrics legitimately differ
+        for name, record in serial["metrics"].items():
+            if record["kind"] != "fidelity":
+                continue
+            assert parallel["metrics"][name]["samples"] == \
+                record["samples"], name
+        # phase detail and merged pools come back across the boundary
+        assert "tetris.schedule" in parallel["phases"]
+        assert parallel["phases_merged"]["tetris.schedule"]["count"] == \
+            2 * parallel["phases"]["tetris.schedule"]["count"]
+        assert "repro_engine_rounds_total" in parallel["registry"]
+
+    def test_packing_capture_workers(self):
+        p = capture(TINY_PACKING, repeats=2, workers=2)
+        assert p["meta"]["execution"]["backend"] == "process"
+        assert len(p["metrics"]["round_ms"]["samples"]) == \
+            2 * TINY_PACKING.rounds
+        assert p["metrics"]["placements_per_round"]["value"] > 0

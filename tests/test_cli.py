@@ -334,3 +334,68 @@ class TestParser:
         assert args.quick is False
         args = parser.parse_args(["bench", "compare"])
         assert args.baseline == "benchmarks/baselines"
+
+
+class TestWorkers:
+    def test_compare_parallel_json_matches_serial(self, trace_file, tmp_path):
+        serial_out = tmp_path / "serial.json"
+        parallel_out = tmp_path / "parallel.json"
+        common = [
+            "compare", str(trace_file), "--machines", "8",
+            "--schedulers", "tetris,slot-fair,drf,fifo",
+            "--baseline", "fifo",
+        ]
+        assert main(common + ["--json", str(serial_out)]) == 0
+        assert main(
+            common + ["--workers", "2", "--json", str(parallel_out)]
+        ) == 0
+        serial = json.loads(serial_out.read_text())
+        parallel = json.loads(parallel_out.read_text())
+        # simulation outputs are bit-identical; only the execution
+        # stanza (backend name, wall clocks) may differ
+        assert parallel["summaries"] == serial["summaries"]
+        assert (parallel["improvement_over_baseline"]
+                == serial["improvement_over_baseline"])
+        assert serial["execution"]["backend"] == "serial"
+        assert serial["execution"]["workers"] == 1
+        assert parallel["execution"]["backend"] == "process"
+        assert parallel["execution"]["workers"] == 2
+        assert set(parallel["execution"]["runs"]) == set(
+            serial["summaries"]
+        )
+        for row in parallel["execution"]["runs"].values():
+            assert row["ok"] is True
+            assert row["wall_seconds"] >= 0
+
+    def test_run_json_records_execution(self, trace_file, tmp_path):
+        out = tmp_path / "run.json"
+        rc = main([
+            "run", str(trace_file), "--scheduler", "tetris",
+            "--machines", "8", "--workers", "2", "--json", str(out),
+        ])
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        stanza = payload["execution"]
+        assert stanza["backend"] == "process"
+        assert stanza["workers"] == 2
+        assert stanza["wall_seconds_total"] > 0
+
+    def test_workers_env_var(self, trace_file, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        out = tmp_path / "run.json"
+        rc = main([
+            "run", str(trace_file), "--scheduler", "fifo",
+            "--machines", "8", "--json", str(out),
+        ])
+        assert rc == 0
+        assert json.loads(out.read_text())["execution"]["workers"] == 2
+
+    def test_sweep_with_workers(self, trace_file, capsys):
+        rc = main([
+            "sweep", str(trace_file), "--machines", "8",
+            "--knob", "fairness", "--values", "0,0.5",
+            "--workers", "2",
+        ])
+        assert rc == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 3  # header + 2 rows

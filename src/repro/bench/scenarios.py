@@ -244,6 +244,37 @@ SCENARIOS: Dict[str, Scenario] = {
             num_jobs=200,
             tasks_per_job=20,
         ),
+        # The incremental-scheduling-core scenarios: large enough that
+        # candidate gathering and fluid-rate maintenance dominate, so the
+        # signature-grouped candidate index and the sparse recompute show
+        # up as phase-level speedups.  Their committed baselines were
+        # captured from the pre-incremental code on purpose — comparing a
+        # fresh capture against them is the before/after story.
+        PackingScenario(
+            name="packing-large",
+            description="packing rounds at cluster scale: 200 machines "
+            "x 250 jobs x 24 tasks (6000 pending tasks)",
+            quick=False,
+            num_machines=200,
+            num_jobs=250,
+            tasks_per_job=24,
+        ),
+        TraceScenario(
+            name="cluster-large",
+            description="large-cluster Facebook replay under a bursty "
+            "arrival front: 200 machines, ~5.7k tasks, sustained backlog "
+            "so scheduler rounds see hundreds of candidate stages",
+            quick=False,
+            trace_config=FacebookTraceConfig(
+                num_jobs=160,
+                arrival_horizon=300,
+                max_map_tasks=200,
+                seed=11,
+            ),
+            num_machines=200,
+            # no tracker: the phase timings isolate the scheduling core
+            use_tracker=False,
+        ),
     )
 }
 

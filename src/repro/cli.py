@@ -409,6 +409,8 @@ def cmd_inspect(args: argparse.Namespace) -> int:
             f"phase {phase['label']}: n={phase['count']} "
             f"total={phase['total_ms']:.2f}ms mean={phase['mean_ms']:.3f}ms"
         )
+    if args.metrics:
+        _print_cache_effectiveness(args.metrics)
     if summary["invalid_events"]:
         print(f"INVALID events: {summary['invalid_events']}")
         for error in summary["errors"]:
@@ -416,6 +418,49 @@ def cmd_inspect(args: argparse.Namespace) -> int:
         if args.strict:
             return 1
     return 0
+
+
+def _print_cache_effectiveness(metrics_path: str) -> None:
+    """Summarize the incremental-core counters from a metrics exposition
+    file (the ``metrics.prom`` a ``repro trace`` run writes): candidate
+    pack-cache hit rate, invalidations by scope, live signature groups,
+    and the fluid model's sparse-recompute footprint."""
+    from repro.obs import parse_exposition
+
+    with open(metrics_path, encoding="utf-8") as f:
+        metrics = parse_exposition(f.read())
+    print("cache effectiveness:")
+    pack = metrics.get("repro_tetris_pack_cache_total", {})
+    hits = pack.get("outcome=hit", 0.0)
+    misses = pack.get("outcome=miss", 0.0)
+    if hits + misses:
+        print(
+            f"  pack cache:      {hits:.0f} hits / {misses:.0f} misses "
+            f"({hits / (hits + misses):.1%} hit rate)"
+        )
+    for key, count in sorted(
+        metrics.get("repro_tetris_cache_invalidations_total", {}).items()
+    ):
+        scope = key.split("=", 1)[1] if "=" in key else key or "all"
+        print(f"  invalidations:   {count:.0f} ({scope})")
+    groups = metrics.get("repro_tetris_signature_groups", {}).get("")
+    if groups is not None:
+        print(f"  live groups:     {groups:.0f} (at end of run)")
+    recomputes = metrics.get(
+        "repro_fluid_sparse_recomputes_total", {}
+    ).get("", 0.0)
+    if recomputes:
+        slots = metrics.get(
+            "repro_fluid_slots_recomputed_total", {}
+        ).get("", 0.0)
+        flows = metrics.get(
+            "repro_fluid_flows_recomputed_total", {}
+        ).get("", 0.0)
+        print(
+            f"  fluid recompute: {recomputes:.0f} sparse passes, "
+            f"{slots / recomputes:.1f} slots / "
+            f"{flows / recomputes:.1f} flows touched per pass"
+        )
 
 
 def cmd_figures(args: argparse.Namespace) -> int:
@@ -651,6 +696,11 @@ def build_parser() -> argparse.ArgumentParser:
     ins.add_argument("log", help="decisions.jsonl path")
     ins.add_argument("--strict", action="store_true",
                      help="exit non-zero if any event fails validation")
+    ins.add_argument("--metrics", default=None, metavar="PATH",
+                     help="metrics.prom from the same `repro trace` run; "
+                     "adds a cache-effectiveness section (candidate-index "
+                     "hit/miss/invalidation counters, fluid sparse-"
+                     "recompute footprint)")
     ins.set_defaults(func=cmd_inspect)
 
     figs = sub.add_parser(

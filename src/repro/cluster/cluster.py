@@ -70,6 +70,7 @@ class Cluster:
             replication=replication,
             rng=np.random.default_rng(seed),
         )
+        self._total_capacity: Optional[ResourceVector] = None
 
     # -- aggregate views -------------------------------------------------------
     @property
@@ -80,10 +81,18 @@ class Cluster:
         return self.machines[machine_id]
 
     def total_capacity(self) -> ResourceVector:
-        total = ResourceVector.zeros_like(self.machines[0].capacity)
-        for m in self.machines:
-            total.add_inplace(m.capacity)
-        return total
+        """Sum of all machine capacities.
+
+        Capacities are fixed at construction, so the sum is computed once
+        and cached; a fresh vector is returned each call so callers may
+        mutate their copy freely.
+        """
+        if self._total_capacity is None:
+            total = ResourceVector.zeros_like(self.machines[0].capacity)
+            for m in self.machines:
+                total.add_inplace(m.capacity)
+            self._total_capacity = total
+        return self._total_capacity.copy()
 
     def total_allocated(self) -> ResourceVector:
         total = self.model.zeros()

@@ -28,6 +28,7 @@ class Machine:
         "running",
         "observed_usage",
         "_placed_demands",
+        "_free_clamped",
     )
 
     def __init__(self, machine_id: int, capacity: ResourceVector):
@@ -39,6 +40,9 @@ class Machine:
         #: non-task activity such as ingestion); starts at zero
         self.observed_usage = ResourceVector.zeros_like(capacity)
         self._placed_demands: Dict[int, ResourceVector] = {}
+        #: memoized clamped free vector; dropped whenever ``allocated``
+        #: moves (place/remove are the only mutation points)
+        self._free_clamped: Optional[ResourceVector] = None
 
     # -- placement ------------------------------------------------------------
     def place(self, task: Task, demands: Optional[ResourceVector] = None) -> None:
@@ -50,6 +54,7 @@ class Machine:
         self.running.add(task)
         self._placed_demands[task.task_id] = demands
         self.allocated.add_inplace(demands)
+        self._free_clamped = None
 
     def remove(self, task: Task) -> None:
         if task not in self.running:
@@ -57,6 +62,7 @@ class Machine:
         self.running.discard(task)
         demands = self._placed_demands.pop(task.task_id)
         self.allocated.sub_inplace(demands)
+        self._free_clamped = None
 
     def placed_demands(self, task: Task) -> ResourceVector:
         return self._placed_demands[task.task_id]
@@ -68,7 +74,21 @@ class Machine:
         return self.capacity - self.allocated
 
     def free_clamped(self) -> ResourceVector:
-        return self.free().clamp_nonnegative()
+        """A caller-owned copy of the clamped free vector (some callers
+        subtract bookings from it in place)."""
+        return self._free_clamped_cached().copy()
+
+    def free_clamped_view(self) -> ResourceVector:
+        """The memoized clamped free vector itself — shared and
+        read-only.  For hot paths that only *read* headroom; callers
+        must never mutate it."""
+        return self._free_clamped_cached()
+
+    def _free_clamped_cached(self) -> ResourceVector:
+        cached = self._free_clamped
+        if cached is None:
+            cached = self._free_clamped = self.free().clamp_nonnegative()
+        return cached
 
     def can_fit(self, demands: ResourceVector) -> bool:
         """Full-vector admission check (what Tetris enforces)."""

@@ -18,7 +18,13 @@ Everything follows the same ``Optional[...]`` pattern as
 skip all work when observability is off.
 """
 
-from repro.obs.registry import Counter, Gauge, Histogram, Registry
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    parse_exposition,
+)
 from repro.obs.trace import (
     DecisionTrace,
     EVENT_SCHEMA,
@@ -33,6 +39,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "Registry",
+    "parse_exposition",
     "DecisionTrace",
     "EVENT_SCHEMA",
     "summarize_decision_log",

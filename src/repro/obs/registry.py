@@ -31,7 +31,13 @@ import math
 import re
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-__all__ = ["Counter", "Gauge", "Histogram", "Registry"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Registry",
+    "parse_exposition",
+]
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
@@ -460,3 +466,44 @@ class Registry:
 
     def __repr__(self) -> str:
         return f"Registry(metrics={self.names()})"
+
+
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$"
+)
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"')
+
+
+def parse_exposition(text: str) -> Dict[str, Dict[str, float]]:
+    """Parse :meth:`Registry.render` output back into plain values.
+
+    Returns ``{metric name: {label key: value}}`` with label keys in the
+    same ``"name=value,..."`` shape as :meth:`Registry.snapshot` (``""``
+    for unlabeled samples).  Histogram series surface under their
+    ``_bucket``/``_sum``/``_count`` sample names — this reads the *text*
+    a run wrote to disk, it does not reconstruct live metric objects.
+    Raises ``ValueError`` on a line that is neither a comment nor a
+    well-formed sample.
+    """
+    out: Dict[str, Dict[str, float]] = {}
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            raise ValueError(f"unparseable exposition line: {line!r}")
+        name, labelblock, raw = m.groups()
+        labels = ""
+        if labelblock:
+            labels = ",".join(
+                f"{k}={v}" for k, v in _LABEL_PAIR_RE.findall(labelblock)
+            )
+        if raw == "+Inf":
+            value = math.inf
+        elif raw == "-Inf":
+            value = -math.inf
+        else:
+            value = float(raw)
+        out.setdefault(name, {})[labels] = value
+    return out

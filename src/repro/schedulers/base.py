@@ -208,7 +208,7 @@ class Scheduler(abc.ABC):
         return [
             j
             for j in self.active_jobs
-            if j.state is JobState.ACTIVE and j.runnable_tasks()
+            if j.state is JobState.ACTIVE and j.has_runnable_tasks()
         ]
 
     def estimated_demands(self, task: Task) -> ResourceVector:

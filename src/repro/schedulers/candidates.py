@@ -1,0 +1,626 @@
+"""Signature-grouped candidate index for the packing hot path.
+
+The paper's estimation story (Section 4.1) is that peer tasks in a stage
+have near-identical resource profiles — that is what makes one
+representative score per stage meaningful.  This module turns the same
+observation into a caching structure: runnable tasks are grouped by a
+*(stage, placement-adjusted demand signature)*, where the signature
+captures everything the packing math can see about a task —
+
+- the stage it belongs to,
+- its estimated demand vector (byte-exact), and
+- its input structure: each input's size and replica locations, in
+  order (the locality/remote-input signature).
+
+Two tasks with equal signatures produce byte-identical booked vectors,
+normalized demand rows and remote flags on **every** machine, so the
+pack cache is shared by the whole group: when a placed task's successor
+representative comes from the same group — the common case, since stages
+release waves of statistical peers — its pack costs a dict hit instead
+of an estimator call plus vector arithmetic.  Machines are collapsed the
+same way: a pack depends on the machine only through its capacity vector
+and through *which* of the signature's inputs are replica-local to it,
+so the cache key is ``(signature, capacity class, local-input pattern)``
+— on a homogeneous cluster a no-input group computes its pack **once**
+for the whole cluster rather than once per machine.
+Tasks whose inputs live in different places never share a signature (the
+locations are part of it), so locality-sensitive decisions are never
+cross-contaminated.
+
+Cache validity follows the signature: entries survive task completions
+under a stable estimator (nothing they depend on moved), and are dropped
+when a stage's inputs are re-pinned at shuffle resolution or when an
+unstable estimator revises demands (a completion can move every peer
+mean, so the whole index flushes).
+
+:class:`MachineView` is the per-machine consumer: one fill loop's
+candidate state laid out as fixed two-slot blocks per stage (slot 0 the
+locality-preferred representative, slot 1 the stage-queue front), so a
+placement refreshes exactly one stage's block instead of re-gathering
+every stage, and each loop iteration reduces to numpy passes over the
+persistent arrays.  Missing pack rows for a machine are computed in one
+batched numpy normalization over all signature groups at view-build
+time (:meth:`CandidateIndex.warm`).  Batching is per machine by
+construction: fits and alignment are always taken against one machine's
+free/capacity vector, so a machines × groups grid has no shared scoring
+axis — cross-machine reuse happens through the persistent
+``(signature, machine)`` cache instead, and the dirty-machine contract
+(see ``Scheduler.consume_dirty_machines``) already skips machines whose
+free vector did not change.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.resources import EPSILON, ResourceVector
+from repro.workload.stage import Stage
+from repro.workload.task import Task
+
+__all__ = ["CandidateIndex", "MachineView", "signature_of"]
+
+#: (stage_id, estimate bytes, ((input size, replica locations), ...))
+Signature = Tuple[int, bytes, Tuple[Tuple[float, Tuple[int, ...]], ...]]
+
+#: a cached pack: (booked vector, masked capacity-normalized row, remote?)
+PackEntry = Tuple[ResourceVector, np.ndarray, bool]
+
+#: below this many rows, batched numpy fills cost more than direct row
+#: writes (both produce byte-identical arrays — purely a speed cutover)
+_BATCH_THRESHOLD = 8
+
+#: sentinel for "not resolved yet" in the round table's rep cache
+#: (None is a valid resolution: the stage queue may be empty)
+_UNSET = object()
+
+
+def signature_of(task: Task, estimate: ResourceVector) -> Signature:
+    """The task's demand signature under the given estimate.
+
+    Byte-exact on the estimate and exhaustive on the input structure:
+    everything ``booked_demands`` and ``remote_input_mb`` can depend on
+    for any machine is folded in, so equal signatures imply identical
+    packing behavior everywhere.
+    """
+    inputs = tuple(
+        (float(inp.size_mb), tuple(inp.locations)) for inp in task.inputs
+    )
+    return (task.stage.stage_id, estimate.data.tobytes(), inputs)
+
+
+class CandidateIndex:
+    """Persistent signature-grouped pack cache with group bookkeeping."""
+
+    def __init__(self) -> None:
+        self._sig_of_task: Dict[int, Signature] = {}
+        self._stage_sigs: Dict[int, Set[Signature]] = {}
+        #: sig -> ({machine pack key -> pack}, {machine_id -> pack}).
+        #: The first dict holds one computed pack per machine
+        #: *equivalence class* — capacity class for input-free groups,
+        #: else (capacity class, local-input bitmask), see
+        #: :meth:`_pack_key`.  The second aliases machines straight to
+        #: their class's pack so repeat lookups skip the key derivation.
+        self._packs: Dict[
+            Signature, Tuple[Dict[object, PackEntry], Dict[int, PackEntry]]
+        ] = {}
+        #: machine_id -> capacity equivalence class (byte-equal vectors)
+        self._machine_class: List[int] = []
+        #: plain-int effectiveness counters, always maintained; the
+        #: scheduler mirrors them into obs instruments via set_instruments
+        self.stats: Dict[str, int] = {
+            "hits": 0,
+            "misses": 0,
+            "invalidations": 0,
+        }
+        self._estimate: Optional[Callable[[Task], ResourceVector]] = None
+        self._booked: Optional[Callable[[Task, int], ResourceVector]] = None
+        self._cluster = None
+        self._dims_mask: Optional[np.ndarray] = None
+        self._m_hits = None
+        self._m_misses = None
+        self._m_invalidations = None
+        self._m_groups = None
+        self._synced_hits = 0
+        self._synced_misses = 0
+
+    def bind(
+        self,
+        estimate_fn: Callable[[Task], ResourceVector],
+        booked_fn: Callable[[Task, int], ResourceVector],
+        cluster,
+        dims_mask: np.ndarray,
+    ) -> None:
+        """Wire the estimator/booking callbacks; drops all cached state."""
+        self._estimate = estimate_fn
+        self._booked = booked_fn
+        self._cluster = cluster
+        self._dims_mask = dims_mask
+        classes: Dict[bytes, int] = {}
+        self._machine_class = [
+            classes.setdefault(m.capacity.data.tobytes(), len(classes))
+            for m in cluster.machines
+        ]
+        self._sig_of_task.clear()
+        self._stage_sigs.clear()
+        self._packs.clear()
+
+    def set_instruments(
+        self, hits=None, misses=None, invalidations=None, groups=None
+    ) -> None:
+        """Attach obs metric handles (hit/miss counters, the labeled
+        invalidation family, the live-group gauge).  Hit/miss counts are
+        tallied as plain ints on the hot path and flushed to the
+        instruments by :meth:`sync_instruments` (the scheduler calls it
+        once per round); invalidations are counted at the event."""
+        self._m_hits = hits
+        self._m_misses = misses
+        self._m_invalidations = invalidations
+        self._m_groups = groups
+        self._synced_hits = 0
+        self._synced_misses = 0
+
+    def sync_instruments(self) -> None:
+        """Flush hit/miss tallies accumulated since the last flush into
+        the obs counters, and refresh the live-group gauge."""
+        if self._m_hits is not None:
+            delta = self.stats["hits"] - self._synced_hits
+            if delta:
+                self._m_hits.inc(delta)
+                self._synced_hits = self.stats["hits"]
+        if self._m_misses is not None:
+            delta = self.stats["misses"] - self._synced_misses
+            if delta:
+                self._m_misses.inc(delta)
+                self._synced_misses = self.stats["misses"]
+        if self._m_groups is not None:
+            self._m_groups.set(len(self._packs))
+
+    # -- signatures ------------------------------------------------------------
+    def signature(self, task: Task) -> Signature:
+        sig = self._sig_of_task.get(task.task_id)
+        if sig is None:
+            sig = signature_of(task, self._estimate(task))
+            self._sig_of_task[task.task_id] = sig
+            self._stage_sigs.setdefault(task.stage.stage_id, set()).add(sig)
+        return sig
+
+    @property
+    def num_groups(self) -> int:
+        """Live signature groups (groups that have cached pack state)."""
+        return len(self._packs)
+
+    # -- pack lookup -----------------------------------------------------------
+    def _pack_key(self, sig: Signature, task: Task, machine_id: int):
+        """The machine's pack-equivalence key for one signature group.
+
+        ``booked_demands`` and ``remote_input_mb`` see the machine only
+        through its capacity vector and through which of the task's
+        inputs have a replica on it, so machines agreeing on both share
+        one cached pack.  Input-free groups reduce to the capacity class
+        alone — one pack per class for the whole cluster.
+        """
+        cls = self._machine_class[machine_id]
+        if not sig[2]:
+            return cls
+        pattern = 0
+        for bit, inp in enumerate(task.inputs):
+            if machine_id in inp.locations:  # TaskInput.is_local_to, inlined
+                pattern |= 1 << bit
+        return (cls, pattern)
+
+    def _compute_pack(self, task: Task, machine_id: int) -> PackEntry:
+        booked = self._booked(task, machine_id)
+        norm = self._normalize_row(
+            booked.data, self._cluster.machine(machine_id).capacity.data
+        )
+        return (booked, norm, task.remote_input_mb(machine_id) > 0)
+
+    def _normalize_row(self, row: np.ndarray, cap: np.ndarray) -> np.ndarray:
+        """Masked, capacity-normalized demand row — elementwise identical
+        to ``masked(vec).normalized_by(capacity).data``."""
+        mask = self._dims_mask
+        if mask is not None and not mask.all():
+            row = np.where(mask, row, 0.0)
+        out = np.zeros_like(row)
+        nz = cap > EPSILON
+        out[nz] = row[nz] / cap[nz]
+        return out
+
+    def pack(self, task: Task, machine_id: int) -> PackEntry:
+        """The task's group pack for one machine, computed at most once
+        per (signature, machine equivalence class)."""
+        sig = self.signature(task)
+        group = self._packs.get(sig)
+        if group is None:
+            group = self._packs[sig] = ({}, {})
+        by_class, by_machine = group
+        entry = by_machine.get(machine_id)
+        if entry is None:
+            key = self._pack_key(sig, task, machine_id)
+            entry = by_class.get(key)
+            if entry is None:
+                self.stats["misses"] += 1
+                entry = by_class[key] = self._compute_pack(task, machine_id)
+            else:
+                self.stats["hits"] += 1
+            by_machine[machine_id] = entry
+        else:
+            self.stats["hits"] += 1
+        return entry
+
+    def warm(self, machine_id: int, tasks: Sequence[Task]) -> None:
+        """Fill every missing pack for ``tasks`` on ``machine_id`` with
+        one batched numpy normalization — the "all groups at once" path a
+        view build uses before its per-row lookups all hit."""
+        self.packs_for(machine_id, tasks)
+
+    def packs_for(
+        self, machine_id: int, tasks: Sequence[Task]
+    ) -> List[PackEntry]:
+        """One pack per task, resolved in a single memo-first pass.
+
+        Cache hits (including class-to-machine aliasing) resolve with
+        one dict walk each; the distinct missing ``(signature, key)``
+        pairs are then computed together in one batched numpy
+        normalization and stored for every machine in their class."""
+        entries: List[Optional[PackEntry]] = [None] * len(tasks)
+        missing: List[Tuple[Signature, object, Task, List[int]]] = []
+        miss_pos: Dict[Tuple[Signature, object], int] = {}
+        hits = 0
+        for pos, task in enumerate(tasks):
+            sig = self.signature(task)
+            group = self._packs.get(sig)
+            if group is None:
+                group = self._packs[sig] = ({}, {})
+            by_class, by_machine = group
+            entry = by_machine.get(machine_id)
+            if entry is None:
+                key = self._pack_key(sig, task, machine_id)
+                entry = by_class.get(key)
+                if entry is not None:
+                    by_machine[machine_id] = entry
+                    hits += 1
+                else:
+                    slot = miss_pos.get((sig, key))
+                    if slot is None:
+                        miss_pos[(sig, key)] = len(missing)
+                        missing.append((sig, key, task, [pos]))
+                    else:
+                        missing[slot][3].append(pos)
+                    continue
+            else:
+                hits += 1
+            entries[pos] = entry
+        self.stats["hits"] += hits
+        if not missing:
+            return entries
+        booked = [self._booked(task, machine_id) for _, _, task, _ in missing]
+        rows = np.stack([b.data for b in booked])
+        mask = self._dims_mask
+        if mask is not None and not mask.all():
+            rows = np.where(mask, rows, 0.0)
+        cap = self._cluster.machine(machine_id).capacity.data
+        nz = cap > EPSILON
+        norms = np.zeros_like(rows)
+        norms[:, nz] = rows[:, nz] / cap[nz]
+        for k, (sig, key, task, positions) in enumerate(missing):
+            by_class, by_machine = self._packs[sig]
+            entry = (
+                booked[k],
+                norms[k].copy(),
+                task.remote_input_mb(machine_id) > 0,
+            )
+            by_class[key] = entry
+            by_machine[machine_id] = entry
+            for pos in positions:
+                entries[pos] = entry
+        self.stats["misses"] += len(missing)
+        return entries
+
+    # -- invalidation ----------------------------------------------------------
+    def _count_invalidation(self, scope: str, n: int = 1) -> None:
+        self.stats["invalidations"] += n
+        if self._m_invalidations is not None:
+            self._m_invalidations.labels(scope=scope).inc(n)
+        if self._m_groups is not None:
+            self._m_groups.set(len(self._packs))
+
+    def forget_task(self, task: Task) -> None:
+        """A task completed under a *stable* estimator: its group packs
+        stay valid for every peer, only the per-task mapping is dropped
+        (and the whole stage's groups once the stage drains)."""
+        self._sig_of_task.pop(task.task_id, None)
+        if task.stage.is_finished():
+            stage_id = task.stage.stage_id
+            for sig in self._stage_sigs.pop(stage_id, ()):
+                self._packs.pop(sig, None)
+            if self._m_groups is not None:
+                self._m_groups.set(len(self._packs))
+
+    def invalidate_stage(self, stage: Stage) -> int:
+        """Shuffle resolution re-pinned the stage's inputs: every one of
+        its signatures (computed from the old inputs) is stale.  Returns
+        the number of groups dropped."""
+        dropped = 0
+        for sig in self._stage_sigs.pop(stage.stage_id, ()):
+            if self._packs.pop(sig, None) is not None:
+                dropped += 1
+        for task in stage.tasks:
+            self._sig_of_task.pop(task.task_id, None)
+        if dropped:
+            self._count_invalidation("shuffle", dropped)
+        return dropped
+
+    def clear(self) -> bool:
+        """Unstable-estimator flush: a completion can move every peer
+        mean, so both the signatures and the packs are stale.  Returns
+        whether anything was dropped."""
+        had = bool(self._packs) or bool(self._sig_of_task)
+        self._sig_of_task.clear()
+        self._stage_sigs.clear()
+        self._packs.clear()
+        if had:
+            self._count_invalidation("full")
+        return had
+
+    # -- per-round / per-machine fill-loop state -------------------------------
+    def round_table(
+        self,
+        stage_index,
+        jobs: Sequence,
+        remaining_of: Callable[[object], float],
+        barrier_stages: Set[int],
+    ) -> "RoundTable":
+        """The round-constant half of every machine view, built once per
+        scheduling round and shared by all machines.
+
+        Claims only *remove* candidates mid-round, so no stage can appear
+        or gain candidates after this snapshot; a stage that drains simply
+        resolves to empty slots on later machines.  SRTF scores and
+        barrier membership are likewise fixed for the round (nothing
+        starts or finishes while the scheduler is deciding).
+        """
+        blocks: List[Tuple[Stage, float]] = []
+        for job in jobs:
+            remaining = remaining_of(job)
+            for stage in stage_index.indexed_stages(job):
+                blocks.append((stage, remaining))
+        return RoundTable(blocks, barrier_stages)
+
+    def build_view(
+        self,
+        table: "RoundTable",
+        stage_index,
+        machine_id: int,
+        num_dims: int,
+    ) -> "MachineView":
+        """One machine's candidate state for a fill loop: resolve each
+        stage's representatives (the stage-queue front is cached on the
+        round table — it is machine-independent and claims invalidate
+        it per stage), look up all pack rows in one memo-first pass with
+        the misses batch-normalized together, then fill the slot arrays
+        with stacked numpy assignments.  Small views (the common case
+        for engine-driven heartbeats, where one dirty machine sees a
+        handful of stages) skip the batch machinery and write their few
+        rows directly."""
+        slot_tasks: List[Optional[Task]] = [None] * table.num_rows
+        rows: List[int] = []
+        for si, stage in enumerate(table.stages):
+            local = stage_index.local_candidate(stage, machine_id)
+            other = table.any_rep_for(si, stage, stage_index)
+            if other is local:
+                other = None
+            if local is not None:
+                slot_tasks[2 * si] = local
+                rows.append(2 * si)
+            if other is not None:
+                slot_tasks[2 * si + 1] = other
+                rows.append(2 * si + 1)
+        view = MachineView(self, table, machine_id, num_dims)
+        if len(rows) <= _BATCH_THRESHOLD:
+            for i in rows:
+                view.set_slot(i, slot_tasks[i])
+        else:
+            packs = self.packs_for(
+                machine_id, [slot_tasks[i] for i in rows]
+            )
+            view.fill_packed(rows, slot_tasks, packs)
+        return view
+
+
+class RoundTable:
+    """Stage blocks in canonical order plus the per-row round constants.
+
+    ``remaining`` keeps the exact Python floats the scalar path would
+    collect for its candidate list; ``barrier`` is the per-row barrier
+    flag; ``stage_row`` maps a stage to its block's base row.  Views
+    reference these directly and never mutate them.
+
+    Two further pieces of cross-machine state live here:
+
+    - each stage's queue-front representative (``any_candidate``) is
+      machine-independent and round-stable except when a claim removes
+      it, so it is resolved once for the whole round and invalidated per
+      stage at the claim point (:meth:`invalidate_stage_rep`);
+    - the scratch arrays backing :class:`MachineView`'s per-row numpy
+      state.  Views within a round are built and consumed strictly one
+      at a time, so they share one allocation — building a new view from
+      this table invalidates the arrays of the previous one.
+    """
+
+    __slots__ = (
+        "stages",
+        "remaining",
+        "barrier",
+        "stage_row",
+        "num_rows",
+        "_any_rep",
+        "_scratch",
+    )
+
+    def __init__(
+        self, blocks: List[Tuple[Stage, float]], barrier_stages: Set[int]
+    ) -> None:
+        self.stages: List[Stage] = [stage for stage, _ in blocks]
+        self.remaining: List[float] = [
+            remaining for _, remaining in blocks for _ in (0, 1)
+        ]
+        self.barrier = np.fromiter(
+            (
+                stage.stage_id in barrier_stages
+                for stage, _ in blocks
+                for _ in (0, 1)
+            ),
+            dtype=bool,
+            count=2 * len(blocks),
+        )
+        self.stage_row: Dict[int, int] = {
+            stage.stage_id: 2 * si for si, (stage, _) in enumerate(blocks)
+        }
+        self.num_rows = 2 * len(blocks)
+        self._any_rep: List[object] = [_UNSET] * len(blocks)
+        self._scratch: Optional[Tuple[np.ndarray, ...]] = None
+
+    def any_rep_for(self, si: int, stage: Stage, stage_index):
+        """Stage ``si``'s queue-front representative, resolved at most
+        once per round between claims on that stage."""
+        rep = self._any_rep[si]
+        if rep is _UNSET:
+            rep = self._any_rep[si] = stage_index.any_candidate(stage)
+        return rep
+
+    def invalidate_stage_rep(self, stage_id: int) -> None:
+        """A claim removed a task from ``stage_id``'s queue: its cached
+        front is stale for every machine not yet visited this round."""
+        base = self.stage_row.get(stage_id)
+        if base is not None:
+            self._any_rep[base >> 1] = _UNSET
+
+    def scratch(self, num_dims: int) -> Tuple[np.ndarray, ...]:
+        """The shared (booked, norm, remote) arrays for this round's
+        views — valid for one view at a time."""
+        s = self._scratch
+        if s is None:
+            s = self._scratch = (
+                np.zeros((self.num_rows, num_dims)),
+                np.zeros((self.num_rows, num_dims)),
+                np.zeros(self.num_rows, dtype=bool),
+            )
+        return s
+
+
+class MachineView:
+    """Fixed two-slot-per-stage candidate arrays for one fill loop.
+
+    Row ``2*si`` holds stage ``si``'s locality-preferred representative,
+    row ``2*si + 1`` the stage-queue front when distinct; inactive slots
+    are masked out.  Active rows in ascending order reproduce exactly
+    the scalar gather order (jobs, then stages, local before any), so
+    scores — and the argmax — match the reference bit for bit.
+    """
+
+    __slots__ = (
+        "index",
+        "table",
+        "machine_id",
+        "tasks",
+        "booked",
+        "booked_mat",
+        "norm_mat",
+        "remaining",
+        "remote",
+        "barrier",
+        "active",
+    )
+
+    def __init__(
+        self,
+        index: CandidateIndex,
+        table: RoundTable,
+        machine_id: int,
+        num_dims: int,
+    ) -> None:
+        n = table.num_rows
+        self.index = index
+        self.table = table
+        self.machine_id = machine_id
+        self.tasks: List[Optional[Task]] = [None] * n
+        self.booked: List[Optional[ResourceVector]] = [None] * n
+        # per-row numpy state borrowed from the table's scratch buffers
+        # (views are strictly sequential within a round); stale rows are
+        # never read because ``active`` is fresh and every activation
+        # rewrites its row first
+        self.booked_mat, self.norm_mat, self.remote = table.scratch(num_dims)
+        # round constants, shared (read-only) with every other view
+        self.remaining = table.remaining
+        self.barrier = table.barrier
+        self.active = np.zeros(n, dtype=bool)
+
+    def fill_slots(self, slot_tasks: Sequence[Optional[Task]]) -> None:
+        """Populate every resolved slot — with two stacked assignments
+        instead of one row write per slot once there are enough rows for
+        the numpy batch setup to pay for itself."""
+        rows = [i for i, task in enumerate(slot_tasks) if task is not None]
+        if len(rows) <= _BATCH_THRESHOLD:
+            for i in rows:
+                self.set_slot(i, slot_tasks[i])
+            return
+        packs = self.index.packs_for(
+            self.machine_id, [slot_tasks[i] for i in rows]
+        )
+        self.fill_packed(rows, slot_tasks, packs)
+
+    def fill_packed(
+        self,
+        rows: Sequence[int],
+        slot_tasks: Sequence[Optional[Task]],
+        packs: Sequence[PackEntry],
+    ) -> None:
+        """Write the already-resolved packs for ``rows`` in two stacked
+        numpy assignments."""
+        self.booked_mat[rows] = np.stack([p[0].data for p in packs])
+        self.norm_mat[rows] = np.stack([p[1] for p in packs])
+        self.remote[rows] = np.fromiter(
+            (p[2] for p in packs), dtype=bool, count=len(rows)
+        )
+        self.active[rows] = True
+        tasks = self.tasks
+        booked = self.booked
+        for i, p in zip(rows, packs):
+            tasks[i] = slot_tasks[i]
+            booked[i] = p[0]
+
+    def set_slot(self, row: int, task: Optional[Task]) -> None:
+        if task is None:
+            self.active[row] = False
+            self.tasks[row] = None
+            self.booked[row] = None
+            return
+        booked, norm, remote = self.index.pack(task, self.machine_id)
+        self.tasks[row] = task
+        self.booked[row] = booked
+        self.booked_mat[row] = booked.data
+        self.norm_mat[row] = norm
+        self.remote[row] = remote
+        self.active[row] = True
+
+    def active_rows(self) -> np.ndarray:
+        return np.nonzero(self.active)[0]
+
+    def refresh_stage(self, stage_index, stage: Stage) -> None:
+        """Re-resolve one stage's representatives after a placement
+        claimed the previous ones; every other block is untouched.  The
+        table's cached queue-front for the stage is dropped first (the
+        claim made it stale for every machine) and re-resolved here."""
+        base = self.table.stage_row.get(stage.stage_id)
+        if base is None:
+            return
+        self.table.invalidate_stage_rep(stage.stage_id)
+        local = stage_index.local_candidate(stage, self.machine_id)
+        other = self.table.any_rep_for(base >> 1, stage, stage_index)
+        if other is local:
+            other = None
+        self.set_slot(base, local)
+        self.set_slot(base + 1, other)

@@ -110,6 +110,21 @@ class StageIndex:
             queue.popleft()
         return None
 
+    def representatives(self, stage: Stage, machine_id: int) -> tuple:
+        """The stage's candidate representatives for one machine, in the
+        canonical scoring order: the locality-preferred task first, then
+        the stage-queue front when distinct.  Both Tetris fill loops and
+        the signature-grouped candidate view gather in exactly this
+        order, which is what keeps their decision streams bit-identical.
+        """
+        local = self.local_candidate(stage, machine_id)
+        other = self.any_candidate(stage)
+        if local is None:
+            return () if other is None else (other,)
+        if other is None or other is local:
+            return (local,)
+        return (local, other)
+
     def has_candidates(self, stage: Stage) -> bool:
         return self.any_candidate(stage) is not None
 

@@ -31,13 +31,16 @@ Two execution strategies produce **identical placements**:
 
 - the *scalar* path (``vectorized=False``) scores one candidate at a
   time through :class:`ResourceVector` objects — the reference oracle;
-- the *vectorized* path (default) caches each candidate's booked demand
-  vector and its masked, capacity-normalized form per machine, stacks a
-  machine's candidates into one ``(N, dims)`` matrix, and computes fits,
-  alignment scores, remote penalties and the combined score in a few
-  numpy passes.  Caches are invalidated when estimates can move (task
-  completions under a learning estimator) and when a stage's shuffle
-  inputs resolve.
+- the *vectorized* path (default) runs on the signature-grouped
+  candidate index (:mod:`repro.schedulers.candidates`): booked demand
+  vectors and masked, capacity-normalized rows are cached once per
+  *(stage, demand signature, machine)* and shared by every peer task in
+  the group, a per-machine :class:`MachineView` keeps the candidate
+  arrays alive across fill iterations (a placement refreshes exactly
+  one stage's slots), and fits, alignment scores, remote penalties and
+  the combined score are computed in a few numpy passes.  Caches are
+  invalidated when estimates can move (task completions under a
+  learning estimator) and when a stage's shuffle inputs resolve.
 """
 
 from __future__ import annotations
@@ -56,6 +59,7 @@ from repro.schedulers.alignment import (
     get_scorer,
 )
 from repro.schedulers.base import Placement, Scheduler
+from repro.schedulers.candidates import CandidateIndex
 from repro.schedulers.fairness_policy import DRFFairnessPolicy, FairnessPolicy
 from repro.schedulers.stage_index import StageIndex
 from repro.workload.job import Job
@@ -185,10 +189,15 @@ class TetrisScheduler(Scheduler):
         #: allocator across back-to-back runs)
         self._stage_last_placement: Dict[int, float] = {}
         self._reservations: Dict[int, Stage] = {}
-        #: packing cache: task_id -> machine_id -> (booked vector, masked
-        #: capacity-normalized demand row).  Fed by the vectorized path;
-        #: invalidated on estimate updates and shuffle-input resolution.
-        self._packed_cache: Dict[int, Dict[int, Tuple[ResourceVector, np.ndarray]]] = {}
+        #: signature-grouped packing cache: (stage, demand signature) ->
+        #: machine -> (booked vector, masked capacity-normalized row,
+        #: remote flag), shared by every peer task in the group.  Fed by
+        #: the vectorized path; invalidated on estimate updates and
+        #: shuffle-input resolution.
+        self.candidates = CandidateIndex()
+        #: round-constant candidate table shared by every machine view
+        #: within one ``schedule()`` round (None outside a round)
+        self._round_table = None
         self._dims_mask: Optional[np.ndarray] = None
         self._masked_names: Tuple[str, ...] = ()
         # scorers without a batch implementation run the scalar oracle
@@ -230,12 +239,28 @@ class TetrisScheduler(Scheduler):
             "repro_tetris_reservations_total",
             "Machines reserved for starved stages",
         )
+        groups = registry.gauge(
+            "repro_tetris_signature_groups",
+            "Live (stage, demand-signature) candidate groups in the "
+            "packing cache",
+        )
+        self.candidates.set_instruments(
+            hits=self._m_cache_hits,
+            misses=self._m_cache_misses,
+            invalidations=self._m_invalidations,
+            groups=groups,
+        )
 
     # -- wiring -----------------------------------------------------------------
     def bind(self, cluster, estimator=None, tracker=None) -> None:
         super().bind(cluster, estimator=estimator, tracker=tracker)
-        self._packed_cache.clear()
         self._dims_mask = cluster.model.mask(self.config.considered_dims)
+        self.candidates.bind(
+            self.estimated_demands,
+            self.booked_demands,
+            cluster,
+            self._dims_mask,
+        )
         self._masked_names = tuple(
             name
             for name, on in zip(cluster.model.names, self._dims_mask)
@@ -267,14 +292,10 @@ class TetrisScheduler(Scheduler):
         super().on_stage_released(stage, time)
         self.index.add_stage(stage)
         self._stage_last_placement[stage.stage_id] = time
-        # shuffle inputs were just pinned to source machines: any cached
-        # placement-adjusted vectors for these tasks are stale
-        for task in stage.tasks:
-            if (
-                self._packed_cache.pop(task.task_id, None) is not None
-                and self._m_invalidations is not None
-            ):
-                self._m_invalidations.labels(scope="shuffle").inc()
+        # shuffle inputs were just pinned to source machines: the stage's
+        # signatures (computed from the old inputs) and their cached
+        # placement-adjusted vectors are stale
+        self.candidates.invalidate_stage(stage)
 
     def on_task_failed(self, task: Task, time: float) -> None:
         super().on_task_failed(task, time)
@@ -289,17 +310,13 @@ class TetrisScheduler(Scheduler):
         if self.config.debug_invariants:
             self.check_remote_ledger()
         if self.estimator.stable_estimates:
-            if (
-                self._packed_cache.pop(task.task_id, None) is not None
-                and self._m_invalidations is not None
-            ):
-                self._m_invalidations.labels(scope="task").inc()
-        elif self._packed_cache:
+            # signature-keyed packs stay valid for the group's surviving
+            # peers; only the finished task's bookkeeping is retired
+            self.candidates.forget_task(task)
+        else:
             # a completion can move every estimate (peer means, template
-            # history): drop the whole cache
-            self._packed_cache.clear()
-            if self._m_invalidations is not None:
-                self._m_invalidations.labels(scope="full").inc()
+            # history): drop the whole index, signatures included
+            self.candidates.clear()
         term = self._task_work.pop(task.task_id, 0.0)
         job_id = task.job.job_id
         if job_id in self._job_work:
@@ -388,7 +405,7 @@ class TetrisScheduler(Scheduler):
         best = locations[0]
         best_headroom = -math.inf
         for machine_id in locations:
-            free = self.cluster.machine(machine_id).free_clamped()
+            free = self.cluster.machine(machine_id).free_clamped_view()
             headroom = min(
                 free.get("netout"), free.get("diskr")
             ) - self._remote_granted.get(machine_id, 0.0)
@@ -424,7 +441,7 @@ class TetrisScheduler(Scheduler):
             return True
         for source_id, required in self._remote_requirements(task, machine_id):
             source = self.cluster.machine(source_id)
-            source_free = source.free_clamped()
+            source_free = source.free_clamped_view()
             granted = self._remote_granted.get(source_id, 0.0)
             if (
                 source_free.get("netout") - granted + EPSILON < required
@@ -532,12 +549,26 @@ class TetrisScheduler(Scheduler):
                 if self.config.starvation_timeout is not None:
                     self._update_reservations(jobs, time)
                 barrier_stages = self._barrier_stages(jobs)
-                for machine_id in self.iter_machine_ids(machine_ids):
-                    placements.extend(
-                        self._fill_machine(
-                            machine_id, jobs, barrier_stages, time
-                        )
+                if self._use_vectorized:
+                    # the stage blocks, SRTF scores and barrier flags are
+                    # identical on every machine this round — build them
+                    # once and share the table across all machine views
+                    self._round_table = self.candidates.round_table(
+                        self.index,
+                        jobs,
+                        lambda job: self._remaining_work(job, time),
+                        barrier_stages,
                     )
+                try:
+                    for machine_id in self.iter_machine_ids(machine_ids):
+                        placements.extend(
+                            self._fill_machine(
+                                machine_id, jobs, barrier_stages, time
+                            )
+                        )
+                finally:
+                    self._round_table = None
+                self.candidates.sync_instruments()
         if prof is not None:
             prof.record("tetris.schedule", perf_counter() - start)
         return placements
@@ -582,18 +613,33 @@ class TetrisScheduler(Scheduler):
                     )
 
     def _pick_reservation_machine(self) -> Optional[int]:
-        """The unreserved machine with the most normalized free capacity."""
-        best = None
-        best_score = -1.0
-        for machine in self.cluster.machines:
-            if machine.machine_id in self._reservations:
-                continue
-            free = machine.free_clamped().normalized_by(machine.capacity)
-            score = free.total()
-            if score > best_score:
-                best_score = score
-                best = machine.machine_id
-        return best
+        """The unreserved machine with the most normalized free capacity.
+
+        One cluster-wide free matrix and a masked argmax replace the
+        per-machine ``ResourceVector`` allocations; numpy's first-max
+        argmax matches the scalar loop's strict-``>`` tie-break, and
+        reserved machines are masked to ``-inf`` (free totals are never
+        negative, so any unreserved machine still wins).
+        """
+        machines = self.cluster.machines
+        if not machines:
+            return None
+        free = np.stack([m.free_clamped_view().data for m in machines])
+        caps = np.stack([m.capacity.data for m in machines])
+        nz = caps > EPSILON
+        norm = np.zeros_like(free)
+        norm[nz] = free[nz] / caps[nz]
+        scores = norm.sum(axis=1)
+        if self._reservations:
+            reserved = np.fromiter(
+                (m.machine_id in self._reservations for m in machines),
+                dtype=bool,
+                count=len(machines),
+            )
+            if reserved.all():
+                return None
+            scores[reserved] = -np.inf
+        return machines[int(np.argmax(scores))].machine_id
 
     def _barrier_stages(self, jobs: Sequence[Job]) -> set:
         """Stages past the barrier threshold (their stragglers get priority)."""
@@ -661,6 +707,10 @@ class TetrisScheduler(Scheduler):
     ) -> ResourceVector:
         """Claim + grant + record one placement; returns the updated free."""
         self.index.claim(task)
+        if self._round_table is not None:
+            # the claim may have removed the stage's cached queue-front
+            # rep from under machines not yet visited this round
+            self._round_table.invalidate_stage_rep(task.stage.stage_id)
         if self.config.check_remote_resources:
             self._grant_remote(task, machine_id)
         placements.append(Placement(task, machine_id, booked))
@@ -812,13 +862,20 @@ class TetrisScheduler(Scheduler):
         free: ResourceVector,
         time: float,
     ) -> List[Placement]:
-        """The batched decision loop.
+        """The batched decision loop over a persistent machine view.
 
-        Gathers each stage's representative candidates exactly like the
-        scalar path, then replaces the per-candidate ResourceVector
-        arithmetic with one ``(N, dims)`` pass: a single comparison for
-        the fit checks, one ``score_batch`` call for the alignments, and
-        elementwise ops for the remote penalty and combined score.  Every
+        One :class:`MachineView` is built per machine visit: each stage's
+        representatives, their signature-group pack rows (warmed in a
+        single batched numpy pass), the per-job SRTF scores and barrier
+        flags — all constant within the round except the representatives
+        themselves, which a placement refreshes for exactly one stage.
+        Each iteration is then pure numpy over the live rows: one
+        comparison for the fit checks (the free vector shrinks every
+        placement), one ``score_batch`` call for the alignments, and
+        elementwise ops for the remote penalty and combined score.  Rows
+        needing a remote-headroom check are re-validated every iteration
+        (the grant ledger moves with each placement); rows without remote
+        input skip the check, which is trivially true for them.  Every
         floating-point operation mirrors the scalar path's (same values,
         same order), so the argmax — and therefore the placements — are
         identical.
@@ -828,67 +885,58 @@ class TetrisScheduler(Scheduler):
         capacity = self.cluster.machine(machine_id).capacity
         mask = self._dims_mask
         trace = self.trace
+        table = self._round_table
+        if table is None:  # direct call outside a schedule() round
+            table = self.candidates.round_table(
+                self.index,
+                jobs,
+                lambda job: self._remaining_work(job, time),
+                barrier_stages,
+            )
+        view = self.candidates.build_view(
+            table, self.index, machine_id, self.cluster.model.dims
+        )
         while True:
-            tasks: List[Task] = []
-            booked_list: List[ResourceVector] = []
-            norm_rows: List[np.ndarray] = []
-            remaining_list: List[float] = []
-            for job in jobs:
-                remaining = self._remaining_work(job, time)
-                for stage in self.index.indexed_stages(job):
-                    local = self.index.local_candidate(stage, machine_id)
-                    other = self.index.any_candidate(stage)
-                    seen = [] if local is None else [local]
-                    if other is not None and other is not local:
-                        seen.append(other)
-                    for task in seen:
-                        booked, norm = self._cached_pack(
-                            task, machine_id, capacity
-                        )
-                        tasks.append(task)
-                        booked_list.append(booked)
-                        norm_rows.append(norm)
-                        remaining_list.append(remaining)
-            if not tasks:
+            rows = view.active_rows()
+            if rows.size == 0:
                 break
-            booked_matrix = np.stack([b.data for b in booked_list])
             fits = (
-                booked_matrix[:, mask] <= free.data[mask] + EPSILON
+                view.booked_mat[rows][:, mask] <= free.data[mask] + EPSILON
             ).all(axis=1)
             keep = [
                 int(i)
-                for i in np.nonzero(fits)[0]
-                if self._remote_sources_ok(tasks[i], machine_id)
+                for k, i in enumerate(rows)
+                if fits[k]
+                and (
+                    not view.remote[i]
+                    or self._remote_sources_ok(view.tasks[i], machine_id)
+                )
             ]
             if not keep:
                 if trace is not None:
                     entries = [
-                        ("remote", task)
-                        if fits[idx]
+                        ("remote", view.tasks[i])
+                        if fits[k]
                         else (
                             "fit",
-                            task,
-                            self._violating_dim(booked_list[idx], free),
+                            view.tasks[i],
+                            self._violating_dim(view.booked[i], free),
                         )
-                        for idx, task in enumerate(tasks)
+                        for k, i in enumerate(rows)
                     ]
                     self._emit_decision_entries(
                         entries, machine_id, time, 0.0
                     )
                 break
-            demand_matrix = np.stack([norm_rows[i] for i in keep])
+            demand_matrix = view.norm_mat[keep]
             free_norm = self._masked(free).normalized_by(capacity)
             align = self.scorer.score_batch(demand_matrix, free_norm.data)
-            remote_flags = np.fromiter(
-                (tasks[i].remote_input_mb(machine_id) > 0 for i in keep),
-                dtype=bool,
-                count=len(keep),
-            )
+            remote_flags = view.remote[keep]
             if remote_flags.any():
                 align = np.where(
                     remote_flags, align * (1.0 - cfg.remote_penalty), align
                 )
-            kept_remaining = [remaining_list[i] for i in keep]
+            kept_remaining = [view.remaining[i] for i in keep]
             epsilon = self._epsilon(align.tolist(), kept_remaining)
             srtf_weight = cfg.srtf_multiplier * epsilon
             scores = cfg.alignment_weight * align - srtf_weight * np.asarray(
@@ -897,33 +945,30 @@ class TetrisScheduler(Scheduler):
             if trace is not None:
                 pos = {i: k for k, i in enumerate(keep)}
                 entries = []
-                for idx, task in enumerate(tasks):
-                    k = pos.get(idx)
-                    if k is not None:
+                for k, i in enumerate(rows):
+                    task = view.tasks[i]
+                    kk = pos.get(int(i))
+                    if kk is not None:
                         entries.append((
                             "cand",
                             _Candidate(
                                 task,
                                 None,
-                                float(align[k]),
-                                kept_remaining[k],
+                                float(align[kk]),
+                                kept_remaining[kk],
                             ),
-                            bool(remote_flags[k]),
+                            bool(remote_flags[kk]),
                         ))
-                    elif not fits[idx]:
+                    elif not fits[k]:
                         entries.append((
                             "fit",
                             task,
-                            self._violating_dim(booked_list[idx], free),
+                            self._violating_dim(view.booked[i], free),
                         ))
                     else:
                         entries.append(("remote", task))
                 self._emit_decision_entries(entries, machine_id, time, epsilon)
-            barrier_flags = np.fromiter(
-                (tasks[i].stage.stage_id in barrier_stages for i in keep),
-                dtype=bool,
-                count=len(keep),
-            )
+            barrier_flags = view.barrier[keep]
             if barrier_flags.any():
                 pool = np.nonzero(barrier_flags)[0]
                 best_k = int(pool[np.argmax(scores[pool])])
@@ -938,6 +983,7 @@ class TetrisScheduler(Scheduler):
             else:
                 best_k = int(np.argmax(scores))
             best_i = keep[best_k]
+            best_task = view.tasks[best_i]
             score_info = None
             if trace is not None:
                 score_info = {
@@ -946,34 +992,16 @@ class TetrisScheduler(Scheduler):
                     "combined": float(scores[best_k]),
                 }
             free = self._place_candidate(
-                tasks[best_i],
-                booked_list[best_i],
+                best_task,
+                view.booked[best_i],
                 machine_id,
                 free,
                 time,
                 placements,
                 score_info=score_info,
             )
+            view.refresh_stage(self.index, best_task.stage)
         return placements
-
-    def _cached_pack(
-        self, task: Task, machine_id: int, capacity: ResourceVector
-    ) -> Tuple[ResourceVector, np.ndarray]:
-        """The task's booked vector and its masked, capacity-normalized
-        demand row for ``machine_id``, computed once and cached."""
-        per_machine = self._packed_cache.get(task.task_id)
-        if per_machine is None:
-            per_machine = self._packed_cache[task.task_id] = {}
-        entry = per_machine.get(machine_id)
-        if entry is None:
-            if self._m_cache_misses is not None:
-                self._m_cache_misses.inc()
-            booked = self.booked_demands(task, machine_id)
-            norm = self._masked(booked).normalized_by(capacity).data
-            entry = per_machine[machine_id] = (booked, norm)
-        elif self._m_cache_hits is not None:
-            self._m_cache_hits.inc()
-        return entry
 
     def _remaining_work(self, job: Job, time: float) -> float:
         """The job's SRTF score, optionally progress-aware (§3.5).
@@ -1016,14 +1044,7 @@ class TetrisScheduler(Scheduler):
         for job in jobs:
             remaining = self._remaining_work(job, time)
             for stage in self.index.indexed_stages(job):
-                seen = []
-                local = self.index.local_candidate(stage, machine_id)
-                if local is not None:
-                    seen.append(local)
-                other = self.index.any_candidate(stage)
-                if other is not None and other is not local:
-                    seen.append(other)
-                for task in seen:
+                for task in self.index.representatives(stage, machine_id):
                     booked = self.booked_demands(task, machine_id)
                     if not self._fits(booked, free):
                         if event_log is not None:

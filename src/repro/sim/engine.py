@@ -12,9 +12,19 @@ mis-estimation and over-allocation behave as they would on a real cluster.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from time import perf_counter
-from typing import Dict, Iterable, List, Optional, Sequence, Set, TYPE_CHECKING
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    MutableSequence,
+    Optional,
+    Sequence,
+    Set,
+    TYPE_CHECKING,
+)
 
 import numpy as np
 
@@ -39,6 +49,12 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["Engine", "EngineConfig"]
 
 
+def _make_log(cap: Optional[int]) -> MutableSequence[tuple]:
+    """An append-only log, bounded to the most recent ``cap`` entries
+    when a cap is configured."""
+    return deque(maxlen=cap) if cap is not None else []
+
+
 @dataclass(frozen=True)
 class EngineConfig:
     """Engine parameters.
@@ -55,6 +71,13 @@ class EngineConfig:
     tracker_period: float = 2.0
     track_fairness: bool = False
     track_machine_usage: bool = False
+    #: opt-in growth caps for the per-round and per-placement logs; when
+    #: set, only the most recent entries are kept (a bounded deque) so
+    #: long large-cluster runs don't accumulate unbounded tuples.  None
+    #: (the default) keeps everything, which the analysis/report layers
+    #: expect for complete runs.
+    max_round_log: Optional[int] = None
+    max_placement_log: Optional[int] = None
     #: failure injection: probability that a completed attempt is
     #: discarded and the task re-queued (the paper's trace replay mimics
     #: per-task failure probabilities); capped at max_task_attempts
@@ -111,11 +134,17 @@ class Engine:
         self._unfinished_jobs = len(self.jobs)
         self._dirty: Set[int] = set()
         #: every placement as (task, machine_id, time, booked) — input to
-        #: the Section 3.1 constraint auditor (repro.analysis.model)
-        self.placement_log: List[tuple] = []
+        #: the Section 3.1 constraint auditor (repro.analysis.model).
+        #: A plain list unless the config caps it (then a bounded deque
+        #: holding the most recent entries).
+        self.placement_log: MutableSequence[tuple] = _make_log(
+            self.config.max_placement_log
+        )
         #: every scheduling round as (time, machines visited, placements,
         #: wall seconds) — the scheduler track of the Perfetto export
-        self.round_log: List[tuple] = []
+        self.round_log: MutableSequence[tuple] = _make_log(
+            self.config.max_round_log
+        )
         #: optional timing sink; also handed to the scheduler so it can
         #: record its own phases under the same object
         self.profiler = profiler
@@ -138,6 +167,7 @@ class Engine:
             if tracker is not None:
                 tracker.use_metrics(metrics)
             self.estimator.use_metrics(metrics)
+            self.flows.use_metrics(metrics)
 
     def _register_metrics(self, registry: "Registry") -> None:
         self._m_rounds = registry.counter(
@@ -215,10 +245,8 @@ class Engine:
         return (
             self._unfinished_jobs == 0
             and self.flows.num_active == 0
-            and not any(
-                e.kind
-                in (EventKind.JOB_ARRIVAL, EventKind.ACTIVITY_START)
-                for e in self.events._heap
+            and not self.events.has_pending(
+                EventKind.JOB_ARRIVAL, EventKind.ACTIVITY_START
             )
         )
 

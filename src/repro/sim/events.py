@@ -55,6 +55,16 @@ class EventQueue:
             out.append(heapq.heappop(self._heap))
         return out
 
+    def has_pending(self, *kinds: EventKind) -> bool:
+        """Whether any queued event has one of the given kinds (or any
+        event at all when no kinds are named).  The supported way for
+        callers to ask "is anything still coming?" without reaching into
+        the heap."""
+        if not kinds:
+            return bool(self._heap)
+        wanted = set(kinds)
+        return any(event.kind in wanted for event in self._heap)
+
     def __len__(self) -> int:
         return len(self._heap)
 

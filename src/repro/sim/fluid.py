@@ -17,18 +17,40 @@ makes the aggregate throughput drop below capacity, modeling incast, disk
 seeks and cache misses (Section 2.1): with over-subscription ratio r > 1
 the aggregate achieved throughput is capacity / (1 + sigma * (r - 1)).
 
-All state lives in flat numpy arrays so that advancing hundreds of
-concurrent flows costs a handful of vectorized operations.
+Rate maintenance is *sparse*.  A flow's rate depends only on the scales
+of its own slots, and a slot's scale depends only on the sum of its
+members' **nominal** rates — nominals are constants, so there is no
+feedback from achieved rates back into demands.  The slot-connected
+"component" an ``add_flow``/``remove_flow``/completion can touch
+therefore collapses to the one-hop neighborhood: the flow's slots, and
+the flows sharing those slots.  ``_recompute_rates`` resums demand and
+rescales exactly those dirty slots and re-rates exactly those touched
+flows; everything else keeps its arrays untouched.  (Slot capacities are
+fixed at construction; a capacity change would dirty the slot the same
+way.)  The resummation accumulates each dirty slot's members in
+ascending flow-id order — the order a full ``np.add.at`` rebuild uses —
+so the sparse path is bit-identical to :meth:`reference_rates`, the
+retained full-table oracle.
+
+``time_to_next_completion`` is likewise incremental: every re-rated flow
+pushes its absolute finish instant onto a lazy min-heap (entries carry a
+per-flow generation counter, so completion/removal/re-rating invalidates
+old entries without searching the heap), and the query pops stale
+entries and answers from the top instead of scanning the whole table.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, TYPE_CHECKING
 
 import numpy as np
 
 from repro.resources import ResourceModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.registry import Registry
 
 __all__ = ["FlowTable", "FluidConfig", "FlowSpec"]
 
@@ -82,7 +104,7 @@ class FlowSpec:
 
 
 class FlowTable:
-    """Vectorized store of all active flows."""
+    """Vectorized store of all active flows with sparse rate updates."""
 
     def __init__(
         self,
@@ -120,9 +142,56 @@ class FlowTable:
         self._slots = np.full((n, MAX_SLOTS), -1, dtype=np.int64)
         self._fixed = np.zeros(n, dtype=bool)
         self._active = np.zeros(n, dtype=bool)
+        #: heap-entry generation per flow id; a bump invalidates every
+        #: completion-heap entry pushed for the previous incarnation/rate
+        self._gen = np.zeros(n, dtype=np.int64)
         self._free: List[int] = list(range(n))
         self._tags: Dict[int, object] = {}
-        self._rates_dirty = True
+
+        # sparse-maintenance state
+        #: nominal demand and contention scale per slot, kept equal to
+        #: what a full rebuild would produce (see _recompute_rates)
+        self._slot_demand = np.zeros(self._num_slots)
+        self._slot_scale = np.ones(self._num_slots)
+        #: non-fixed active flow ids touching each slot
+        self._slot_members: List[Set[int]] = [
+            set() for _ in range(self._num_slots)
+        ]
+        self._dirty_slots: Set[int] = set()
+        #: (absolute finish instant, generation, flow id) lazy min-heap
+        self._heap: List[Tuple[float, int, int]] = []
+        #: internal absolute clock: the sum of every advance() dt, the
+        #: reference frame for the heap's finish instants
+        self._clock = 0.0
+
+        #: plain-int effectiveness counters (always maintained; mirrored
+        #: into the obs Registry when use_metrics is called)
+        self.stats: Dict[str, int] = {
+            "sparse_recomputes": 0,
+            "slots_recomputed": 0,
+            "flows_recomputed": 0,
+            "heap_entries": 0,
+            "stale_heap_pops": 0,
+        }
+        self._m_recomputes = None
+        self._m_slots = None
+        self._m_flows = None
+
+    # -- observability ---------------------------------------------------------
+    def use_metrics(self, registry: "Registry") -> None:
+        """Register sparse-recompute effectiveness counters."""
+        self._m_recomputes = registry.counter(
+            "repro_fluid_sparse_recomputes_total",
+            "Sparse rate recomputations (dirty-neighborhood passes)",
+        )
+        self._m_slots = registry.counter(
+            "repro_fluid_slots_recomputed_total",
+            "Slots whose demand/scale was resummed across all sparse passes",
+        )
+        self._m_flows = registry.counter(
+            "repro_fluid_flows_recomputed_total",
+            "Flows re-rated across all sparse passes",
+        )
 
     # -- registration ----------------------------------------------------------
     def _slot_index(self, machine_id: int, dim_name: str) -> int:
@@ -151,7 +220,29 @@ class FlowTable:
         active = np.zeros(new, dtype=bool)
         active[:old] = self._active
         self._active = active
+        gen = np.zeros(new, dtype=np.int64)
+        gen[:old] = self._gen
+        self._gen = gen
         self._free.extend(range(old, new))
+
+    def _push_completion(self, idx: int) -> None:
+        """Schedule ``idx``'s finish instant on the lazy heap.
+
+        The absolute instant ``clock + remaining/rate`` is invariant
+        under advance() (both terms move together), so an entry stays
+        correct until the flow's rate changes — at which point the
+        generation bump orphans it and a fresh entry is pushed.
+        """
+        self._gen[idx] += 1
+        heapq.heappush(
+            self._heap,
+            (
+                self._clock + self._remaining[idx] / self._rate[idx],
+                int(self._gen[idx]),
+                idx,
+            ),
+        )
+        self.stats["heap_entries"] += 1
 
     def add_flow(self, spec: FlowSpec) -> int:
         """Register a flow; returns its id.  Zero-work flows are rejected."""
@@ -176,16 +267,35 @@ class FlowTable:
         self._active[idx] = True
         if spec.tag is not None:
             self._tags[idx] = spec.tag
-        self._rates_dirty = True
+        if spec.fixed or not spec.slots:
+            # contention never touches this flow: its rate is final now,
+            # so its completion entry can be scheduled immediately
+            self._push_completion(idx)
+        else:
+            for j in range(len(spec.slots)):
+                slot = int(self._slots[idx, j])
+                self._slot_members[slot].add(idx)
+                self._dirty_slots.add(slot)
         return idx
+
+    def _deactivate(self, flow_id: int) -> None:
+        """Retire a flow: free its id, orphan its heap entries, and dirty
+        the slots it was contending on."""
+        self._active[flow_id] = False
+        self._gen[flow_id] += 1
+        self._free.append(flow_id)
+        if not self._fixed[flow_id]:
+            for j in range(MAX_SLOTS):
+                slot = int(self._slots[flow_id, j])
+                if slot >= 0:
+                    self._slot_members[slot].discard(flow_id)
+                    self._dirty_slots.add(slot)
 
     def remove_flow(self, flow_id: int) -> None:
         if not self._active[flow_id]:
             raise ValueError(f"flow {flow_id} is not active")
-        self._active[flow_id] = False
+        self._deactivate(flow_id)
         self._tags.pop(flow_id, None)
-        self._free.append(flow_id)
-        self._rates_dirty = True
 
     def tag_of(self, flow_id: int) -> Optional[object]:
         return self._tags.get(flow_id)
@@ -205,12 +315,79 @@ class FlowTable:
 
     # -- rate computation ----------------------------------------------------
     def _recompute_rates(self) -> None:
-        if not self._rates_dirty:
+        """Refresh rates for the dirty-slot neighborhood only.
+
+        Per dirty slot: resum the members' nominal demand (ascending
+        flow-id order, matching a full ``np.add.at`` rebuild bit for
+        bit) and recompute the contention scale.  Then re-rate exactly
+        the flows touching a dirty slot.  Clean slots keep their stored
+        demand/scale, which by induction equals the full rebuild's.
+        """
+        if not self._dirty_slots:
             return
+        slots = np.fromiter(
+            sorted(self._dirty_slots), dtype=np.int64,
+            count=len(self._dirty_slots),
+        )
+        self._dirty_slots.clear()
+        demand = self._slot_demand
+        demand[slots] = 0.0
+        touched: Set[int] = set()
+        member_ids: List[int] = []
+        member_slots: List[int] = []
+        for s in slots:
+            members = self._slot_members[s]
+            if members:
+                ordered = sorted(members)
+                member_ids.extend(ordered)
+                member_slots.extend([int(s)] * len(ordered))
+                touched.update(ordered)
+        if member_ids:
+            np.add.at(
+                demand,
+                np.asarray(member_slots, dtype=np.int64),
+                self._nominal[np.asarray(member_ids, dtype=np.int64)],
+            )
+        cap = self._slot_capacity[slots]
+        d = demand[slots]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = np.where(cap > 0, d / cap, np.inf)
+        over = ratio > 1.0
+        scale = np.ones(len(slots))
+        # proportional share times the contention penalty
+        sigma = self._slot_sigma[slots][over]
+        scale[over] = 1.0 / (ratio[over] * (1.0 + sigma * (ratio[over] - 1.0)))
+        scale[d <= 0] = 1.0
+        self._slot_scale[slots] = scale
+        if touched:
+            flows = np.fromiter(
+                sorted(touched), dtype=np.int64, count=len(touched)
+            )
+            fslots = self._slots[flows]
+            slot_scale = np.where(
+                fslots >= 0, self._slot_scale[np.maximum(fslots, 0)], 1.0
+            )
+            self._rate[flows] = self._nominal[flows] * slot_scale.min(axis=1)
+            for idx in flows:
+                self._push_completion(int(idx))
+        self.stats["sparse_recomputes"] += 1
+        self.stats["slots_recomputed"] += len(slots)
+        self.stats["flows_recomputed"] += len(touched)
+        if self._m_recomputes is not None:
+            self._m_recomputes.inc()
+            self._m_slots.inc(len(slots))
+            self._m_flows.inc(len(touched))
+
+    def reference_rates(self) -> np.ndarray:
+        """Full-table rate rebuild — the pre-sparse implementation, kept
+        as the verification oracle.  Returns a fresh rate array without
+        touching any table state; the sparse-maintained ``_rate`` must
+        equal it on every active flow (property-tested to 1e-9, and by
+        construction bit-identical)."""
+        rate = self._rate.copy()
         active = self._active
         if not active.any():
-            self._rates_dirty = False
-            return
+            return rate
         idx = np.flatnonzero(active & ~self._fixed)
         demand = np.zeros(self._num_slots)
         if idx.size:
@@ -227,36 +404,42 @@ class FlowTable:
             )
         over = ratio > 1.0
         scale = np.ones(self._num_slots)
-        # proportional share times the contention penalty
         sigma = self._slot_sigma[over]
         scale[over] = 1.0 / (ratio[over] * (1.0 + sigma * (ratio[over] - 1.0)))
         scale[demand <= 0] = 1.0
         if idx.size:
             slots = self._slots[idx]
             slot_scale = np.where(slots >= 0, scale[np.maximum(slots, 0)], 1.0)
-            self._rate[idx] = self._nominal[idx] * slot_scale.min(axis=1)
+            rate[idx] = self._nominal[idx] * slot_scale.min(axis=1)
         fixed_idx = np.flatnonzero(active & self._fixed)
-        self._rate[fixed_idx] = self._nominal[fixed_idx]
-        self._rates_dirty = False
+        rate[fixed_idx] = self._nominal[fixed_idx]
+        return rate
 
     # -- time stepping ----------------------------------------------------------
     def time_to_next_completion(self) -> float:
-        """Seconds until the earliest active flow finishes (inf if none)."""
+        """Seconds until the earliest active flow finishes (inf if none).
+
+        Answered from the lazy completion heap: stale entries (finished,
+        removed, or re-rated flows) are popped on sight; the first live
+        entry names the earliest finisher, and the returned interval is
+        computed fresh from its current remaining work and rate.
+        """
         self._recompute_rates()
-        active = self._active
-        if not active.any():
-            return float("inf")
-        rates = self._rate[active]
-        remaining = self._remaining[active]
-        with np.errstate(divide="ignore"):
-            times = np.where(rates > 0, remaining / rates, np.inf)
-        return float(times.min())
+        heap = self._heap
+        while heap:
+            _, gen, idx = heap[0]
+            if self._active[idx] and self._gen[idx] == gen:
+                return float(self._remaining[idx] / self._rate[idx])
+            heapq.heappop(heap)
+            self.stats["stale_heap_pops"] += 1
+        return float("inf")
 
     def advance(self, dt: float) -> List[int]:
         """Progress all flows by ``dt`` seconds; return ids that completed."""
         if dt < 0:
             raise ValueError(f"negative dt: {dt}")
         self._recompute_rates()
+        self._clock += dt
         active = np.flatnonzero(self._active)
         if active.size == 0:
             return []
@@ -265,10 +448,7 @@ class FlowTable:
         done_mask = self._remaining[active] <= WORK_TOLERANCE
         completed = [int(i) for i in active[done_mask]]
         for flow_id in completed:
-            self._active[flow_id] = False
-            self._free.append(flow_id)
-        if completed:
-            self._rates_dirty = True
+            self._deactivate(flow_id)
         return completed
 
     def completed_tags(self, completed: Iterable[int]) -> List[object]:

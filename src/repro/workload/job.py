@@ -85,6 +85,10 @@ class Job:
     def runnable_tasks(self) -> List[Task]:
         return [t for s in self.dag for t in s.runnable_tasks()]
 
+    def has_runnable_tasks(self) -> bool:
+        """O(stages) via the stages' transition-maintained counters."""
+        return any(s.num_runnable for s in self.dag)
+
     def unfinished_tasks(self) -> List[Task]:
         return [t for s in self.dag for t in s.unfinished_tasks()]
 

@@ -54,6 +54,14 @@ class Stage:
         for i, task in enumerate(self.tasks):
             task.stage = self
             task.index = i
+        # transition-maintained counters (see Task.mark_*); seeded by a
+        # one-time scan in case tasks arrive already runnable/finished
+        self._num_runnable = sum(
+            1 for t in self.tasks if t.state is TaskState.RUNNABLE
+        )
+        self._num_finished = sum(
+            1 for t in self.tasks if t.state is TaskState.FINISHED
+        )
         if not self.parents:
             for task in self.tasks:
                 task.mark_runnable()
@@ -65,7 +73,11 @@ class Stage:
 
     @property
     def num_finished(self) -> int:
-        return sum(1 for t in self.tasks if t.state is TaskState.FINISHED)
+        return self._num_finished
+
+    @property
+    def num_runnable(self) -> int:
+        return self._num_runnable
 
     @property
     def finished_fraction(self) -> float:
@@ -74,7 +86,7 @@ class Stage:
         return self.num_finished / len(self.tasks)
 
     def is_finished(self) -> bool:
-        return all(t.state is TaskState.FINISHED for t in self.tasks)
+        return self._num_finished == len(self.tasks)
 
     def is_released(self) -> bool:
         """True once the barrier in front of this stage has lifted."""

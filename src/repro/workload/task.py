@@ -184,9 +184,14 @@ class Task:
         return d
 
     # -- state transitions ---------------------------------------------------
+    # every transition funnels through these four methods (nothing else
+    # assigns ``state``), which is what lets the stage keep O(1)
+    # runnable/finished counters instead of rescanning its task list
     def mark_runnable(self) -> None:
         if self.state is TaskState.BLOCKED:
             self.state = TaskState.RUNNABLE
+            if self.stage is not None:
+                self.stage._num_runnable += 1
 
     def mark_running(self, machine_id: int, time: float) -> None:
         if self.state is not TaskState.RUNNABLE:
@@ -194,12 +199,16 @@ class Task:
         self.state = TaskState.RUNNING
         self.machine_id = machine_id
         self.start_time = time
+        if self.stage is not None:
+            self.stage._num_runnable -= 1
 
     def mark_finished(self, time: float) -> None:
         if self.state is not TaskState.RUNNING:
             raise RuntimeError(f"task {self.task_id} not running: {self.state}")
         self.state = TaskState.FINISHED
         self.finish_time = time
+        if self.stage is not None:
+            self.stage._num_finished += 1
 
     def mark_failed(self, time: float) -> None:
         """The attempt died; the task goes back to the runnable pool.
@@ -214,6 +223,8 @@ class Task:
         self.machine_id = None
         self.start_time = None
         self.attempts += 1
+        if self.stage is not None:
+            self.stage._num_runnable += 1
 
     @property
     def duration(self) -> Optional[float]:

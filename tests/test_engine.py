@@ -133,6 +133,43 @@ class TestInvariants:
         assert engine.flows.num_active == 0
 
 
+class TestBoundedLogs:
+    def test_logs_unbounded_by_default(self):
+        jobs = [make_simple_job(num_tasks=6)]
+        engine, _ = run_jobs(jobs)
+        assert isinstance(engine.placement_log, list)
+        assert len(engine.placement_log) == 6
+
+    def test_caps_keep_only_most_recent_entries(self):
+        """With the opt-in caps, long runs retain a bounded tail of the
+        per-round and per-placement tuples instead of growing forever."""
+        jobs = [make_simple_job(num_tasks=8, arrival_time=float(i))
+                for i in range(3)]
+        engine, _ = run_jobs(
+            jobs, max_placement_log=5, max_round_log=4
+        )
+        assert all(j.is_finished for j in jobs)
+        assert len(engine.placement_log) == 5
+        assert len(engine.round_log) == 4
+        # the retained entries are the latest ones, still in time order
+        times = [t for (_task, _m, t, _b) in engine.placement_log]
+        assert times == sorted(times)
+        assert times[-1] == max(times)
+        round_times = [t for (t, _m, _p, _w) in engine.round_log]
+        assert round_times == sorted(round_times)
+
+    def test_capped_run_simulates_identically(self):
+        """The caps change what is *kept*, never what is *simulated*."""
+        jobs_a = [make_simple_job(num_tasks=6)]
+        engine_a, _ = run_jobs(jobs_a)
+        jobs_b = [make_simple_job(num_tasks=6)]
+        engine_b, _ = run_jobs(jobs_b, max_placement_log=2, max_round_log=1)
+        finish = lambda jobs: sorted(
+            t.finish_time for j in jobs for t in j.all_tasks()
+        )
+        assert finish(jobs_a) == finish(jobs_b)
+
+
 class TestStuckDetection:
     def test_unplaceable_task_raises(self):
         giant = Task(

@@ -50,3 +50,18 @@ class TestEventQueue:
             q.push(t, EventKind.WAKEUP)
         popped = [e.time for e in q.pop_until(float("inf"))]
         assert popped == sorted(times)
+
+    def test_has_pending_filters_by_kind(self):
+        q = EventQueue()
+        assert not q.has_pending()
+        assert not q.has_pending(EventKind.JOB_ARRIVAL)
+        q.push(1.0, EventKind.TRACKER_REPORT)
+        q.push(2.0, EventKind.JOB_ARRIVAL)
+        assert q.has_pending()
+        assert q.has_pending(EventKind.JOB_ARRIVAL)
+        assert q.has_pending(
+            EventKind.JOB_ARRIVAL, EventKind.ACTIVITY_START
+        )
+        assert not q.has_pending(EventKind.ACTIVITY_START)
+        q.pop_until(2.0)
+        assert not q.has_pending(EventKind.JOB_ARRIVAL)

@@ -236,6 +236,124 @@ class TestFluidProperties:
         k = table.fluid_dim_names().index("diskr")
         assert (throughput[:, k] <= 200 + 1e-6).all()
 
+    @settings(deadline=None, max_examples=50)
+    @given(
+        st.lists(
+            st.one_of(
+                # add a flow: (work, rate, machine, dim-kind, fixed?)
+                st.tuples(
+                    st.just("add"),
+                    st.floats(min_value=1, max_value=1000),
+                    st.floats(min_value=1, max_value=300),
+                    st.integers(min_value=0, max_value=2),
+                    st.integers(min_value=0, max_value=3),
+                    st.booleans(),
+                ),
+                # remove the i-th oldest live flow
+                st.tuples(st.just("remove"), st.integers(min_value=0)),
+                # advance by a fraction of time-to-next-completion
+                st.tuples(
+                    st.just("advance"),
+                    st.floats(min_value=0.0, max_value=1.5),
+                ),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_sparse_rates_match_full_recompute(self, ops):
+        """The tentpole invariant: after any randomized interleaving of
+        add_flow/remove_flow/advance, the sparse-maintained rates equal
+        the retained full-table oracle within 1e-9, and the heap-backed
+        time_to_next_completion equals the oracle's full scan."""
+        table = make_table(num_machines=3, sigma=0.25)
+        live = []
+        for op in ops:
+            if op[0] == "add":
+                _, work, rate, machine, kind, fixed = op
+                if kind == 0:
+                    slots = ((machine, "diskr"),)
+                elif kind == 1:
+                    slots = ((machine, "diskw"),)
+                elif kind == 2:  # remote read across machines
+                    dst = (machine + 1) % 3
+                    slots = (
+                        (machine, "diskr"),
+                        (machine, "netout"),
+                        (dst, "netin"),
+                    )
+                else:
+                    slots = ()
+                live.append(
+                    table.add_flow(
+                        FlowSpec(
+                            work=work,
+                            nominal_rate=rate,
+                            slots=slots,
+                            fixed=fixed or not slots,
+                        )
+                    )
+                )
+            elif op[0] == "remove":
+                if live:
+                    table.remove_flow(live.pop(op[1] % len(live)))
+            else:
+                dt = table.time_to_next_completion()
+                if dt == float("inf"):
+                    continue
+                completed = set(table.advance(dt * op[1]))
+                live = [fid for fid in live if fid not in completed]
+            # the sparse path must agree with the oracle after every op
+            table._recompute_rates()
+            oracle = table.reference_rates()
+            for fid in live:
+                assert abs(table._rate[fid] - oracle[fid]) <= 1e-9
+            expected = min(
+                (
+                    table._remaining[fid] / oracle[fid]
+                    for fid in live
+                    if oracle[fid] > 0
+                ),
+                default=float("inf"),
+            )
+            got = table.time_to_next_completion()
+            if expected == float("inf"):
+                assert got == float("inf")
+            else:
+                assert got == pytest.approx(expected, abs=1e-9)
+
+    def test_sparse_recompute_is_local(self):
+        """Adding a flow on machine 1 must not resum machine 0's slots."""
+        table = make_table(num_machines=2, sigma=0.25)
+        for _ in range(4):
+            table.add_flow(
+                FlowSpec(work=100, nominal_rate=150, slots=((0, "diskr"),))
+            )
+        table.time_to_next_completion()  # drain dirty set
+        before = dict(table.stats)
+        table.add_flow(
+            FlowSpec(work=100, nominal_rate=150, slots=((1, "diskr"),))
+        )
+        table.time_to_next_completion()
+        # one new dirty slot, one touched flow — not 5 flows / 2 slots
+        assert table.stats["slots_recomputed"] - before["slots_recomputed"] == 1
+        assert table.stats["flows_recomputed"] - before["flows_recomputed"] == 1
+
+    def test_stats_and_metrics_registered(self):
+        from repro.obs import Registry
+
+        registry = Registry()
+        table = make_table()
+        table.use_metrics(registry)
+        table.add_flow(
+            FlowSpec(work=100, nominal_rate=50, slots=((0, "diskr"),))
+        )
+        table.advance(1.0)
+        snap = registry.snapshot()
+        assert snap["repro_fluid_sparse_recomputes_total"]["values"][""] >= 1
+        assert snap["repro_fluid_flows_recomputed_total"]["values"][""] >= 1
+        assert table.stats["sparse_recomputes"] >= 1
+
     @settings(deadline=None, max_examples=30)
     @given(
         st.lists(

@@ -26,6 +26,7 @@ from repro.obs import (
     Histogram,
     Registry,
     chrome_trace_events,
+    parse_exposition,
     summarize_decision_log,
     validate_event,
     validate_jsonl,
@@ -240,6 +241,39 @@ class TestRegistrySnapshot:
 
     def test_empty_snapshot(self):
         assert Registry().snapshot() == {}
+
+
+class TestParseExposition:
+    def test_round_trips_rendered_registry(self):
+        """render() output parses back to the same values, with label
+        keys in the snapshot() shape."""
+        reg = Registry()
+        reg.counter("a_total", "counts").inc(2)
+        reg.gauge("depth", "queue depth").set(1.5)
+        fam = reg.counter("c_total", "labeled", labelnames=("kind",))
+        fam.labels(kind="x").inc()
+        fam.labels(kind="y").inc(3)
+        parsed = parse_exposition(reg.render())
+        assert parsed["a_total"] == {"": 2.0}
+        assert parsed["depth"] == {"": 1.5}
+        assert parsed["c_total"] == {"kind=x": 1.0, "kind=y": 3.0}
+
+    def test_histogram_series_surface_as_samples(self):
+        reg = Registry()
+        reg.histogram("lat", "latency", buckets=(1.0,)).observe(0.5)
+        parsed = parse_exposition(reg.render())
+        assert parsed["lat_bucket"]["le=1"] == 1.0
+        assert parsed["lat_bucket"]["le=+Inf"] == 1.0
+        assert parsed["lat_count"][""] == 1.0
+        assert parsed["lat_sum"][""] == 0.5
+
+    def test_empty_and_comment_lines_ignored(self):
+        assert parse_exposition("") == {}
+        assert parse_exposition("# HELP x y\n# TYPE x counter\n") == {}
+
+    def test_garbage_line_rejected(self):
+        with pytest.raises(ValueError, match="unparseable"):
+            parse_exposition("!!not a metric!!")
 
 
 class TestRegistryMerge:

@@ -545,21 +545,38 @@ class TestProfilerPlumbing:
 
 
 class TestPackedCacheInvalidation:
-    def test_cache_entry_dropped_on_finish(self):
+    def test_stable_finish_keeps_group_pack_for_peers(self):
+        """Under a stable estimator, a completion must NOT invalidate the
+        signature group: the surviving peers reuse the cached pack."""
         scheduler = TetrisScheduler()
         cluster = Cluster(2, seed=0)
         scheduler.bind(cluster)
         job = make_simple_job(num_tasks=2)
         job.arrive()
         scheduler.on_job_arrival(job, 0.0)
-        task = job.all_tasks()[0]
-        capacity = cluster.machine(0).capacity
-        scheduler._cached_pack(task, 0, capacity)
-        assert task.task_id in scheduler._packed_cache
-        task.mark_running(0, 0.0)
-        task.mark_finished(1.0)
-        scheduler.on_task_finished(task, 1.0)
-        assert task.task_id not in scheduler._packed_cache
+        first, second = job.all_tasks()
+        scheduler.candidates.pack(first, 0)
+        assert scheduler.candidates.stats["misses"] == 1
+        first.mark_running(0, 0.0)
+        first.mark_finished(1.0)
+        scheduler.on_task_finished(first, 1.0)
+        assert scheduler.candidates.num_groups == 1
+        scheduler.candidates.pack(second, 0)
+        assert scheduler.candidates.stats["hits"] == 1
+
+    def test_stage_drain_drops_group_packs(self):
+        scheduler = TetrisScheduler()
+        cluster = Cluster(2, seed=0)
+        scheduler.bind(cluster)
+        job = make_simple_job(num_tasks=2)
+        job.arrive()
+        scheduler.on_job_arrival(job, 0.0)
+        for task in job.all_tasks():
+            scheduler.candidates.pack(task, 0)
+            task.mark_running(0, 0.0)
+            task.mark_finished(1.0)
+            scheduler.on_task_finished(task, 1.0)
+        assert scheduler.candidates.num_groups == 0
 
     def test_unstable_estimator_clears_whole_cache(self):
         scheduler = TetrisScheduler()
@@ -570,14 +587,14 @@ class TestPackedCacheInvalidation:
         job.arrive()
         scheduler.on_job_arrival(job, 0.0)
         tasks = job.all_tasks()
-        capacity = cluster.machine(0).capacity
         for task in tasks:
-            scheduler._cached_pack(task, 0, capacity)
-        assert len(scheduler._packed_cache) == 3
+            scheduler.candidates.pack(task, 0)
+        assert scheduler.candidates.num_groups >= 1
         tasks[0].mark_running(0, 0.0)
         tasks[0].mark_finished(1.0)
         scheduler.on_task_finished(tasks[0], 1.0)
-        assert scheduler._packed_cache == {}
+        assert scheduler.candidates.num_groups == 0
+        assert scheduler.candidates.stats["invalidations"] >= 1
 
     def test_cached_row_matches_scalar_normalization(self):
         scheduler = TetrisScheduler(
@@ -590,7 +607,7 @@ class TestPackedCacheInvalidation:
         scheduler.on_job_arrival(job, 0.0)
         task = job.all_tasks()[0]
         capacity = cluster.machine(1).capacity
-        booked, norm = scheduler._cached_pack(task, 1, capacity)
+        booked, norm, remote = scheduler.candidates.pack(task, 1)
         expected = scheduler._masked(
             scheduler.booked_demands(task, 1)
         ).normalized_by(capacity)
@@ -598,6 +615,26 @@ class TestPackedCacheInvalidation:
         assert booked.data.tolist() == scheduler.booked_demands(
             task, 1
         ).data.tolist()
+        assert remote == (task.remote_input_mb(1) > 0)
+
+    def test_warm_rows_match_single_pack(self):
+        """The batched warm path and the single-pack path must produce
+        byte-identical normalized rows."""
+        scheduler = TetrisScheduler()
+        cluster = Cluster(2, seed=0)
+        scheduler.bind(cluster)
+        job = make_simple_job(num_tasks=3, cpu=3, mem=7)
+        job.arrive()
+        scheduler.on_job_arrival(job, 0.0)
+        tasks = job.all_tasks()
+        scheduler.candidates.warm(0, tasks)
+        warmed = scheduler.candidates.pack(tasks[0], 0)
+        fresh = TetrisScheduler()
+        fresh.bind(cluster)
+        fresh.on_job_arrival(job, 0.0)
+        single = fresh.candidates.pack(tasks[0], 0)
+        assert (warmed[1] == single[1]).all()
+        assert warmed[0].data.tolist() == single[0].data.tolist()
 
 
 class TestEpsilonConstant:

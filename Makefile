@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-profiles bench-gate sweep figures examples clean
+.PHONY: install test bench bench-profiles bench-gate serve sweep figures examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -18,6 +18,14 @@ bench-profiles:
 
 bench-gate: bench-profiles
 	$(PYTHON) -m repro bench compare --current bench-out
+
+# Streaming scheduler daemon over a generated trace (see docs/serving.md).
+serve:
+	$(PYTHON) -m repro generate --kind facebook --jobs 60 --horizon 1500 \
+		--seed 7 -o serve-trace.json
+	$(PYTHON) -m repro serve serve-trace.json --machines 20 \
+		--json serve-report.json
+	@echo "wrote serve-report.json"
 
 # Parallel scheduler-comparison sweep over a generated workload.
 # WORKERS controls the process pool (results are bit-identical to serial).

@@ -42,6 +42,7 @@ from repro.bench.report import collect_profiles, render_trajectory
 from repro.bench.scenarios import (
     SCENARIOS,
     PackingScenario,
+    ServeScenario,
     TraceScenario,
     get_scenario,
     scenario_names,
@@ -63,6 +64,7 @@ __all__ = [
     "render_trajectory",
     "SCENARIOS",
     "PackingScenario",
+    "ServeScenario",
     "TraceScenario",
     "get_scenario",
     "scenario_names",

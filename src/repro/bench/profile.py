@@ -37,6 +37,7 @@ from typing import Dict, List, Optional
 from repro.bench.scenarios import (
     PackingScenario,
     Scenario,
+    ServeScenario,
     TraceScenario,
     get_scenario,
 )
@@ -279,6 +280,113 @@ def _capture_packing(
     }
 
 
+def _serve_repeat(scenario: ServeScenario) -> Dict[str, object]:
+    """One independent streamed replay (worker-side body)."""
+    import asyncio
+
+    from repro.estimation.tracker import ResourceTracker
+    from repro.obs import Registry
+    from repro.schedulers.registry import build_scheduler
+    from repro.serve import (
+        AdmissionConfig,
+        AdmissionController,
+        SchedulerService,
+        ServeConfig,
+        TraceReplaySource,
+    )
+    from repro.sim.engine import Engine
+    from repro.workload.trace import materialize_trace
+
+    config = ExperimentConfig(
+        num_machines=scenario.num_machines,
+        seed=getattr(scenario.trace_config, "seed", 0),
+        use_tracker=scenario.use_tracker,
+    )
+    cluster = config.make_cluster()
+    jobs = materialize_trace(
+        scenario.make_trace(), cluster, seed=config.seed
+    )
+    tracker = ResourceTracker(cluster) if config.use_tracker else None
+    registry = Registry()
+    engine = Engine(
+        cluster,
+        build_scheduler(scenario.scheduler),
+        [],
+        tracker=tracker,
+        config=config.make_engine_config(),
+        metrics=registry,
+    )
+    service = SchedulerService(
+        engine,
+        TraceReplaySource(jobs),
+        AdmissionController(
+            AdmissionConfig(queue_cap=scenario.queue_cap)
+        ),
+        ServeConfig(
+            max_batch=scenario.max_batch,
+            verify_every=scenario.verify_every,
+        ),
+        registry=registry,
+    )
+    report = asyncio.run(service.serve())
+    return {
+        "wall_seconds": report.wall_seconds,
+        "drive_seconds": report.drive_seconds,
+        "placements_per_sec": report.placements_per_sec,
+        "placements": float(report.placements),
+        "jobs_finished": float(report.jobs_finished),
+        "sim_time": report.sim_time,
+        "invariant_violations": float(report.invariant_violations),
+        "registry": registry.snapshot(),
+    }
+
+
+def _capture_serve(
+    scenario: ServeScenario, repeats: int, backend=None
+) -> Dict[str, object]:
+    if backend is None:
+        backend = SerialBackend()
+    outcomes = backend.map(_serve_repeat, [scenario] * repeats)
+    failed = [o for o in outcomes if not o.ok]
+    if failed:
+        raise ExecutionError(
+            f"{len(failed)} of {repeats} serve repeats failed: "
+            + "; ".join(str(o.error) for o in failed)
+        )
+    values = [o.value for o in outcomes]
+
+    def samples(key: str) -> List[float]:
+        return [v[key] for v in values]
+
+    metrics = {
+        "wall_seconds": _metric(
+            "timing", "lower", "s", samples("wall_seconds")
+        ),
+        "drive_seconds": _metric(
+            "timing", "lower", "s", samples("drive_seconds")
+        ),
+        "placements_per_sec": _metric(
+            "timing", "higher", "1/s", samples("placements_per_sec")
+        ),
+        "num_placements": _metric(
+            "fidelity", "exact", "placements", samples("placements")
+        ),
+        "jobs_finished": _metric(
+            "fidelity", "exact", "jobs", samples("jobs_finished")
+        ),
+        "sim_time": _metric("fidelity", "lower", "s", samples("sim_time")),
+        "invariant_violations": _metric(
+            "fidelity", "exact", "violations",
+            samples("invariant_violations"),
+        ),
+    }
+    return {
+        "metrics": metrics,
+        "phases": {},
+        "registry": values[-1]["registry"],
+    }
+
+
 def capture(
     scenario_or_name,
     repeats: int = 3,
@@ -307,6 +415,8 @@ def capture(
         backend = get_backend(workers)
     if isinstance(scenario, TraceScenario):
         body = _capture_trace(scenario, repeats, backend)
+    elif isinstance(scenario, ServeScenario):
+        body = _capture_serve(scenario, repeats, backend)
     else:
         body = _capture_packing(scenario, repeats, backend)
     meta = _meta(scenario, repeats)

@@ -39,6 +39,7 @@ from repro.workload.tracegen import (
 __all__ = [
     "TraceScenario",
     "PackingScenario",
+    "ServeScenario",
     "Scenario",
     "SCENARIOS",
     "DEPLOY_SUITE",
@@ -141,7 +142,57 @@ class PackingScenario:
         return _fingerprint(self.params())
 
 
-Scenario = Union[TraceScenario, PackingScenario]
+@dataclass(frozen=True)
+class ServeScenario:
+    """A streaming replay through the ``repro.serve`` daemon.
+
+    The same generated trace a :class:`TraceScenario` would run in batch
+    is instead fed through the scheduler service arrival-by-arrival
+    (unpaced, so the consumer is always the bottleneck), measuring the
+    daemon's sustained placements/sec and checking the free-vector
+    invariant as it goes.
+    """
+
+    name: str
+    description: str
+    quick: bool
+    trace_config: Union[
+        WorkloadSuiteConfig, FacebookTraceConfig, BingTraceConfig
+    ]
+    num_machines: int
+    scheduler: str = "tetris"
+    use_tracker: bool = True
+    max_batch: int = 64
+    queue_cap: int = 8192
+    verify_every: int = 50
+
+    @property
+    def kind(self) -> str:
+        return "serve"
+
+    def make_trace(self):
+        _, generate = _GENERATORS[type(self.trace_config)]
+        return generate(self.trace_config)
+
+    def params(self) -> Dict[str, object]:
+        generator, _ = _GENERATORS[type(self.trace_config)]
+        return {
+            "kind": self.kind,
+            "generator": generator,
+            "trace_config": asdict(self.trace_config),
+            "num_machines": self.num_machines,
+            "scheduler": self.scheduler,
+            "use_tracker": self.use_tracker,
+            "max_batch": self.max_batch,
+            "queue_cap": self.queue_cap,
+            "verify_every": self.verify_every,
+        }
+
+    def config_fingerprint(self) -> str:
+        return _fingerprint(self.params())
+
+
+Scenario = Union[TraceScenario, PackingScenario, ServeScenario]
 
 
 def _fingerprint(params: Dict[str, object]) -> str:
@@ -258,6 +309,46 @@ SCENARIOS: Dict[str, Scenario] = {
             num_machines=200,
             num_jobs=250,
             tasks_per_job=24,
+        ),
+        # The streaming-service scenarios: the identical workload a
+        # TraceScenario would run in batch, pushed through the
+        # repro.serve daemon instead.  serve-quick is the CI smoke;
+        # serve-replay is the headline 200k+-task sustained-throughput
+        # replay from the serving milestone.
+        ServeScenario(
+            name="serve-quick",
+            description="small streamed replay through the scheduler "
+            "daemon; seconds, CI-friendly",
+            quick=True,
+            trace_config=WorkloadSuiteConfig(
+                num_jobs=12, task_scale=0.03, arrival_horizon=400, seed=1
+            ),
+            num_machines=10,
+            verify_every=5,
+        ),
+        ServeScenario(
+            name="serve-replay",
+            description="200k+-task Facebook-style stream through the "
+            "scheduler daemon: sustained placements/sec under a "
+            "continuous arrival front",
+            quick=False,
+            trace_config=FacebookTraceConfig(
+                num_jobs=2000,
+                # the horizon sets the arrival rate and with it the
+                # steady-state backlog; 160k simulated seconds keeps the
+                # 24-machine cluster loaded but not drowning, so the
+                # capture measures scheduling throughput rather than
+                # queue-scan blowup on an ever-growing runnable set
+                arrival_horizon=160000,
+                max_map_tasks=400,
+                size_mu=4.2,
+                seed=13,
+            ),
+            num_machines=24,
+            # no tracker: the throughput number isolates the serving
+            # loop + scheduling core (the same convention cluster-large
+            # uses for its phase timings)
+            use_tracker=False,
         ),
         TraceScenario(
             name="cluster-large",

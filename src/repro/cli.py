@@ -463,6 +463,98 @@ def _print_cache_effectiveness(metrics_path: str) -> None:
         )
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the streaming scheduler daemon over a job-arrival stream."""
+    import asyncio
+
+    from repro.estimation.tracker import ResourceTracker
+    from repro.obs import Registry
+    from repro.serve import (
+        AdmissionConfig,
+        AdmissionController,
+        SchedulerService,
+        ServeConfig,
+        SyntheticSource,
+        TraceReplaySource,
+    )
+    from repro.sim.engine import Engine
+    from repro.workload.trace import materialize_trace
+
+    config = _experiment_config(args)
+    cluster = config.make_cluster()
+    if args.trace:
+        trace = load_trace(args.trace)
+        jobs = materialize_trace(trace, cluster, seed=config.seed)
+        source = TraceReplaySource(jobs, speedup=args.speedup)
+    else:
+        source = SyntheticSource(
+            num_jobs=args.jobs,
+            tasks_per_job=args.tasks_per_job,
+            interarrival=args.interarrival,
+            speedup=args.speedup,
+        )
+    tracker = ResourceTracker(cluster) if config.use_tracker else None
+    registry = Registry()
+    engine = Engine(
+        cluster,
+        _make_scheduler(args.scheduler, args),
+        [],
+        tracker=tracker,
+        config=config.make_engine_config(),
+        metrics=registry,
+    )
+    admission = AdmissionController(
+        AdmissionConfig(
+            rate=args.rate,
+            burst=args.burst,
+            queue_cap=args.queue_cap,
+            policy=args.policy,
+        )
+    )
+    service = SchedulerService(
+        engine,
+        source,
+        admission,
+        ServeConfig(max_batch=args.batch_cap, duration=args.duration),
+        registry=registry,
+    )
+    report = asyncio.run(service.serve())
+    adm = report.admission
+    print(
+        f"served {report.jobs_committed}/{report.jobs_offered} jobs "
+        f"({report.placements} placements, {report.tasks_total} tasks) "
+        f"in {report.wall_seconds:.2f}s wall"
+    )
+    print(
+        f"throughput: {report.placements_per_sec:,.0f} placements/s "
+        f"sustained ({report.drive_seconds:.2f}s driving); "
+        f"simulated {report.sim_time:.1f}s"
+    )
+    if adm.get("rejected"):
+        print(
+            f"rejected {adm['rejected']} "
+            f"(rate={adm['rejected_rate']}, "
+            f"queue_full={adm['rejected_queue_full']}, "
+            f"closed={adm['rejected_closed']}); "
+            f"peak queue depth {adm['peak_depth']}"
+        )
+    if report.jobs_dropped_on_shutdown:
+        print(
+            f"dropped {report.jobs_dropped_on_shutdown} queued jobs at "
+            f"shutdown ({report.shutdown_reason})"
+        )
+    print(
+        f"invariants: {report.invariant_checks} checks, "
+        f"{report.invariant_violations} violations"
+    )
+    if args.json:
+        from repro.bench.profile import dump_json
+
+        dump_json(report.as_dict(), args.json)
+        print(f"wrote {args.json}")
+    return 1 if report.invariant_violations else 0
+
+
 def cmd_figures(args: argparse.Namespace) -> int:
     from repro.experiments.figures import render_all
 
@@ -702,6 +794,52 @@ def build_parser() -> argparse.ArgumentParser:
                      "hit/miss/invalidation counters, fluid sparse-"
                      "recompute footprint)")
     ins.set_defaults(func=cmd_inspect)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the streaming scheduler daemon over a job-arrival "
+        "stream (trace replay or generator)",
+    )
+    serve.add_argument(
+        "trace", nargs="?", default=None,
+        help="trace JSON to replay (omit to use the generator source)",
+    )
+    serve.add_argument("--machines", type=int, default=20)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--no-tracker", action="store_true",
+                       help="disable the resource tracker")
+    serve.add_argument("--scheduler", default="tetris",
+                       choices=sorted(SCHEDULERS))
+    serve.add_argument("--fairness-knob", type=float, default=None)
+    serve.add_argument("--barrier-knob", type=float, default=None)
+    serve.add_argument("--jobs", type=int, default=50,
+                       help="generator mode: jobs to emit")
+    serve.add_argument("--tasks-per-job", type=int, default=10,
+                       help="generator mode: tasks per job")
+    serve.add_argument("--interarrival", type=float, default=1.0,
+                       help="generator mode: simulated seconds between jobs")
+    serve.add_argument("--rate", type=float, default=None,
+                       help="admission rate limit in jobs per wall second "
+                       "(default: unlimited)")
+    serve.add_argument("--burst", type=float, default=8.0,
+                       help="token-bucket burst size in jobs")
+    serve.add_argument("--queue-cap", type=int, default=1024,
+                       help="pending-queue bound (the daemon's memory cap)")
+    serve.add_argument("--policy", choices=("reject", "block"),
+                       default="reject",
+                       help="what a full queue does to a new arrival")
+    serve.add_argument("--speedup", type=float, default=0.0,
+                       help="time compression for wall-paced replay "
+                       "(simulated seconds per wall second; 0 = no pacing, "
+                       "deliver as fast as the consumer drains)")
+    serve.add_argument("--duration", type=float, default=None,
+                       help="wall-clock cap in seconds; queued arrivals "
+                       "are dropped at expiry, committed jobs finish")
+    serve.add_argument("--batch-cap", type=int, default=64,
+                       help="max arrivals committed per scheduling batch")
+    serve.add_argument("--json", default=None, metavar="PATH",
+                       help="also write the full serve report as JSON")
+    serve.set_defaults(func=cmd_serve)
 
     figs = sub.add_parser(
         "figures", help="render the paper's figures as SVG files"

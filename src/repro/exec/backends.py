@@ -211,14 +211,53 @@ class ProcessPoolBackend:
             if progress is not None:
                 progress(done, total, outcome)
 
-        def retry_or_fail(attempt: _Attempt, error: str) -> None:
+        def retry_or_fail(
+            attempt: _Attempt, error: str, elapsed: float
+        ) -> None:
+            """Requeue a dead/expired attempt, or fail it for good.
+
+            ``elapsed`` is the wall clock the *attempt actually spent*
+            before dying — a timeout on the final permitted attempt must
+            surface as a timeout with its real duration, not inherit
+            ``self.timeout`` (wrong for silent deaths, and 0.0 when no
+            timeout is configured at all).
+            """
             if attempt.attempts <= self.retries:
                 pending.append(attempt)
             else:
                 finish(TaskOutcome(
                     attempt.index, False, error=error,
                     attempts=attempt.attempts,
-                    wall_seconds=self.timeout or 0.0,
+                    wall_seconds=elapsed,
+                ))
+
+        def settle(conn, proc, attempt: _Attempt, started: float) -> None:
+            """Consume a reported payload (or EOF) from a worker."""
+            try:
+                payload = conn.recv()
+            except (EOFError, OSError):
+                payload = None
+            conn.close()
+            proc.join()
+            if payload is None:
+                retry_or_fail(
+                    attempt,
+                    f"worker exited with code {proc.exitcode} "
+                    "before returning a result",
+                    time.monotonic() - started,
+                )
+            elif payload[0] == "ok":
+                finish(TaskOutcome(
+                    attempt.index, True, value=payload[1],
+                    attempts=attempt.attempts,
+                    wall_seconds=payload[3],
+                ))
+            else:
+                finish(TaskOutcome(
+                    attempt.index, False, error=payload[1],
+                    traceback=payload[2],
+                    attempts=attempt.attempts,
+                    wall_seconds=payload[3],
                 ))
 
         try:
@@ -234,45 +273,30 @@ class ProcessPoolBackend:
                     )
                     proc.start()
                     child_conn.close()
+                    started = time.monotonic()
                     deadline = (
                         None if self.timeout is None
-                        else time.monotonic() + self.timeout
+                        else started + self.timeout
                     )
-                    live[parent_conn] = (proc, attempt, deadline)
+                    live[parent_conn] = (proc, attempt, deadline, started)
                 for conn in _mp_wait(list(live), timeout=self.poll_interval):
-                    proc, attempt, _ = live.pop(conn)
-                    try:
-                        payload = conn.recv()
-                    except (EOFError, OSError):
-                        payload = None
-                    conn.close()
-                    proc.join()
-                    if payload is None:
-                        retry_or_fail(
-                            attempt,
-                            f"worker exited with code {proc.exitcode} "
-                            "before returning a result",
-                        )
-                    elif payload[0] == "ok":
-                        finish(TaskOutcome(
-                            attempt.index, True, value=payload[1],
-                            attempts=attempt.attempts,
-                            wall_seconds=payload[3],
-                        ))
-                    else:
-                        finish(TaskOutcome(
-                            attempt.index, False, error=payload[1],
-                            traceback=payload[2],
-                            attempts=attempt.attempts,
-                            wall_seconds=payload[3],
-                        ))
+                    proc, attempt, _, started = live.pop(conn)
+                    settle(conn, proc, attempt, started)
                 now = time.monotonic()
                 expired = [
-                    conn for conn, (_, _, deadline) in live.items()
+                    conn for conn, (_, _, deadline, _) in live.items()
                     if deadline is not None and now > deadline
                 ]
                 for conn in expired:
-                    proc, attempt, _ = live.pop(conn)
+                    proc, attempt, _, started = live.pop(conn)
+                    if conn.poll():
+                        # the result arrived between the wait and the
+                        # deadline check: it beat the clock, take it —
+                        # otherwise a finished run would be reported as
+                        # timed out (or, once terminated, as a silent
+                        # worker death)
+                        settle(conn, proc, attempt, started)
+                        continue
                     proc.terminate()
                     proc.join(1.0)
                     if proc.is_alive():  # pragma: no cover - stubborn child
@@ -283,10 +307,11 @@ class ProcessPoolBackend:
                         attempt,
                         f"timed out after {self.timeout}s "
                         f"(attempt {attempt.attempts})",
+                        time.monotonic() - started,
                     )
         finally:
             # never leak workers, even if the parent is interrupted
-            for conn, (proc, _, _) in live.items():
+            for conn, (proc, _, _, _) in live.items():
                 proc.terminate()
                 proc.join(1.0)
                 conn.close()

@@ -22,6 +22,7 @@ from repro.obs.registry import (
     Counter,
     Gauge,
     Histogram,
+    LATENCY_BUCKETS,
     Registry,
     parse_exposition,
 )
@@ -38,6 +39,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LATENCY_BUCKETS",
     "Registry",
     "parse_exposition",
     "DecisionTrace",

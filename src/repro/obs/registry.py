@@ -47,6 +47,15 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
     0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0,
 )
 
+#: wall-clock latency buckets for service-level histograms (sub-ms
+#: through tens of seconds): the serve daemon's placement-latency
+#: histogram uses these, and anything else measuring request-scale
+#: round trips should too, so latency profiles stay comparable
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
 
 def _format_value(value: float) -> str:
     if value == math.inf:

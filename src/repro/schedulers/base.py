@@ -164,6 +164,18 @@ class Scheduler(abc.ABC):
         return out
 
     # -- workload callbacks ----------------------------------------------------
+    def prewarm_job(self, job: Job) -> None:
+        """Optionally pre-compute per-job state *before* the job's
+        arrival event fires.
+
+        A streaming service (repro.serve) calls this while staging an
+        admitted arrival, so O(tasks) derivations (demand estimates,
+        work terms, candidate signatures) happen off the arrival drain.
+        Implementations must be side-effect free with respect to
+        scheduling decisions: a prewarmed arrival and a cold one must
+        produce bit-identical placements.
+        """
+
     def on_job_arrival(self, job: Job, time: float) -> None:
         self.active_jobs.append(job)
         self.job_alloc.setdefault(job.job_id, self.cluster.model.zeros())

@@ -1,0 +1,491 @@
+"""The asyncio scheduler daemon: stage → commit → drive, under a watermark.
+
+:class:`SchedulerService` wires a job source, an admission controller,
+and a streaming :class:`~repro.sim.engine.Engine` into a long-lived
+serving loop:
+
+- a **producer** task reads the source and offers each arrival to the
+  admission controller (token bucket + bounded queue);
+- the **consumer** loop takes admitted arrivals in batches, *stages*
+  them (validation + scheduler prewarm — no engine, cluster, or
+  free-vector mutation of any kind), *commits* the staged batch into the
+  engine, and *drives* the simulation forward.
+
+Two correctness disciplines:
+
+**Event-time watermark.**  The engine only ever advances *strictly
+below* the latest committed arrival time (sources yield in event-time
+order, so no future arrival can land behind the clock).  The instant
+``T`` itself is processed only once an arrival later than ``T`` has been
+committed (or the stream has ended) — a not-yet-committed arrival could
+still tie with ``T``, and the batch engine would have handled that tie
+in the same scheduling round.  This is what makes a no-drop streamed
+replay **bit-identical** to the batch engine on the same trace.
+
+**Tentative/authoritative separation.**  Staging builds a
+:class:`StagedBatch` from already-admitted arrivals without touching
+authoritative state; an aborted batch (validation failure, shutdown
+drain) therefore has *nothing to roll back* — machine free vectors are
+only ever changed by committed placements, and can never be
+double-deducted by a rejected batch.  :func:`verify_free_vectors`
+re-derives every machine's allocation from its running set after commits
+to enforce exactly that invariant.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Callable, Dict, List, Optional, Sequence, TYPE_CHECKING
+
+import numpy as np
+
+from repro.obs.registry import Histogram, LATENCY_BUCKETS
+from repro.serve.admission import AdmissionController
+from repro.serve.sources import Arrival, JobSource
+from repro.sim.engine import Engine
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.cluster import Cluster
+    from repro.obs.registry import Registry
+
+__all__ = [
+    "ServeConfig",
+    "ServeReport",
+    "SchedulerService",
+    "StagingError",
+    "verify_free_vectors",
+]
+
+
+class StagingError(RuntimeError):
+    """A batch failed validation while still tentative; nothing was
+    committed, so the batch is dropped whole with no rollback needed."""
+
+
+def verify_free_vectors(cluster: "Cluster") -> List[str]:
+    """Re-derive every machine's allocation and check it against the
+    booked state.  Returns human-readable violations (empty = clean).
+
+    This is the double-deduction guard: if tentative batch state ever
+    leaked into a machine's ``allocated`` vector (or a rollback
+    subtracted twice), the sum over its actually-running tasks would no
+    longer reproduce the bookkeeping.
+    """
+    issues: List[str] = []
+    for machine in cluster.machines:
+        recomputed = np.zeros_like(machine.allocated.data)
+        for task in machine.running:
+            recomputed += machine.placed_demands(task).data
+        if not np.allclose(
+            recomputed, machine.allocated.data, rtol=1e-9, atol=1e-6
+        ):
+            issues.append(
+                f"machine {machine.machine_id}: allocated "
+                f"{machine.allocated.data.tolist()} != sum of "
+                f"{len(machine.running)} running tasks "
+                f"{recomputed.tolist()}"
+            )
+        free = machine.capacity.data - machine.allocated.data
+        if not np.allclose(
+            machine.free().data, free, rtol=1e-9, atol=1e-6
+        ):  # pragma: no cover - free() is defined as this difference
+            issues.append(
+                f"machine {machine.machine_id}: free vector drifted from "
+                "capacity - allocated"
+            )
+    return issues
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Service knobs.
+
+    ``max_batch`` caps arrivals committed per consumer iteration;
+    ``duration`` is a wall-clock cap on serving (None = run the stream
+    out); ``drive_slice`` bounds engine steps between asyncio yields so
+    pacing and admission stay live during long drives; ``verify_every``
+    runs :func:`verify_free_vectors` after every N committed batches
+    (0 disables).
+    """
+
+    max_batch: int = 64
+    duration: Optional[float] = None
+    drive_slice: int = 512
+    verify_every: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if self.drive_slice < 1:
+            raise ValueError("drive_slice must be >= 1")
+        if self.verify_every < 0:
+            raise ValueError("verify_every must be >= 0")
+
+
+@dataclass(frozen=True)
+class StagedBatch:
+    """A validated, tentative batch: jobs held *outside* the engine."""
+
+    jobs: Sequence  # materialized Job objects, event-time ordered
+    min_time: float
+    max_time: float
+
+
+@dataclass
+class ServeReport:
+    """Everything a serving run learned, ready for ``--json``."""
+
+    jobs_offered: int = 0
+    jobs_admitted: int = 0
+    jobs_committed: int = 0
+    jobs_dropped_on_shutdown: int = 0
+    jobs_aborted: int = 0
+    jobs_finished: int = 0
+    batches_committed: int = 0
+    batches_aborted: int = 0
+    placements: int = 0
+    tasks_total: int = 0
+    sim_time: float = 0.0
+    wall_seconds: float = 0.0
+    drive_seconds: float = 0.0
+    invariant_checks: int = 0
+    invariant_violations: int = 0
+    shutdown_reason: Optional[str] = None
+    admission: Dict[str, object] = field(default_factory=dict)
+    placement_latency: Dict[str, object] = field(default_factory=dict)
+    staging_errors: List[str] = field(default_factory=list)
+
+    @property
+    def placements_per_sec(self) -> float:
+        """Sustained scheduling throughput: placements per wall second
+        spent *driving the engine* (excludes idle waiting on a paced or
+        rate-limited stream)."""
+        if self.drive_seconds <= 0:
+            return 0.0
+        return self.placements / self.drive_seconds
+
+    @property
+    def placements_per_wall_sec(self) -> float:
+        """End-to-end throughput over the whole serving window,
+        idle time included."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.placements / self.wall_seconds
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "jobs": {
+                "offered": self.jobs_offered,
+                "admitted": self.jobs_admitted,
+                "committed": self.jobs_committed,
+                "dropped_on_shutdown": self.jobs_dropped_on_shutdown,
+                "aborted": self.jobs_aborted,
+                "finished": self.jobs_finished,
+            },
+            "batches": {
+                "committed": self.batches_committed,
+                "aborted": self.batches_aborted,
+            },
+            "placements": self.placements,
+            "tasks_total": self.tasks_total,
+            "placements_per_sec": self.placements_per_sec,
+            "placements_per_wall_sec": self.placements_per_wall_sec,
+            "sim_time": self.sim_time,
+            "wall_seconds": self.wall_seconds,
+            "drive_seconds": self.drive_seconds,
+            "invariants": {
+                "checks": self.invariant_checks,
+                "violations": self.invariant_violations,
+            },
+            "shutdown_reason": self.shutdown_reason,
+            "admission": self.admission,
+            "placement_latency": self.placement_latency,
+            "staging_errors": self.staging_errors,
+        }
+
+
+class SchedulerService:
+    """The serving loop around a streaming engine.
+
+    The engine must be constructed with ``jobs=[]`` — every job reaches
+    it through :meth:`Engine.add_job` at batch commit.  ``registry``
+    (optional) receives the service gauges: pending-queue depth,
+    admission decisions, commit counts, placement-latency histogram,
+    sustained placements/sec.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        source: JobSource,
+        admission: Optional[AdmissionController] = None,
+        config: Optional[ServeConfig] = None,
+        registry: Optional["Registry"] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        if engine.jobs:
+            raise ValueError(
+                "a streaming engine starts empty; its jobs arrive "
+                "through the service (got a pre-loaded engine)"
+            )
+        self.engine = engine
+        self.source = source
+        self.admission = (
+            admission if admission is not None else AdmissionController()
+        )
+        self.config = config if config is not None else ServeConfig()
+        self.report = ServeReport()
+        self._clock = clock
+        self._shutdown = False
+        self._shutdown_reason: Optional[str] = None
+        #: wall time each admitted job entered the queue (by job name),
+        #: consumed when its first placement commits
+        self._admit_wall: Dict[str, float] = {}
+        self._log_seen = 0
+        #: latency tracking needs the uncapped placement log (a capped
+        #: deque evicts entries between scans)
+        self._latency_enabled = isinstance(engine.placement_log, list)
+        self._latency_hist = Histogram(LATENCY_BUCKETS)
+        self._m_depth = self._m_admission = self._m_committed = None
+        self._m_batches = self._m_latency = self._m_pps = None
+        self._m_invariants = None
+        if registry is not None:
+            self._register_metrics(registry)
+
+    def _register_metrics(self, registry: "Registry") -> None:
+        self._m_depth = registry.gauge(
+            "repro_serve_queue_depth", "Admitted arrivals awaiting commit"
+        )
+        self._m_admission = registry.counter(
+            "repro_serve_admission_total",
+            "Admission decisions by outcome",
+            labelnames=("decision",),
+        )
+        self._m_committed = registry.counter(
+            "repro_serve_jobs_committed_total",
+            "Jobs committed into the engine",
+        )
+        self._m_batches = registry.counter(
+            "repro_serve_batches_total",
+            "Consumer batches by outcome",
+            labelnames=("outcome",),
+        )
+        self._m_latency = registry.histogram(
+            "repro_serve_placement_latency_seconds",
+            "Wall clock from admission to a job's first placement",
+            buckets=LATENCY_BUCKETS,
+        )
+        self._m_pps = registry.gauge(
+            "repro_serve_placements_per_sec",
+            "Sustained placements per drive-wall second",
+        )
+        self._m_invariants = registry.counter(
+            "repro_serve_invariant_violations_total",
+            "Free-vector invariant violations detected after commits",
+        )
+
+    def _now(self) -> float:
+        if self._clock is not None:
+            return self._clock()
+        return asyncio.get_running_loop().time()
+
+    def request_shutdown(self, reason: str = "requested") -> None:
+        """Stop admitting and committing; in-flight (queued) arrivals are
+        drained and dropped with accounting, committed jobs run out."""
+        if not self._shutdown:
+            self._shutdown = True
+            self._shutdown_reason = reason
+
+    # -- serving loop ------------------------------------------------------------
+    async def serve(self) -> ServeReport:
+        """Run the stream to completion (or shutdown); returns the report."""
+        start_wall = perf_counter()
+        self.engine.open_stream()
+        self.engine.start()
+        producer = asyncio.create_task(self._produce())
+        watchdog = (
+            asyncio.create_task(self._watchdog())
+            if self.config.duration is not None
+            else None
+        )
+        try:
+            await self._consume()
+        finally:
+            for task in (producer, watchdog):
+                if task is not None and not task.done():
+                    task.cancel()
+                    try:
+                        await task
+                    except asyncio.CancelledError:
+                        pass
+        # the stream is over: finish every committed job
+        self.engine.close_stream()
+        await self._drive(float("inf"))
+        self.engine.finalize()
+        self._scan_placements()
+        self._check_invariants()
+        return self._finish_report(perf_counter() - start_wall)
+
+    async def _watchdog(self) -> None:
+        await asyncio.sleep(self.config.duration)
+        self.request_shutdown("duration")
+
+    async def _produce(self) -> None:
+        try:
+            async for arrival in self.source.arrivals():
+                if self._shutdown:
+                    break
+                admitted = await self.admission.offer(arrival)
+                if admitted:
+                    self._admit_wall[arrival.job.name] = self._now()
+                if self._m_admission is not None:
+                    self._m_admission.labels(
+                        decision="admitted" if admitted else "rejected"
+                    ).inc()
+                if self._m_depth is not None:
+                    self._m_depth.set(self.admission.depth)
+        finally:
+            await self.admission.close()
+
+    async def _consume(self) -> None:
+        while True:
+            batch = await self.admission.next_batch(self.config.max_batch)
+            if batch is None:
+                break
+            if self._m_depth is not None:
+                self._m_depth.set(self.admission.depth)
+            if self._shutdown:
+                self.report.jobs_dropped_on_shutdown += len(batch)
+                for arrival in batch:
+                    self._admit_wall.pop(arrival.job.name, None)
+                if self._m_batches is not None:
+                    self._m_batches.labels(outcome="dropped").inc()
+                continue
+            try:
+                staged = self._stage(batch)
+            except StagingError as exc:
+                # tentative state only: nothing reached the engine, the
+                # cluster, or any machine's free vector — drop and go on
+                self.report.batches_aborted += 1
+                self.report.jobs_aborted += len(batch)
+                self.report.staging_errors.append(str(exc))
+                if self._m_batches is not None:
+                    self._m_batches.labels(outcome="aborted").inc()
+                continue
+            self._commit(staged)
+            # watermark: everything strictly before the newest committed
+            # arrival is now safe to simulate
+            await self._drive(staged.max_time, inclusive=False)
+            if (
+                self.config.verify_every
+                and self.report.batches_committed % self.config.verify_every
+                == 0
+            ):
+                self._check_invariants()
+
+    # -- stage / commit / drive ---------------------------------------------------
+    def _stage(self, batch: List[Arrival]) -> StagedBatch:
+        """Validate a batch while it is still tentative.
+
+        Raises :class:`StagingError` on any event-time violation; only a
+        fully valid batch proceeds to commit.  The scheduler prewarm at
+        the end is decision-neutral by contract (see
+        :meth:`repro.schedulers.base.Scheduler.prewarm_job`).
+        """
+        floor = self.engine.now
+        for arrival in batch:
+            if arrival.time != arrival.job.arrival_time:
+                raise StagingError(
+                    f"arrival record for job {arrival.job.name!r} says "
+                    f"t={arrival.time} but the job carries "
+                    f"arrival_time={arrival.job.arrival_time}"
+                )
+            if arrival.time < floor:
+                raise StagingError(
+                    f"event-time violation: job {arrival.job.name!r} "
+                    f"arrives at {arrival.time}, behind the watermark "
+                    f"{floor}"
+                )
+            floor = arrival.time
+        for arrival in batch:
+            self.engine.scheduler.prewarm_job(arrival.job)
+        return StagedBatch(
+            jobs=[a.job for a in batch],
+            min_time=batch[0].time,
+            max_time=batch[-1].time,
+        )
+
+    def _commit(self, staged: StagedBatch) -> None:
+        for job in staged.jobs:
+            self.engine.add_job(job)
+        self.report.jobs_committed += len(staged.jobs)
+        self.report.batches_committed += 1
+        if self._m_committed is not None:
+            self._m_committed.inc(len(staged.jobs))
+        if self._m_batches is not None:
+            self._m_batches.labels(outcome="committed").inc()
+
+    async def _drive(self, limit: float, inclusive: bool = True) -> None:
+        """Advance the engine to the watermark, yielding between slices."""
+        start = perf_counter()
+        while True:
+            steps = self.engine.run_until(
+                limit, inclusive=inclusive, max_steps=self.config.drive_slice
+            )
+            if steps:
+                self._scan_placements()
+            if steps < self.config.drive_slice:
+                break
+            await asyncio.sleep(0)
+        self.report.drive_seconds += perf_counter() - start
+        if self._m_pps is not None and self.report.drive_seconds > 0:
+            self._m_pps.set(
+                self.engine.num_placements / self.report.drive_seconds
+            )
+
+    def _scan_placements(self) -> None:
+        """Observe admission→first-placement latency for new placements."""
+        if not self._latency_enabled:
+            return
+        log = self.engine.placement_log
+        if len(log) == self._log_seen:
+            return
+        now = self._now()
+        for task, _machine, _time, _booked in log[self._log_seen:]:
+            admitted_at = self._admit_wall.pop(task.job.name, None)
+            if admitted_at is not None:
+                latency = now - admitted_at
+                self._latency_hist.observe(latency)
+                if self._m_latency is not None:
+                    self._m_latency.observe(latency)
+        self._log_seen = len(log)
+
+    def _check_invariants(self) -> None:
+        issues = verify_free_vectors(self.engine.cluster)
+        self.report.invariant_checks += 1
+        if issues:
+            self.report.invariant_violations += len(issues)
+            if self._m_invariants is not None:
+                self._m_invariants.inc(len(issues))
+
+    def _finish_report(self, wall: float) -> ServeReport:
+        report = self.report
+        report.wall_seconds = wall
+        report.jobs_offered = self.admission.stats.offered
+        report.jobs_admitted = self.admission.stats.admitted
+        report.placements = self.engine.num_placements
+        report.tasks_total = sum(
+            1 for job in self.engine.jobs for _ in job.all_tasks()
+        )
+        report.jobs_finished = sum(
+            1 for job in self.engine.jobs if job.is_finished
+        )
+        report.sim_time = self.engine.now
+        report.shutdown_reason = self._shutdown_reason
+        report.admission = self.admission.stats.as_dict()
+        report.placement_latency = self._latency_hist.as_dict()
+        return report

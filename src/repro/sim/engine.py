@@ -133,6 +133,12 @@ class Engine:
         self._activity_flows: Dict[int, int] = {}
         self._unfinished_jobs = len(self.jobs)
         self._dirty: Set[int] = set()
+        #: re-entrant stepping state: ``start()`` primes events exactly
+        #: once; ``_accepting_jobs`` keeps the engine (and the tracker
+        #: report chain) alive while a streaming caller may still inject
+        #: jobs via :meth:`add_job`
+        self._started = False
+        self._accepting_jobs = False
         #: every placement as (task, machine_id, time, booked) — input to
         #: the Section 3.1 constraint auditor (repro.analysis.model).
         #: A plain list unless the config caps it (then a bounded deque
@@ -140,6 +146,8 @@ class Engine:
         self.placement_log: MutableSequence[tuple] = _make_log(
             self.config.max_placement_log
         )
+        #: total placements applied, independent of any log cap
+        self.num_placements = 0
         #: every scheduling round as (time, machines visited, placements,
         #: wall seconds) — the scheduler track of the Perfetto export
         self.round_log: MutableSequence[tuple] = _make_log(
@@ -201,29 +209,117 @@ class Engine:
     # -- public API -------------------------------------------------------------
     def run(self) -> MetricsCollector:
         """Run to completion; returns the metrics collector."""
-        self._prime_events()
-        while True:
-            if self._finished():
-                break
-            t_event = self.events.peek_time()
-            t_flow = self.now + self.flows.time_to_next_completion()
-            t_next = min(t_event, t_flow)
+        self.start()
+        while not self._finished():
+            t_next = self.next_instant()
             if t_next == float("inf"):
                 self._raise_stuck()
-            if t_next > self.config.max_time:
-                raise RuntimeError(
-                    f"simulation exceeded max_time={self.config.max_time}"
-                )
-            dt = max(t_next - self.now, 0.0)
-            self._accumulate_fairness(dt)
-            completed = self.flows.advance(dt)
-            self.now = t_next
-            self._handle_completed_flows(completed)
-            self._handle_events()
-            self._run_scheduler()
-            self.collector.maybe_sample(self.now, self.cluster, self.flows)
+            self._step_to(t_next)
+        return self.finalize()
+
+    # -- re-entrant stepping ----------------------------------------------------
+    #
+    # ``run()`` above is one-shot; a streaming caller (repro.serve) drives
+    # the same loop body incrementally: ``start()`` once, ``add_job()`` as
+    # arrivals are committed, ``run_until()`` to advance simulated time up
+    # to an event-time watermark, and ``finalize()`` when the stream ends.
+
+    def start(self) -> None:
+        """Prime the event queue; idempotent (``run`` calls it too)."""
+        if not self._started:
+            self._started = True
+            self._prime_events()
+
+    def next_instant(self) -> float:
+        """The next interesting time: earliest queued event or flow
+        completion (+inf when neither is pending)."""
+        return min(
+            self.events.peek_time(),
+            self.now + self.flows.time_to_next_completion(),
+        )
+
+    def open_stream(self) -> None:
+        """Declare that more jobs may arrive via :meth:`add_job`.
+
+        While open, the engine never reports :meth:`_finished` and the
+        tracker report chain stays alive through idle periods — exactly
+        as a batch run behaves while primed arrivals are still queued.
+        """
+        self._accepting_jobs = True
+
+    def close_stream(self) -> None:
+        """No further :meth:`add_job` calls will come."""
+        self._accepting_jobs = False
+
+    def add_job(self, job: Job) -> None:
+        """Commit a job that arrived after construction (streaming mode).
+
+        The job's arrival event is queued at ``job.arrival_time``, which
+        must not lie in the simulated past — injecting behind the clock
+        would rewrite history the scheduler has already acted on.
+        """
+        if job.arrival_time < self.now:
+            raise ValueError(
+                f"event-time violation: job {job.name!r} arrives at "
+                f"{job.arrival_time} but the clock is already at {self.now}"
+            )
+        self.jobs.append(job)
+        self._task_by_id.update((t.task_id, t) for t in job.all_tasks())
+        self._unfinished_jobs += 1
+        self.events.push(job.arrival_time, EventKind.JOB_ARRIVAL, job)
+
+    def run_until(
+        self,
+        limit: float,
+        inclusive: bool = True,
+        max_steps: Optional[int] = None,
+    ) -> int:
+        """Advance through every instant up to ``limit``; returns the
+        number of steps taken.
+
+        With ``inclusive=False`` the engine stops strictly *below*
+        ``limit`` — the streaming watermark discipline: a server that has
+        seen arrivals only up to time T must not process the instant T
+        itself, because a not-yet-committed arrival could still tie with
+        it.  ``max_steps`` bounds one call so an async driver can yield
+        control between slices.
+        """
+        self.start()
+        steps = 0
+        while not self._finished():
+            t_next = self.next_instant()
+            if t_next == float("inf"):
+                if self._accepting_jobs:
+                    break  # idle: waiting for the stream
+                self._raise_stuck()
+            past_limit = t_next > limit if inclusive else t_next >= limit
+            if past_limit:
+                break
+            self._step_to(t_next)
+            steps += 1
+            if max_steps is not None and steps >= max_steps:
+                break
+        return steps
+
+    def finalize(self) -> MetricsCollector:
+        """Take the closing sample; returns the metrics collector."""
         self.collector.sample(self.now, self.cluster, self.flows)
         return self.collector
+
+    def _step_to(self, t_next: float) -> None:
+        """One iteration of the simulation loop, advancing to ``t_next``."""
+        if t_next > self.config.max_time:
+            raise RuntimeError(
+                f"simulation exceeded max_time={self.config.max_time}"
+            )
+        dt = max(t_next - self.now, 0.0)
+        self._accumulate_fairness(dt)
+        completed = self.flows.advance(dt)
+        self.now = t_next
+        self._handle_completed_flows(completed)
+        self._handle_events()
+        self._run_scheduler()
+        self.collector.maybe_sample(self.now, self.cluster, self.flows)
 
     # -- setup ------------------------------------------------------------------
     def _prime_events(self) -> None:
@@ -243,7 +339,8 @@ class Engine:
 
     def _finished(self) -> bool:
         return (
-            self._unfinished_jobs == 0
+            not self._accepting_jobs
+            and self._unfinished_jobs == 0
             and self.flows.num_active == 0
             and not self.events.has_pending(
                 EventKind.JOB_ARRIVAL, EventKind.ACTIVITY_START
@@ -296,7 +393,7 @@ class Engine:
         # engine's dirty set and the scheduler's own mirror must reflect it
         self._mark_all_dirty()
         self.scheduler.mark_all_machines_dirty()
-        if not (
+        if self._accepting_jobs or not (
             self._unfinished_jobs == 0 and self.flows.num_active == 0
         ):
             self.events.push(
@@ -444,6 +541,7 @@ class Engine:
         machine = self.cluster.machine(placement.machine_id)
         machine.place(task, placement.booked)
         task.mark_running(placement.machine_id, self.now)
+        self.num_placements += 1
         self.placement_log.append(
             (task, placement.machine_id, self.now, placement.booked)
         )

@@ -48,10 +48,26 @@ class EventQueue:
         """Time of the earliest event, or +inf when empty."""
         return self._heap[0].time if self._heap else float("inf")
 
+    #: relative tie tolerance for :meth:`pop_until`.  An event whose time
+    #: differs from the query time by less than this *fraction* is a tie:
+    #: both times came from the same arithmetic (``now + dt`` chains) and
+    #: differ only by accumulated rounding.  A fixed absolute epsilon
+    #: breaks at large clocks — 1e-12 is below one ulp of any time beyond
+    #: ~4096s, so late-simulation ties would silently stop matching while
+    #: early ones did.
+    TIE_RTOL = 1e-12
+
     def pop_until(self, time: float) -> List[Event]:
-        """Pop every event with ``event.time <= time`` (in order)."""
+        """Pop every event with ``event.time <= time`` (in order).
+
+        Ties are resolved with a tolerance *relative* to the clock
+        (``TIE_RTOL``), so tie handling is scale-invariant: an event one
+        rounding error past ``time`` pops now whether the simulation is
+        at t=1 or t=1e9.
+        """
+        cutoff = time + self.TIE_RTOL * max(1.0, abs(time))
         out: List[Event] = []
-        while self._heap and self._heap[0].time <= time + 1e-12:
+        while self._heap and self._heap[0].time <= cutoff:
             out.append(heapq.heappop(self._heap))
         return out
 

@@ -32,6 +32,26 @@ class TestEventQueue:
         q.push(1.0, EventKind.WAKEUP)
         assert len(q.pop_until(1.0 - 1e-13)) == 1
 
+    def test_epsilon_scales_at_large_clock_values(self):
+        # the old absolute 1e-12 epsilon fell below one ulp once the
+        # clock passed ~1e4 simulated seconds, so an event one ulp after
+        # the pop time (a float rounding artifact of an exact tie) was
+        # silently left behind
+        import numpy as np
+
+        for t in (4e4, 1e6, 3e8):
+            q = EventQueue()
+            q.push(float(np.nextafter(t, np.inf)), EventKind.WAKEUP)
+            assert len(q.pop_until(t)) == 1, f"ulp-tie missed at t={t}"
+
+    def test_epsilon_does_not_pop_genuinely_later_events(self):
+        q = EventQueue()
+        q.push(4e4 + 1e-6, EventKind.WAKEUP)
+        assert len(q.pop_until(4e4)) == 0
+        q2 = EventQueue()
+        q2.push(1.0 + 1e-9, EventKind.WAKEUP)
+        assert len(q2.pop_until(1.0)) == 0
+
     def test_negative_time_rejected(self):
         with pytest.raises(ValueError):
             EventQueue().push(-1.0, EventKind.WAKEUP)

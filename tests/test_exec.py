@@ -71,6 +71,11 @@ def _crash_hard(_item):
     os._exit(23)
 
 
+def _sleep_long(_item):
+    """Worker body that outlives any test timeout."""
+    time.sleep(300)
+
+
 def _double(x):
     return x * 2
 
@@ -302,6 +307,28 @@ class TestFailureIsolation:
         assert not outcomes[1].ok
         assert "timed out" in outcomes[1].error
         assert outcomes[1].attempts == 1
+
+    def test_timeout_on_final_attempt_reports_timeout(self):
+        # a hang that times out on the last permitted attempt must
+        # surface as a timeout, not as a silent worker death, and its
+        # wall_seconds must be the attempt's real elapsed time
+        backend = ProcessPoolBackend(workers=1, timeout=0.5, retries=1)
+        start = time.monotonic()
+        outcome = backend.map(_sleep_long, ["x"])[0]
+        elapsed = time.monotonic() - start
+        assert not outcome.ok
+        assert "timed out" in outcome.error
+        assert outcome.attempts == 2  # 1 try + 1 retry, both expired
+        assert 0.5 <= outcome.wall_seconds <= elapsed
+
+    def test_silent_death_reports_real_elapsed(self):
+        # with no timeout configured, the old accounting reported
+        # wall_seconds = (self.timeout or 0.0) = 0.0 for silent deaths
+        backend = ProcessPoolBackend(workers=1, timeout=None, retries=0)
+        outcome = backend.map(_crash_hard, ["x"])[0]
+        assert not outcome.ok
+        assert "exited" in outcome.error
+        assert outcome.wall_seconds > 0.0
 
     def test_deterministic_exceptions_not_retried(self, small_trace, config):
         spec = RunSpec(trace=small_trace, scheduler=ExplodingScheduler,

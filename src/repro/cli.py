@@ -463,12 +463,23 @@ def _print_cache_effectiveness(metrics_path: str) -> None:
         )
 
 
+def _parse_listen(spec: str) -> tuple:
+    """Parse a ``--listen HOST:PORT`` spec (port 0 = ephemeral)."""
+    host, sep, port = spec.rpartition(":")
+    if not sep or not port.isdigit():
+        raise SystemExit(
+            f"--listen expects HOST:PORT (port 0 for ephemeral), "
+            f"got {spec!r}"
+        )
+    return host or "127.0.0.1", int(port)
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run the streaming scheduler daemon over a job-arrival stream."""
     import asyncio
 
     from repro.estimation.tracker import ResourceTracker
-    from repro.obs import Registry
+    from repro.obs import DecisionTrace, Registry, TelemetryServer
     from repro.serve import (
         AdmissionConfig,
         AdmissionController,
@@ -495,12 +506,20 @@ def cmd_serve(args: argparse.Namespace) -> int:
         )
     tracker = ResourceTracker(cluster) if config.use_tracker else None
     registry = Registry()
+    # /debug/trace is a debug knob: a full decision trace is expensive
+    # (per-candidate events), so the ring is only wired when asked for
+    decision_trace = (
+        DecisionTrace(max_events=args.trace_ring)
+        if args.trace_ring
+        else None
+    )
     engine = Engine(
         cluster,
         _make_scheduler(args.scheduler, args),
         [],
         tracker=tracker,
         config=config.make_engine_config(),
+        decision_trace=decision_trace,
         metrics=registry,
     )
     admission = AdmissionController(
@@ -515,10 +534,39 @@ def cmd_serve(args: argparse.Namespace) -> int:
         engine,
         source,
         admission,
-        ServeConfig(max_batch=args.batch_cap, duration=args.duration),
+        ServeConfig(
+            max_batch=args.batch_cap,
+            duration=args.duration,
+            # rolling-window gauges only matter when something can
+            # scrape them; off otherwise so an unobserved daemon pays
+            # nothing extra
+            window_seconds=args.window if args.listen else None,
+        ),
         registry=registry,
     )
-    report = asyncio.run(service.serve())
+    telemetry = None
+    if args.listen:
+        host, port = _parse_listen(args.listen)
+        telemetry = TelemetryServer(
+            host,
+            port,
+            registry=registry,
+            health_fn=service.health,
+            status_fn=service.status_snapshot,
+            trace=decision_trace,
+        )
+        bound_host, bound_port = telemetry.start()
+        # flush so a supervising process can read the bound (possibly
+        # ephemeral) port before the replay finishes
+        print(
+            f"telemetry: listening on http://{bound_host}:{bound_port}",
+            flush=True,
+        )
+    try:
+        report = asyncio.run(service.serve())
+    finally:
+        if telemetry is not None:
+            telemetry.stop()
     adm = report.admission
     print(
         f"served {report.jobs_committed}/{report.jobs_offered} jobs "
@@ -553,6 +601,47 @@ def cmd_serve(args: argparse.Namespace) -> int:
         dump_json(report.as_dict(), args.json)
         print(f"wrote {args.json}")
     return 1 if report.invariant_violations else 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Reconstruct a decision narrative from a recorded decision log."""
+    import json
+
+    from repro.obs import (
+        explain_task,
+        explain_window,
+        parse_task_ref,
+        render_task_explanation,
+        render_window_explanation,
+    )
+
+    if args.task:
+        try:
+            job, stage, index = parse_task_ref(args.task)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        result = explain_task(args.log, job, stage, index)
+        if args.json:
+            print(json.dumps(result, indent=2))
+        else:
+            print(render_task_explanation(result, limit=args.limit))
+        return 0 if result["found"] else 1
+    try:
+        t0_raw, t1_raw = args.window.split(":", 1)
+        t0, t1 = float(t0_raw), float(t1_raw)
+    except ValueError:
+        print(
+            f"error: --window expects T0:T1 (numbers), got {args.window!r}",
+            file=sys.stderr,
+        )
+        return 2
+    summary = explain_window(args.log, t0, t1)
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        print(render_window_explanation(summary))
+    return 0
 
 
 def cmd_figures(args: argparse.Namespace) -> int:
@@ -795,6 +884,29 @@ def build_parser() -> argparse.ArgumentParser:
                      "recompute footprint)")
     ins.set_defaults(func=cmd_inspect)
 
+    exp = sub.add_parser(
+        "explain",
+        help="reconstruct a placement's decision narrative from a "
+        "decision log (`repro trace` output or a serve --trace-ring "
+        "dump)",
+    )
+    exp.add_argument("log", help="decisions.jsonl path")
+    exp_what = exp.add_mutually_exclusive_group(required=True)
+    exp_what.add_argument(
+        "--task", default=None, metavar="JOB/STAGE/IDX",
+        help="explain one task: every consideration, rejection, "
+        "fairness cut, and the winning score decomposition",
+    )
+    exp_what.add_argument(
+        "--window", default=None, metavar="T0:T1",
+        help="aggregate every decision in a simulated-time window",
+    )
+    exp.add_argument("--limit", type=int, default=10,
+                     help="competing candidates to show per decision")
+    exp.add_argument("--json", action="store_true",
+                     help="emit the full explanation as JSON")
+    exp.set_defaults(func=cmd_explain)
+
     serve = sub.add_parser(
         "serve",
         help="run the streaming scheduler daemon over a job-arrival "
@@ -839,6 +951,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="max arrivals committed per scheduling batch")
     serve.add_argument("--json", default=None, metavar="PATH",
                        help="also write the full serve report as JSON")
+    serve.add_argument("--listen", default=None, metavar="HOST:PORT",
+                       help="bind the live telemetry plane (/metrics, "
+                       "/healthz, /status, /debug/trace); port 0 picks "
+                       "an ephemeral port and prints it; unset = no "
+                       "server thread at all")
+    serve.add_argument("--window", type=float, default=60.0,
+                       help="rolling-window span in seconds for the "
+                       "sliding telemetry gauges (only active with "
+                       "--listen)")
+    serve.add_argument("--trace-ring", type=int, default=0,
+                       metavar="N",
+                       help="keep the last N decision events in memory "
+                       "for /debug/trace (0 = tracing off; full decision "
+                       "tracing costs per-candidate event emission)")
     serve.set_defaults(func=cmd_serve)
 
     figs = sub.add_parser(

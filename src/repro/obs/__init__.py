@@ -11,19 +11,33 @@ Three coordinated pieces, all dependency-free and opt-in:
   text exposition format;
 - :mod:`repro.obs.timeline` — serialize a finished run (task lifetimes
   per machine, scheduler rounds, shuffle-flow windows) to Chrome
-  trace-event JSON loadable in Perfetto.
+  trace-event JSON loadable in Perfetto;
+- :mod:`repro.obs.http` — :class:`TelemetryServer`, the live telemetry
+  plane a long-lived daemon binds (``/metrics``, ``/healthz``,
+  ``/status``, ``/debug/trace``);
+- :mod:`repro.obs.explain` — reconstruct a placement's full decision
+  narrative from a recorded decision JSONL (``repro explain``).
 
 Everything follows the same ``Optional[...]`` pattern as
 :class:`repro.profiling.Profiler`: holders keep ``None`` by default and
 skip all work when observability is off.
 """
 
+from repro.obs.explain import (
+    explain_task,
+    explain_window,
+    parse_task_ref,
+    render_task_explanation,
+    render_window_explanation,
+)
+from repro.obs.http import TelemetryServer
 from repro.obs.registry import (
     Counter,
     Gauge,
     Histogram,
     LATENCY_BUCKETS,
     Registry,
+    RollingWindow,
     parse_exposition,
 )
 from repro.obs.trace import (
@@ -41,9 +55,16 @@ __all__ = [
     "Histogram",
     "LATENCY_BUCKETS",
     "Registry",
+    "RollingWindow",
+    "TelemetryServer",
     "parse_exposition",
     "DecisionTrace",
     "EVENT_SCHEMA",
+    "explain_task",
+    "explain_window",
+    "parse_task_ref",
+    "render_task_explanation",
+    "render_window_explanation",
     "summarize_decision_log",
     "validate_event",
     "validate_jsonl",

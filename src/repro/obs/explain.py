@@ -1,0 +1,456 @@
+"""Placement explainability over a recorded decision log.
+
+``repro explain`` answers the question a cluster operator actually
+asks — *why did task X land on machine M, and why then?* — from a
+``DecisionTrace`` JSONL alone, without re-running the scheduler.  The
+reconstruction leans on two properties of the event stream:
+
+- within one machine visit, each fill iteration emits its rejections
+  and scored candidates first, then (optionally) a ``barrier_filter``,
+  then the winning ``placement`` — so grouping events by
+  ``(time, machine)`` and cutting at each placement recovers exactly
+  the candidate pool the argmax saw;
+- the ``placement`` event carries the full score decomposition
+  (``alignment``, ``epsilon``, ``srtf_term``, ``combined``, ``remote``,
+  ``margin``, ``pool`` — see :data:`repro.obs.trace.OPTIONAL_FIELDS`),
+  emitted identically by the scalar and vectorized paths, so the
+  narrative's numbers *are* the scheduler's numbers.
+
+Two query shapes: :func:`explain_task` reconstructs one task's journey
+(considerations, rejections, fairness-filter cuts that delayed its job,
+the winning decision and its margin); :func:`explain_window` aggregates
+all decisions inside a time window.  Logs from before the schema
+extension still explain — decomposition fields simply come back absent.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as TallyCounter
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.trace import _iter_jsonl
+
+__all__ = [
+    "explain_task",
+    "explain_window",
+    "iter_decisions",
+    "parse_task_ref",
+    "render_task_explanation",
+    "render_window_explanation",
+]
+
+#: events that participate in one fill iteration's candidate pool
+_POOL_EVENTS = ("candidate", "fit_reject", "remote_reject")
+
+
+def parse_task_ref(ref: str) -> Tuple[str, str, int]:
+    """Parse ``job/stage/index`` (splitting from the right, so job names
+    containing ``/`` survive)."""
+    parts = ref.rsplit("/", 2)
+    if len(parts) != 3:
+        raise ValueError(
+            f"task reference must look like job/stage/index, got {ref!r}"
+        )
+    job, stage, index = parts
+    try:
+        return job, stage, int(index)
+    except ValueError:
+        raise ValueError(
+            f"task index must be an integer, got {index!r}"
+        ) from None
+
+
+def iter_decisions(path) -> Iterable[Dict[str, Any]]:
+    """Stream per-iteration decision groups from a decision JSONL.
+
+    Yields dicts with the ``placement`` event (or ``None`` for a group
+    whose pool produced no placement), the ``candidates`` /
+    ``rejections`` considered in that same fill iteration, and the
+    ``barrier`` event if the straggler filter narrowed the pool.
+    Invalid lines are skipped (counted by the callers that care).
+    """
+    pending: Dict[Tuple[float, int], Dict[str, List[dict]]] = {}
+    for _lineno, event, error in _iter_jsonl(path):
+        if error is not None:
+            continue
+        etype = event["type"]
+        if etype in _POOL_EVENTS:
+            key = (event["time"], event["machine"])
+            group = pending.setdefault(
+                key, {"candidates": [], "rejections": []}
+            )
+            if etype == "candidate":
+                group["candidates"].append(event)
+            else:
+                group["rejections"].append(event)
+        elif etype == "barrier_filter":
+            key = (event["time"], event["machine"])
+            group = pending.setdefault(
+                key, {"candidates": [], "rejections": []}
+            )
+            group["barrier"] = event
+        elif etype == "placement":
+            key = (event["time"], event["machine"])
+            group = pending.pop(
+                key, {"candidates": [], "rejections": []}
+            )
+            yield {
+                "time": event["time"],
+                "machine": event["machine"],
+                "placement": event,
+                "candidates": group["candidates"],
+                "rejections": group["rejections"],
+                "barrier": group.get("barrier"),
+            }
+    for (time, machine), group in pending.items():
+        yield {
+            "time": time,
+            "machine": machine,
+            "placement": None,
+            "candidates": group["candidates"],
+            "rejections": group["rejections"],
+            "barrier": group.get("barrier"),
+        }
+
+
+def _is_task(event: dict, job: str, stage: str, index: int) -> bool:
+    return (
+        event.get("job") == job
+        and event.get("stage") == stage
+        and event.get("task") == index
+    )
+
+
+def explain_task(path, job: str, stage: str, index: int) -> Dict[str, Any]:
+    """Reconstruct one task's full decision narrative from a JSONL log.
+
+    Returns a dict with every *consideration* (the task was scored as a
+    candidate, with its outcome in that iteration), every *rejection*
+    (fit / remote, with the overflow quantities when recorded), the
+    job-level *fairness cuts* that kept the task from even being
+    considered, and the winning *decision* — the placement event plus
+    the competing candidates the argmax beat.
+    """
+    considerations: List[dict] = []
+    rejections: List[dict] = []
+    placements: List[dict] = []
+    fairness_cuts: List[float] = []
+    task_start: Optional[dict] = None
+    invalid = 0
+
+    # pass 1: job-level context and events that do not need grouping
+    for _lineno, event, error in _iter_jsonl(path):
+        if error is not None:
+            invalid += 1
+            continue
+        etype = event["type"]
+        if etype == "fairness_filter" and job in event.get("dropped", []):
+            fairness_cuts.append(event["time"])
+        elif etype == "task_start" and _is_task(event, job, stage, index):
+            task_start = event
+
+    # pass 2: per-iteration groups for pool-level context
+    for decision in iter_decisions(path):
+        placed = decision["placement"]
+        for cand in decision["candidates"]:
+            if not _is_task(cand, job, stage, index):
+                continue
+            entry = dict(cand)
+            if placed is not None and _is_task(placed, job, stage, index):
+                entry["outcome"] = "placed"
+            elif placed is not None:
+                entry["outcome"] = "lost"
+                entry["lost_to"] = {
+                    "job": placed["job"],
+                    "stage": placed["stage"],
+                    "task": placed["task"],
+                    "combined": placed.get("combined"),
+                }
+                if placed.get("combined") is not None:
+                    entry["behind_by"] = (
+                        placed["combined"] - cand["combined"]
+                    )
+            else:
+                entry["outcome"] = "no_placement"
+            considerations.append(entry)
+        for reject in decision["rejections"]:
+            if _is_task(reject, job, stage, index):
+                rejections.append(dict(reject))
+        if placed is not None and _is_task(placed, job, stage, index):
+            competitors = sorted(
+                (
+                    dict(c)
+                    for c in decision["candidates"]
+                    if not _is_task(c, job, stage, index)
+                ),
+                key=lambda c: c.get("combined", 0.0),
+                reverse=True,
+            )
+            placements.append(
+                {
+                    "placement": dict(placed),
+                    "competitors": competitors,
+                    "barrier": decision["barrier"],
+                }
+            )
+
+    first_seen = min(
+        (e["time"] for e in considerations + rejections), default=None
+    )
+    placed_at = (
+        placements[0]["placement"]["time"] if placements else None
+    )
+    if placed_at is not None:
+        # only cuts *before* the placement delayed this task; later
+        # rounds cut the job for its remaining work, not for this task
+        fairness_cuts = [t for t in fairness_cuts if t <= placed_at]
+    return {
+        "task": {"job": job, "stage": stage, "index": index},
+        "found": bool(
+            considerations or rejections or placements or task_start
+        ),
+        "first_considered": first_seen,
+        "placed_at": placed_at,
+        "wait": (
+            placed_at - first_seen
+            if placed_at is not None and first_seen is not None
+            else None
+        ),
+        "considerations": considerations,
+        "rejections": rejections,
+        "fairness_cuts": {
+            "count": len(fairness_cuts),
+            "times": fairness_cuts[:50],
+        },
+        "decisions": placements,
+        "task_start": task_start,
+        "invalid_events": invalid,
+    }
+
+
+def explain_window(path, t0: float, t1: float) -> Dict[str, Any]:
+    """Aggregate every decision with ``t0 <= time <= t1``."""
+    placements = 0
+    margins: List[float] = []
+    pool_sizes: List[int] = []
+    by_via: TallyCounter = TallyCounter()
+    placements_by_job: TallyCounter = TallyCounter()
+    rejections: TallyCounter = TallyCounter()
+    fairness_cut_jobs: TallyCounter = TallyCounter()
+    barrier_filters = 0
+    candidates = 0
+    invalid = 0
+    for _lineno, event, error in _iter_jsonl(path):
+        if error is not None:
+            invalid += 1
+            continue
+        time = event.get("time")
+        if time is None or not (t0 <= time <= t1):
+            continue
+        etype = event["type"]
+        if etype == "placement":
+            placements += 1
+            by_via[event["via"]] += 1
+            placements_by_job[event["job"]] += 1
+            if event.get("margin") is not None:
+                margins.append(event["margin"])
+            if event.get("pool") is not None:
+                pool_sizes.append(event["pool"])
+        elif etype == "candidate":
+            candidates += 1
+        elif etype == "fit_reject":
+            rejections[f"fit:{event['dim']}"] += 1
+        elif etype == "remote_reject":
+            rejections["remote-sources"] += 1
+        elif etype == "fairness_filter":
+            for name in event.get("dropped", []):
+                fairness_cut_jobs[name] += 1
+        elif etype == "barrier_filter":
+            barrier_filters += 1
+    return {
+        "window": {"start": t0, "end": t1},
+        "placements": placements,
+        "candidates_scored": candidates,
+        "placements_by_via": dict(by_via),
+        "top_jobs": dict(placements_by_job.most_common(10)),
+        "rejections": dict(rejections.most_common()),
+        "fairness_cuts_by_job": dict(fairness_cut_jobs.most_common(10)),
+        "barrier_filters": barrier_filters,
+        "margin": {
+            "count": len(margins),
+            "mean": sum(margins) / len(margins) if margins else None,
+            "min": min(margins, default=None),
+            "max": max(margins, default=None),
+        },
+        "pool_size_mean": (
+            sum(pool_sizes) / len(pool_sizes) if pool_sizes else None
+        ),
+        "invalid_events": invalid,
+    }
+
+
+# -- rendering -------------------------------------------------------------------
+def _fmt(value: Optional[float], digits: int = 4) -> str:
+    return "n/a" if value is None else f"{value:.{digits}f}"
+
+
+def render_task_explanation(
+    explanation: Dict[str, Any], limit: int = 10
+) -> str:
+    """The human-readable narrative for :func:`explain_task` output."""
+    task = explanation["task"]
+    ref = f"{task['job']}/{task['stage']}/{task['index']}"
+    lines: List[str] = []
+    if not explanation["found"]:
+        lines.append(f"task {ref}: no events in this log")
+        return "\n".join(lines)
+    lines.append(f"task {ref}")
+    considered = explanation["considerations"]
+    if considered:
+        machines = sorted({c["machine"] for c in considered})
+        lines.append(
+            f"  considered {len(considered)} time(s) on "
+            f"{len(machines)} machine(s) "
+            f"(t={_fmt(explanation['first_considered'], 1)} .. "
+            f"{_fmt(max(c['time'] for c in considered), 1)})"
+        )
+    cuts = explanation["fairness_cuts"]
+    if cuts["count"]:
+        times = ", ".join(f"{t:.1f}" for t in cuts["times"][:5])
+        lines.append(
+            f"  fairness filter cut job {task['job']} in "
+            f"{cuts['count']} round(s) (t={times}"
+            + (", ...)" if cuts["count"] > 5 else ")")
+        )
+    rejects = explanation["rejections"]
+    if rejects:
+        by_kind: TallyCounter = TallyCounter()
+        for r in rejects:
+            if r["type"] == "fit_reject":
+                by_kind[f"fit:{r['dim']}"] += 1
+            else:
+                by_kind["remote-sources"] += 1
+        detail = ", ".join(f"{k} x{n}" for k, n in by_kind.most_common())
+        lines.append(f"  rejected {len(rejects)} time(s): {detail}")
+        worst = next(
+            (r for r in rejects if r.get("need") is not None), None
+        )
+        if worst is not None:
+            lines.append(
+                f"    e.g. t={worst['time']:.1f} machine "
+                f"{worst['machine']}: needed {worst['need']:.2f} "
+                f"{worst['dim']}, only {worst['free']:.2f} free"
+            )
+    for decision in explanation["decisions"]:
+        p = decision["placement"]
+        lines.append(
+            f"  placed at t={p['time']:.1f} on machine {p['machine']} "
+            f"(via {p['via']})"
+        )
+        if p.get("combined") is not None:
+            lines.append(
+                f"    alignment term   {_fmt(p.get('alignment'))}"
+                + ("  [remote penalty applied]" if p.get("remote") else "")
+            )
+            lines.append(
+                f"    srtf term       -{_fmt(p.get('srtf_term'))}"
+                f"  (epsilon={_fmt(p.get('epsilon'), 6)}, "
+                f"remaining work={_fmt(p.get('remaining_work'), 2)})"
+            )
+            lines.append(f"    combined score   {_fmt(p.get('combined'))}")
+        if p.get("margin") is not None:
+            lines.append(
+                f"    won by margin    {_fmt(p.get('margin'))} over "
+                f"{p.get('pool', 0) - 1} other candidate(s) in the pool"
+            )
+        elif p.get("pool") == 1:
+            lines.append("    only candidate in the pool")
+        if decision["barrier"] is not None:
+            b = decision["barrier"]
+            lines.append(
+                f"    barrier filter narrowed the pool to "
+                f"{b['barrier_candidates']} straggler candidate(s) "
+                f"of {b['candidates']}"
+            )
+        competitors = decision["competitors"]
+        if competitors:
+            lines.append(
+                f"    beat (top {min(limit, len(competitors))} "
+                f"of {len(competitors)}):"
+            )
+            for c in competitors[:limit]:
+                lines.append(
+                    f"      {c['job']}/{c['stage']}/{c['task']}  "
+                    f"combined={_fmt(c.get('combined'))} "
+                    f"(alignment={_fmt(c.get('alignment'))}, "
+                    f"remaining={_fmt(c.get('remaining_work'), 2)})"
+                )
+    start = explanation["task_start"]
+    if start is not None:
+        lines.append(
+            f"  started by the engine at t={start['time']:.1f} "
+            f"on machine {start['machine']}"
+        )
+    if explanation["wait"] is not None:
+        lines.append(
+            f"  waited {explanation['wait']:.1f} simulated second(s) "
+            "from first consideration to placement"
+        )
+    if explanation["invalid_events"]:
+        lines.append(
+            f"  ({explanation['invalid_events']} invalid log line(s) "
+            "skipped)"
+        )
+    return "\n".join(lines)
+
+
+def render_window_explanation(summary: Dict[str, Any]) -> str:
+    """The human-readable rollup for :func:`explain_window` output."""
+    w = summary["window"]
+    lines = [
+        f"window t={w['start']:.1f} .. {w['end']:.1f}",
+        f"  placements: {summary['placements']} "
+        f"({summary['candidates_scored']} candidates scored)",
+    ]
+    if summary["placements_by_via"]:
+        detail = ", ".join(
+            f"{via} x{n}"
+            for via, n in sorted(summary["placements_by_via"].items())
+        )
+        lines.append(f"  by path: {detail}")
+    margin = summary["margin"]
+    if margin["count"]:
+        lines.append(
+            f"  winning margin: mean={_fmt(margin['mean'])} "
+            f"min={_fmt(margin['min'])} max={_fmt(margin['max'])} "
+            f"(n={margin['count']})"
+        )
+    if summary["pool_size_mean"] is not None:
+        lines.append(
+            f"  mean argmax pool size: {summary['pool_size_mean']:.1f}"
+        )
+    if summary["rejections"]:
+        detail = ", ".join(
+            f"{k} x{n}" for k, n in list(summary["rejections"].items())[:8]
+        )
+        lines.append(f"  rejections: {detail}")
+    if summary["fairness_cuts_by_job"]:
+        detail = ", ".join(
+            f"{job} x{n}"
+            for job, n in list(summary["fairness_cuts_by_job"].items())[:8]
+        )
+        lines.append(f"  fairness cuts: {detail}")
+    if summary["barrier_filters"]:
+        lines.append(
+            f"  barrier filters applied: {summary['barrier_filters']}"
+        )
+    if summary["top_jobs"]:
+        detail = ", ".join(
+            f"{job} x{n}" for job, n in list(summary["top_jobs"].items())[:8]
+        )
+        lines.append(f"  busiest jobs: {detail}")
+    if summary["invalid_events"]:
+        lines.append(
+            f"  ({summary['invalid_events']} invalid log line(s) skipped)"
+        )
+    return "\n".join(lines)

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import math
 import re
+from collections import deque
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 __all__ = [
@@ -36,6 +37,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "Registry",
+    "RollingWindow",
     "parse_exposition",
 ]
 
@@ -67,11 +69,45 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the text exposition format: backslash,
+    double quote, and newline must be written as ``\\\\``, ``\\"`` and
+    ``\\n`` so the sample stays one parseable line."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _unescape_label_value(value: str) -> str:
+    out: List[str] = []
+    it = iter(value)
+    for ch in it:
+        if ch != "\\":
+            out.append(ch)
+            continue
+        nxt = next(it, "")
+        if nxt == "n":
+            out.append("\n")
+        else:
+            # \\ and \" unescape to the literal character; an unknown
+            # escape keeps the character as-is (the spec's behavior)
+            out.append(nxt)
+    return "".join(out)
+
+
+def _escape_help(text: str) -> str:
+    """HELP text escaping: only backslash and newline (quotes are legal)."""
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _format_labels(
     labelnames: Sequence[str], labelvalues: Sequence[str], extra: str = ""
 ) -> str:
     parts = [
-        f'{name}="{value}"'
+        f'{name}="{_escape_label_value(value)}"'
         for name, value in zip(labelnames, labelvalues)
     ]
     if extra:
@@ -208,6 +244,84 @@ class Histogram:
             "p90": finite(0.9),
             "p99": finite(0.99),
         }
+
+
+class RollingWindow:
+    """A sliding time window of ``(timestamp, value)`` observations.
+
+    Backs the serve daemon's *windowed* gauges (placements/sec over the
+    last minute, latency quantiles over recent placements) — unlike a
+    :class:`Histogram`, old observations age out, so the reading tracks
+    the current regime rather than the whole run.  Memory is doubly
+    bounded: by the window span and by ``max_samples`` (oldest evicted
+    first, which under overload biases the window toward recent data —
+    the right bias for a liveness surface).
+
+    Timestamps must be nondecreasing (they come from one monotonic
+    clock).  Not thread-safe; writers own it, readers get plain floats
+    via the gauges it feeds.
+    """
+
+    __slots__ = ("window", "_samples", "_total", "_t0")
+
+    def __init__(self, window: float = 60.0, max_samples: int = 8192) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = float(window)
+        self._samples: deque = deque(maxlen=max_samples)
+        self._total = 0.0
+        self._t0: Optional[float] = None
+
+    def add(self, t: float, value: float = 1.0) -> None:
+        if self._t0 is None:
+            self._t0 = t
+        if len(self._samples) == self._samples.maxlen:
+            self._total -= self._samples[0][1]
+        self._samples.append((t, value))
+        self._total += value
+        self._evict(t)
+
+    def _evict(self, now: float) -> None:
+        floor = now - self.window
+        samples = self._samples
+        while samples and samples[0][0] < floor:
+            self._total -= samples.popleft()[1]
+
+    def count(self, now: float) -> int:
+        self._evict(now)
+        return len(self._samples)
+
+    def total(self, now: float) -> float:
+        self._evict(now)
+        return self._total
+
+    def rate(self, now: float) -> float:
+        """Summed values per second over the window.  Before a full
+        window has elapsed the divisor is the observed span, so early
+        readings are not diluted by time that never happened."""
+        if self._t0 is None:
+            return 0.0
+        span = min(self.window, now - self._t0)
+        if span <= 0:
+            return 0.0
+        return self.total(now) / span
+
+    def quantile(self, q: float, now: float) -> float:
+        """Exact ``q``-quantile of the retained values (``nan`` when
+        empty) — the window is small enough to sort on demand."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        self._evict(now)
+        if not self._samples:
+            return math.nan
+        values = sorted(v for _, v in self._samples)
+        rank = q * (len(values) - 1)
+        lo = int(rank)
+        hi = min(lo + 1, len(values) - 1)
+        return values[lo] + (rank - lo) * (values[hi] - values[lo])
+
+    def __len__(self) -> int:
+        return len(self._samples)
 
 
 _TYPES = {Counter: "counter", Gauge: "gauge", Histogram: "histogram"}
@@ -449,7 +563,9 @@ class Registry:
         for name in self.names():
             family = self._families[name]
             if family.documentation:
-                lines.append(f"# HELP {name} {family.documentation}")
+                lines.append(
+                    f"# HELP {name} {_escape_help(family.documentation)}"
+                )
             lines.append(f"# TYPE {name} {family.type}")
             for labelvalues, child in family.children():
                 if family.cls is Histogram:
@@ -477,10 +593,17 @@ class Registry:
         return f"Registry(metrics={self.names()})"
 
 
+# label values are quoted strings that may contain escaped quotes and
+# backslashes (and any other character, including "}"), so both regexes
+# must skip over quoted sections rather than stopping at the first
+# closing brace or quote
 _SAMPLE_RE = re.compile(
-    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$"
+    r'^([a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(\{(?:[^"}]|"(?:[^"\\]|\\.)*")*\})?\s+(\S+)$'
 )
-_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"')
+_LABEL_PAIR_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"'
+)
 
 
 def parse_exposition(text: str) -> Dict[str, Dict[str, float]]:
@@ -506,7 +629,8 @@ def parse_exposition(text: str) -> Dict[str, Dict[str, float]]:
         labels = ""
         if labelblock:
             labels = ",".join(
-                f"{k}={v}" for k, v in _LABEL_PAIR_RE.findall(labelblock)
+                f"{k}={_unescape_label_value(v)}"
+                for k, v in _LABEL_PAIR_RE.findall(labelblock)
             )
         if raw == "+Inf":
             value = math.inf

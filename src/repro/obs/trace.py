@@ -101,10 +101,25 @@ EVENT_SCHEMA: Dict[str, Dict[str, tuple]] = {
     },
 }
 
-#: per-type fields that may be present but are not required
+#: per-type fields that may be present but are not required.  The
+#: ``placement`` extras are the full score decomposition behind the
+#: argmax — enough for ``repro explain`` to reconstruct the decision
+#: without re-running the scheduler: ``combined = alignment_weight *
+#: alignment - srtf_term`` where ``srtf_term = srtf_multiplier * epsilon
+#: * remaining_work``; ``margin`` is the winner's lead over the
+#: runner-up in the final argmax pool (absent when the pool had one
+#: candidate); ``pool`` is that pool's size; ``remote`` marks a
+#: remote-penalized winner.  ``fit_reject`` extras quantify the
+#: overflow: the booked demand and the machine's free amount on the
+#: violating dimension.
 OPTIONAL_FIELDS: Dict[str, Dict[str, tuple]] = {
     "placement": {
         "alignment": _NUM, "remaining_work": _NUM, "combined": _NUM,
+        "epsilon": _NUM, "srtf_term": _NUM, "margin": _NUM,
+        "pool": (int,), "remote": (bool,),
+    },
+    "fit_reject": {
+        "need": _NUM, "free": _NUM,
     },
 }
 

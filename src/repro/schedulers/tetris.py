@@ -790,13 +790,32 @@ class TetrisScheduler(Scheduler):
             best = self._pick_best(pool, epsilon)
             score_info = None
             if trace is not None:
+                # the full decomposition behind the argmax (what
+                # ``repro explain`` reconstructs): every term is the
+                # same plain-float arithmetic the vectorized path
+                # reduces to, so the streams stay bit-identical
                 srtf_weight = cfg.srtf_multiplier * epsilon
+                best_score = (
+                    cfg.alignment_weight * best.alignment
+                    - srtf_weight * best.remaining_work
+                )
                 score_info = {
                     "alignment": best.alignment,
                     "remaining_work": best.remaining_work,
-                    "combined": cfg.alignment_weight * best.alignment
-                    - srtf_weight * best.remaining_work,
+                    "combined": best_score,
+                    "epsilon": epsilon,
+                    "srtf_term": srtf_weight * best.remaining_work,
+                    "remote": best.task.remote_input_mb(machine_id) > 0,
+                    "pool": len(pool),
                 }
+                if len(pool) > 1:
+                    runner_up = max(
+                        cfg.alignment_weight * c.alignment
+                        - srtf_weight * c.remaining_work
+                        for c in pool
+                        if c is not best
+                    )
+                    score_info["margin"] = best_score - runner_up
             free = self._place_candidate(
                 best.task,
                 best.booked,
@@ -815,6 +834,17 @@ class TetrisScheduler(Scheduler):
         mask = self._dims_mask
         over = booked.data[mask] > free.data[mask] + EPSILON
         return self._masked_names[int(np.argmax(over))]
+
+    def _fit_entry(
+        self, task: Task, booked: ResourceVector, free: ResourceVector
+    ) -> tuple:
+        """A ``fit_reject`` entry carrying the overflow quantities.
+
+        Both decision paths build their entries through this helper, so
+        the emitted ``need``/``free`` floats agree bit-for-bit.
+        """
+        dim = self._violating_dim(booked, free)
+        return ("fit", task, dim, float(booked.get(dim)), float(free.get(dim)))
 
     def _emit_decision_entries(
         self,
@@ -852,7 +882,7 @@ class TetrisScheduler(Scheduler):
                     remote=remote,
                 )
             elif kind == "fit":
-                _, task, dim = entry
+                _, task, dim, need, avail = entry
                 trace.emit(
                     "fit_reject",
                     time=time,
@@ -861,6 +891,8 @@ class TetrisScheduler(Scheduler):
                     task=task.index,
                     machine=machine_id,
                     dim=dim,
+                    need=need,
+                    free=avail,
                 )
             else:
                 task = entry[1]
@@ -936,11 +968,7 @@ class TetrisScheduler(Scheduler):
                     entries = [
                         ("remote", view.tasks[i])
                         if fits[k]
-                        else (
-                            "fit",
-                            view.tasks[i],
-                            self._violating_dim(view.booked[i], free),
-                        )
+                        else self._fit_entry(view.tasks[i], view.booked[i], free)
                         for k, i in enumerate(rows)
                     ]
                     self._emit_decision_entries(
@@ -979,15 +1007,14 @@ class TetrisScheduler(Scheduler):
                             bool(remote_flags[kk]),
                         ))
                     elif not fits[k]:
-                        entries.append((
-                            "fit",
-                            task,
-                            self._violating_dim(view.booked[i], free),
-                        ))
+                        entries.append(
+                            self._fit_entry(task, view.booked[i], free)
+                        )
                     else:
                         entries.append(("remote", task))
                 self._emit_decision_entries(entries, machine_id, time, epsilon)
             barrier_flags = view.barrier[keep]
+            pool = None
             if barrier_flags.any():
                 pool = np.nonzero(barrier_flags)[0]
                 best_k = int(pool[np.argmax(scores[pool])])
@@ -1005,11 +1032,31 @@ class TetrisScheduler(Scheduler):
             best_task = view.tasks[best_i]
             score_info = None
             if trace is not None:
+                # mirror of the scalar path's decomposition; the array
+                # entries are the same doubles the scalar loop computes,
+                # so every emitted term matches bit-for-bit
+                pool_positions = (
+                    [int(k) for k in pool]
+                    if pool is not None
+                    else list(range(len(keep)))
+                )
+                best_score = float(scores[best_k])
                 score_info = {
                     "alignment": float(align[best_k]),
                     "remaining_work": kept_remaining[best_k],
-                    "combined": float(scores[best_k]),
+                    "combined": best_score,
+                    "epsilon": epsilon,
+                    "srtf_term": srtf_weight * kept_remaining[best_k],
+                    "remote": bool(remote_flags[best_k]),
+                    "pool": len(pool_positions),
                 }
+                if len(pool_positions) > 1:
+                    runner_up = max(
+                        float(scores[k])
+                        for k in pool_positions
+                        if k != best_k
+                    )
+                    score_info["margin"] = best_score - runner_up
             free = self._place_candidate(
                 best_task,
                 view.booked[best_i],
@@ -1067,11 +1114,9 @@ class TetrisScheduler(Scheduler):
                     booked = self.booked_demands(task, machine_id)
                     if not self._fits(booked, free):
                         if event_log is not None:
-                            event_log.append((
-                                "fit",
-                                task,
-                                self._violating_dim(booked, free),
-                            ))
+                            event_log.append(
+                                self._fit_entry(task, booked, free)
+                            )
                         continue
                     if not self._remote_sources_ok(task, machine_id):
                         if event_log is not None:

@@ -35,13 +35,16 @@ to enforce exactly that invariant.
 from __future__ import annotations
 
 import asyncio
+import math
+import warnings
 from dataclasses import dataclass, field
-from time import perf_counter
+from itertools import islice
+from time import monotonic, perf_counter
 from typing import Callable, Dict, List, Optional, Sequence, TYPE_CHECKING
 
 import numpy as np
 
-from repro.obs.registry import Histogram, LATENCY_BUCKETS
+from repro.obs.registry import Histogram, LATENCY_BUCKETS, RollingWindow
 from repro.serve.admission import AdmissionController
 from repro.serve.sources import Arrival, JobSource
 from repro.sim.engine import Engine
@@ -107,13 +110,21 @@ class ServeConfig:
     out); ``drive_slice`` bounds engine steps between asyncio yields so
     pacing and admission stay live during long drives; ``verify_every``
     runs :func:`verify_free_vectors` after every N committed batches
-    (0 disables).
+    (0 disables); ``liveness_deadline`` is how many wall seconds the
+    consumer may go without progress *while actively working* before
+    :meth:`SchedulerService.health` reports it stalled (idle waiting on
+    a paced stream never counts); ``window_seconds`` enables the
+    rolling-window telemetry gauges (sliding placements/sec, latency
+    quantiles, admission-reject rate) over that span — ``None`` (the
+    default) keeps them off so an unobserved daemon pays nothing.
     """
 
     max_batch: int = 64
     duration: Optional[float] = None
     drive_slice: int = 512
     verify_every: int = 1
+    liveness_deadline: Optional[float] = 30.0
+    window_seconds: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -124,6 +135,10 @@ class ServeConfig:
             raise ValueError("drive_slice must be >= 1")
         if self.verify_every < 0:
             raise ValueError("verify_every must be >= 0")
+        if self.liveness_deadline is not None and self.liveness_deadline <= 0:
+            raise ValueError("liveness_deadline must be positive")
+        if self.window_seconds is not None and self.window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
 
 
 @dataclass(frozen=True)
@@ -154,6 +169,9 @@ class ServeReport:
     drive_seconds: float = 0.0
     invariant_checks: int = 0
     invariant_violations: int = 0
+    #: placements evicted from a capped placement log before the latency
+    #: scan saw them (their admission→placement latency was lost)
+    latency_scan_misses: int = 0
     shutdown_reason: Optional[str] = None
     admission: Dict[str, object] = field(default_factory=dict)
     placement_latency: Dict[str, object] = field(default_factory=dict)
@@ -245,14 +263,36 @@ class SchedulerService:
         #: wall time each admitted job entered the queue (by job name),
         #: consumed when its first placement commits
         self._admit_wall: Dict[str, float] = {}
+        #: placements already latency-scanned, counted against
+        #: ``engine.num_placements`` so a capped log still scans
+        #: incrementally (evictions are detected, not silently skipped)
         self._log_seen = 0
-        #: latency tracking needs the uncapped placement log (a capped
-        #: deque evicts entries between scans)
-        self._latency_enabled = isinstance(engine.placement_log, list)
+        self._latency_warned = False
         self._latency_hist = Histogram(LATENCY_BUCKETS)
+        self._started_wall: Optional[float] = None
+        #: what the consumer is doing right now: "init" | "waiting"
+        #: (idle on the arrival queue) | "active" (staging/committing/
+        #: driving) | "draining" | "done" — read by :meth:`health`
+        self._phase = "init"
+        self._last_progress = self._now()
+        self._committed_max_time: Optional[float] = None
+        window = self.config.window_seconds
+        self._win_placements = (
+            RollingWindow(window) if window is not None else None
+        )
+        self._win_latency = (
+            RollingWindow(window) if window is not None else None
+        )
+        self._win_offered = (
+            RollingWindow(window) if window is not None else None
+        )
+        self._win_rejected = (
+            RollingWindow(window) if window is not None else None
+        )
         self._m_depth = self._m_admission = self._m_committed = None
         self._m_batches = self._m_latency = self._m_pps = None
         self._m_invariants = None
+        self._m_win_pps = self._m_win_latency = self._m_win_reject = None
         if registry is not None:
             self._register_metrics(registry)
 
@@ -287,11 +327,33 @@ class SchedulerService:
             "repro_serve_invariant_violations_total",
             "Free-vector invariant violations detected after commits",
         )
+        if self._win_placements is not None:
+            self._m_win_pps = registry.gauge(
+                "repro_serve_window_placements_per_sec",
+                "Placements per second over the sliding window",
+            )
+            self._m_win_latency = registry.gauge(
+                "repro_serve_window_placement_latency_seconds",
+                "Sliding-window placement-latency quantiles",
+                labelnames=("quantile",),
+            )
+            self._m_win_reject = registry.gauge(
+                "repro_serve_window_admission_reject_rate",
+                "Rejected fraction of offered arrivals over the "
+                "sliding window",
+            )
 
     def _now(self) -> float:
+        # monotonic (not the event-loop clock) so the telemetry plane's
+        # HTTP threads can call health()/status_snapshot() without a
+        # running loop; asyncio's clock is monotonic-based anyway
         if self._clock is not None:
             return self._clock()
-        return asyncio.get_running_loop().time()
+        return monotonic()
+
+    def _touch(self) -> None:
+        """Record consumer progress for the liveness deadline."""
+        self._last_progress = self._now()
 
     def request_shutdown(self, reason: str = "requested") -> None:
         """Stop admitting and committing; in-flight (queued) arrivals are
@@ -304,6 +366,8 @@ class SchedulerService:
     async def serve(self) -> ServeReport:
         """Run the stream to completion (or shutdown); returns the report."""
         start_wall = perf_counter()
+        self._started_wall = self._now()
+        self._touch()
         self.engine.open_stream()
         self.engine.start()
         producer = asyncio.create_task(self._produce())
@@ -323,11 +387,13 @@ class SchedulerService:
                     except asyncio.CancelledError:
                         pass
         # the stream is over: finish every committed job
+        self._phase = "draining"
         self.engine.close_stream()
         await self._drive(float("inf"))
         self.engine.finalize()
         self._scan_placements()
         self._check_invariants()
+        self._phase = "done"
         return self._finish_report(perf_counter() - start_wall)
 
     async def _watchdog(self) -> None:
@@ -342,6 +408,11 @@ class SchedulerService:
                 admitted = await self.admission.offer(arrival)
                 if admitted:
                     self._admit_wall[arrival.job.name] = self._now()
+                if self._win_offered is not None:
+                    now = self._now()
+                    self._win_offered.add(now)
+                    if not admitted:
+                        self._win_rejected.add(now)
                 if self._m_admission is not None:
                     self._m_admission.labels(
                         decision="admitted" if admitted else "rejected"
@@ -353,7 +424,10 @@ class SchedulerService:
 
     async def _consume(self) -> None:
         while True:
+            self._phase = "waiting"
             batch = await self.admission.next_batch(self.config.max_batch)
+            self._phase = "active"
+            self._touch()
             if batch is None:
                 break
             if self._m_depth is not None:
@@ -386,6 +460,7 @@ class SchedulerService:
                 == 0
             ):
                 self._check_invariants()
+            self._update_window_gauges()
 
     # -- stage / commit / drive ---------------------------------------------------
     def _stage(self, batch: List[Arrival]) -> StagedBatch:
@@ -422,6 +497,11 @@ class SchedulerService:
     def _commit(self, staged: StagedBatch) -> None:
         for job in staged.jobs:
             self.engine.add_job(job)
+        if (
+            self._committed_max_time is None
+            or staged.max_time > self._committed_max_time
+        ):
+            self._committed_max_time = staged.max_time
         self.report.jobs_committed += len(staged.jobs)
         self.report.batches_committed += 1
         if self._m_committed is not None:
@@ -436,6 +516,7 @@ class SchedulerService:
             steps = self.engine.run_until(
                 limit, inclusive=inclusive, max_steps=self.config.drive_slice
             )
+            self._touch()
             if steps:
                 self._scan_placements()
             if steps < self.config.drive_slice:
@@ -448,21 +529,190 @@ class SchedulerService:
             )
 
     def _scan_placements(self) -> None:
-        """Observe admission→first-placement latency for new placements."""
-        if not self._latency_enabled:
+        """Observe admission→first-placement latency for new placements.
+
+        Tracks progress against ``engine.num_placements`` (not the log
+        length), so a bounded placement log still yields latencies: the
+        scan walks only entries that appeared since the last scan.  If a
+        capped log evicted entries *between* scans (more new placements
+        than the cap holds), the loss is counted in
+        ``report.latency_scan_misses`` and warned about once — degraded
+        coverage is never silent.
+        """
+        total = self.engine.num_placements
+        new = total - self._log_seen
+        if new == 0:
             return
         log = self.engine.placement_log
-        if len(log) == self._log_seen:
-            return
+        missed = new - len(log) if new > len(log) else 0
+        if missed:
+            self.report.latency_scan_misses += missed
+            if not self._latency_warned:
+                self._latency_warned = True
+                warnings.warn(
+                    f"placement log cap ({len(log)}) evicted {missed} "
+                    "placements before the latency scan; raise "
+                    "max_placement_log (or lower drive_slice) for full "
+                    "placement-latency coverage",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
         now = self._now()
-        for task, _machine, _time, _booked in log[self._log_seen:]:
+        start = len(log) - (new - missed)
+        for task, _machine, _time, _booked in islice(log, start, len(log)):
             admitted_at = self._admit_wall.pop(task.job.name, None)
             if admitted_at is not None:
                 latency = now - admitted_at
                 self._latency_hist.observe(latency)
                 if self._m_latency is not None:
                     self._m_latency.observe(latency)
-        self._log_seen = len(log)
+                if self._win_latency is not None:
+                    self._win_latency.add(now, latency)
+        if self._win_placements is not None:
+            self._win_placements.add(now, float(new))
+        self._log_seen = total
+
+    def _update_window_gauges(self) -> None:
+        """Refresh the rolling-window gauges (consumer loop only)."""
+        if self._win_placements is None:
+            return
+        now = self._now()
+        if self._m_win_pps is not None:
+            self._m_win_pps.set(self._win_placements.rate(now))
+        if self._m_win_latency is not None:
+            for q in (0.5, 0.95, 0.99):
+                value = self._win_latency.quantile(q, now)
+                self._m_win_latency.labels(quantile=str(q)).set(
+                    0.0 if math.isnan(value) else value
+                )
+        if self._m_win_reject is not None:
+            offered = self._win_offered.total(now)
+            rejected = self._win_rejected.total(now)
+            self._m_win_reject.set(rejected / offered if offered else 0.0)
+
+    # -- live introspection (telemetry-plane surface) -----------------------------
+    def window_snapshot(self) -> Optional[Dict[str, object]]:
+        """The rolling-window readings as plain values (``None`` when
+        windows are disabled).  Quantiles of an empty window export as
+        ``None`` — strict JSON has no NaN."""
+        if self._win_placements is None:
+            return None
+        now = self._now()
+
+        def finite(q: float) -> Optional[float]:
+            value = self._win_latency.quantile(q, now)
+            return None if math.isnan(value) else value
+
+        offered = self._win_offered.total(now)
+        return {
+            "seconds": self.config.window_seconds,
+            "placements_per_sec": self._win_placements.rate(now),
+            "latency_p50": finite(0.5),
+            "latency_p95": finite(0.95),
+            "latency_p99": finite(0.99),
+            "admission_reject_rate": (
+                self._win_rejected.total(now) / offered if offered else 0.0
+            ),
+        }
+
+    def health(self) -> Dict[str, object]:
+        """Liveness snapshot (the ``/healthz`` payload).
+
+        Safe to call from any thread mid-run: it only reads plain
+        attributes and counters.  *Stalled* means the consumer has been
+        in an active phase (staging/committing/driving) for longer than
+        ``liveness_deadline`` without making progress — idle waiting on
+        a paced or empty stream is healthy.  ``watermark.lag_seconds``
+        is event-time backlog: how far the engine clock trails the
+        newest committed arrival.
+        """
+        now = self._now()
+        stats = self.admission.stats
+        engine_now = self.engine.now
+        committed_max = self._committed_max_time
+        lag = (
+            max(committed_max - engine_now, 0.0)
+            if committed_max is not None
+            else 0.0
+        )
+        age = now - self._last_progress
+        deadline = self.config.liveness_deadline
+        stalled = (
+            self._phase in ("active", "draining")
+            and deadline is not None
+            and age > deadline
+        )
+        violations = self.report.invariant_violations
+        healthy = not stalled and violations == 0
+        return {
+            "healthy": healthy,
+            "status": (
+                "invariant-violation"
+                if violations
+                else ("stalled" if stalled else "ok")
+            ),
+            "phase": self._phase,
+            "uptime_seconds": (
+                now - self._started_wall
+                if self._started_wall is not None
+                else 0.0
+            ),
+            "watermark": {
+                "committed_max_time": committed_max,
+                "engine_now": engine_now,
+                "lag_seconds": lag,
+            },
+            "queue_depth": self.admission.depth,
+            "shed": {
+                "rejected_rate": stats.rejected_rate,
+                "rejected_queue_full": stats.rejected_queue_full,
+                "rejected_closed": stats.rejected_closed,
+                "dropped_on_shutdown": self.report.jobs_dropped_on_shutdown,
+            },
+            "liveness": {
+                "last_progress_age_seconds": age,
+                "deadline_seconds": deadline,
+            },
+            "invariant_violations": violations,
+        }
+
+    def status_snapshot(self) -> Dict[str, object]:
+        """A :class:`ServeReport`-shaped view of the run *so far* (the
+        ``/status`` payload), with the live counters the final report
+        only fills at shutdown.  Safe to call from any thread."""
+        now = self._now()
+        stats = self.admission.stats
+        report = self.report
+        snap = report.as_dict()
+        uptime = (
+            now - self._started_wall
+            if self._started_wall is not None
+            else 0.0
+        )
+        placements = self.engine.num_placements
+        drive = report.drive_seconds
+        snap["jobs"]["offered"] = stats.offered
+        snap["jobs"]["admitted"] = stats.admitted
+        snap["jobs"]["finished"] = sum(
+            1 for job in self.engine.jobs if job.is_finished
+        )
+        snap["placements"] = placements
+        snap["placements_per_sec"] = placements / drive if drive > 0 else 0.0
+        snap["placements_per_wall_sec"] = (
+            placements / uptime if uptime > 0 else 0.0
+        )
+        snap["sim_time"] = self.engine.now
+        snap["wall_seconds"] = uptime
+        snap["admission"] = stats.as_dict()
+        snap["placement_latency"] = dict(
+            self._latency_hist.as_dict(),
+            scan_misses=report.latency_scan_misses,
+        )
+        snap["staging_errors"] = list(report.staging_errors)
+        snap["phase"] = self._phase
+        snap["queue_depth"] = self.admission.depth
+        snap["window"] = self.window_snapshot()
+        return snap
 
     def _check_invariants(self) -> None:
         issues = verify_free_vectors(self.engine.cluster)
@@ -487,5 +737,8 @@ class SchedulerService:
         report.sim_time = self.engine.now
         report.shutdown_reason = self._shutdown_reason
         report.admission = self.admission.stats.as_dict()
-        report.placement_latency = self._latency_hist.as_dict()
+        report.placement_latency = dict(
+            self._latency_hist.as_dict(),
+            scan_misses=report.latency_scan_misses,
+        )
         return report

@@ -1,0 +1,361 @@
+"""Placement explainability (repro.obs.explain / ``repro explain``).
+
+The load-bearing property: the narrative's numbers *are* the
+scheduler's numbers.  A decision log from the scalar reference
+scheduler (``vectorized=False``) is the ground truth here — every
+placement's recorded decomposition must recombine into its combined
+score under the configured weights, the winner must dominate its
+reconstructed argmax pool, and the vectorized path must emit the exact
+same decomposition stream.
+"""
+
+import json
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.obs import (
+    DecisionTrace,
+    explain_task,
+    explain_window,
+    parse_task_ref,
+    render_task_explanation,
+    render_window_explanation,
+)
+from repro.obs.explain import iter_decisions
+from repro.schedulers.tetris import TetrisConfig, TetrisScheduler
+from repro.sim.engine import Engine, EngineConfig
+from repro.workload.trace import materialize_trace
+from repro.workload.tracegen import WorkloadSuiteConfig, generate_workload_suite
+
+
+def _traced_run(
+    tmp_path, seed=3, num_jobs=8, num_machines=4, vectorized=False,
+    **config_kwargs,
+):
+    """Run the given scheduler flavour with a streaming decision log;
+    returns (engine, config, log path)."""
+    trace = generate_workload_suite(
+        WorkloadSuiteConfig(
+            num_jobs=num_jobs, task_scale=0.03,
+            arrival_horizon=120.0, seed=seed,
+        )
+    )
+    cluster = Cluster(num_machines, seed=0)
+    jobs = materialize_trace(trace, cluster, seed=0)
+    config = TetrisConfig(vectorized=vectorized, **config_kwargs)
+    path = tmp_path / f"decisions-{seed}-{vectorized}.jsonl"
+    with DecisionTrace(path) as sink:
+        engine = Engine(
+            cluster, TetrisScheduler(config), jobs,
+            decision_trace=sink, config=EngineConfig(seed=0),
+        )
+        engine.run()
+    return engine, config, path
+
+
+def _log_placements(engine):
+    return [
+        (task.job.name, task.stage.name, task.index, machine_id, time)
+        for task, machine_id, time, _booked in engine.placement_log
+    ]
+
+
+class TestParseTaskRef:
+    def test_simple(self):
+        assert parse_task_ref("job-3/map/7") == ("job-3", "map", 7)
+
+    def test_job_names_may_contain_slashes(self):
+        assert parse_task_ref("team/etl/reduce/0") == ("team/etl", "reduce", 0)
+
+    @pytest.mark.parametrize("bad", ["noslashes", "job/1", ""])
+    def test_too_few_components(self, bad):
+        with pytest.raises(ValueError, match="job/stage/index"):
+            parse_task_ref(bad)
+
+    def test_non_integer_index(self):
+        with pytest.raises(ValueError, match="integer"):
+            parse_task_ref("job/map/seven")
+
+
+class TestIterDecisions:
+    def test_groups_reconstruct_the_argmax_pool(self, tmp_path):
+        engine, _, path = _traced_run(tmp_path)
+        decisions = [d for d in iter_decisions(path) if d["placement"]]
+        assert len(decisions) == engine.num_placements
+        for d in decisions:
+            p = d["placement"]
+            assert p["time"] == d["time"]
+            assert p["machine"] == d["machine"]
+            # the winner was itself a scored candidate of the group
+            winners = [
+                c
+                for c in d["candidates"]
+                if (c["job"], c["stage"], c["task"])
+                == (p["job"], p["stage"], p["task"])
+            ]
+            assert len(winners) == 1
+            assert winners[0]["combined"] == p["combined"]
+
+    def test_groups_match_engine_placement_log(self, tmp_path):
+        engine, _, path = _traced_run(tmp_path, seed=5)
+        explained = [
+            (
+                d["placement"]["job"], d["placement"]["stage"],
+                d["placement"]["task"], d["machine"], d["time"],
+            )
+            for d in iter_decisions(path)
+            if d["placement"]
+        ]
+        assert explained == _log_placements(engine)
+
+
+class TestScoreDecomposition:
+    """The ISSUE acceptance property: the recorded decomposition is
+    consistent with the scalar reference scheduler."""
+
+    @pytest.mark.parametrize("seed", [1, 5, 9])
+    def test_terms_recombine_into_the_combined_score(self, tmp_path, seed):
+        _, config, path = _traced_run(tmp_path, seed=seed)
+        checked = 0
+        for d in iter_decisions(path):
+            p = d["placement"]
+            if p is None or p.get("combined") is None:
+                continue
+            checked += 1
+            # combined = alignment_weight * a  -  (m * epsilon) * remaining
+            assert p["combined"] == (
+                config.alignment_weight * p["alignment"] - p["srtf_term"]
+            )
+            assert p["srtf_term"] == pytest.approx(
+                config.srtf_multiplier * p["epsilon"] * p["remaining_work"],
+                rel=1e-12,
+            )
+        assert checked > 0
+
+    @pytest.mark.parametrize("seed", [1, 5])
+    def test_winner_dominates_its_pool(self, tmp_path, seed):
+        _, _, path = _traced_run(tmp_path, seed=seed)
+        margins_checked = 0
+        for d in iter_decisions(path):
+            p = d["placement"]
+            if p is None or p.get("combined") is None:
+                continue
+            if d["barrier"] is not None:
+                # the barrier filter narrows the argmax pool below the
+                # full candidate list; dominance only holds inside it
+                continue
+            rivals = [
+                c["combined"]
+                for c in d["candidates"]
+                if (c["job"], c["stage"], c["task"])
+                != (p["job"], p["stage"], p["task"])
+            ]
+            assert p["pool"] == len(rivals) + 1
+            if rivals:
+                best_rival = max(rivals)
+                assert p["combined"] >= best_rival
+                assert p["margin"] == pytest.approx(
+                    p["combined"] - best_rival, abs=1e-12
+                )
+                margins_checked += 1
+            else:
+                assert "margin" not in p
+        assert margins_checked > 0
+
+    def test_nondefault_weights_are_honored(self, tmp_path):
+        _, config, path = _traced_run(
+            tmp_path, seed=7, alignment_weight=0.5, srtf_multiplier=2.0
+        )
+        seen = 0
+        for d in iter_decisions(path):
+            p = d["placement"]
+            if p is None or p.get("combined") is None:
+                continue
+            assert p["combined"] == (
+                0.5 * p["alignment"] - p["srtf_term"]
+            )
+            seen += 1
+        assert seen > 0
+
+    def test_vectorized_path_emits_identical_decomposition(self, tmp_path):
+        """The vectorized scheduler's explain stream is bit-identical to
+        the scalar reference — the property the whole plane rests on."""
+
+        def decomposition(path):
+            return [
+                tuple(
+                    d["placement"].get(k)
+                    for k in (
+                        "job", "stage", "task", "machine", "time",
+                        "alignment", "remaining_work", "combined",
+                        "epsilon", "srtf_term", "margin", "pool", "remote",
+                    )
+                )
+                for d in iter_decisions(path)
+                if d["placement"]
+            ]
+
+        _, _, scalar_path = _traced_run(tmp_path, seed=11, vectorized=False)
+        _, _, vec_path = _traced_run(tmp_path, seed=11, vectorized=True)
+        scalar = decomposition(scalar_path)
+        vectorized = decomposition(vec_path)
+        assert scalar == vectorized
+        assert len(scalar) > 0
+
+
+class TestExplainTask:
+    def test_placed_task_narrative(self, tmp_path):
+        engine, config, path = _traced_run(tmp_path)
+        job, stage, index, machine, time = _log_placements(engine)[0]
+        explanation = explain_task(path, job, stage, index)
+        assert explanation["found"]
+        assert explanation["placed_at"] == time
+        assert explanation["invalid_events"] == 0
+        decision = explanation["decisions"][0]
+        p = decision["placement"]
+        assert p["machine"] == machine
+        assert p["combined"] == (
+            config.alignment_weight * p["alignment"] - p["srtf_term"]
+        )
+        # the task's own consideration at that instant reads "placed"
+        placed_considerations = [
+            c for c in explanation["considerations"]
+            if c["outcome"] == "placed"
+        ]
+        assert len(placed_considerations) >= 1
+        # competitors are sorted strongest first
+        combined = [
+            c["combined"] for c in decision["competitors"]
+            if c.get("combined") is not None
+        ]
+        assert combined == sorted(combined, reverse=True)
+
+    def test_wait_spans_first_consideration_to_placement(self, tmp_path):
+        engine, _, path = _traced_run(tmp_path, seed=5)
+        # a task from the last job placed: likely considered and beaten
+        # (or rejected) a few times first
+        job, stage, index, _, placed_time = _log_placements(engine)[-1]
+        explanation = explain_task(path, job, stage, index)
+        assert explanation["placed_at"] == placed_time
+        if explanation["first_considered"] is not None:
+            assert explanation["wait"] == pytest.approx(
+                placed_time - explanation["first_considered"]
+            )
+            assert explanation["wait"] >= 0.0
+
+    def test_fairness_cuts_precede_placement(self, tmp_path):
+        engine, _, path = _traced_run(
+            tmp_path, seed=3, fairness_knob=0.3
+        )
+        for job, stage, index, _, placed_time in _log_placements(engine)[:20]:
+            explanation = explain_task(path, job, stage, index)
+            for t in explanation["fairness_cuts"]["times"]:
+                assert t <= placed_time
+
+    def test_unknown_task_not_found(self, tmp_path):
+        _, _, path = _traced_run(tmp_path)
+        explanation = explain_task(path, "no-such-job", "map", 0)
+        assert not explanation["found"]
+        assert explanation["placed_at"] is None
+        assert "no events" in render_task_explanation(explanation)
+
+    def test_lost_considerations_record_the_winner(self, tmp_path):
+        _, _, path = _traced_run(tmp_path, seed=9)
+        lost = None
+        for d in iter_decisions(path):
+            p = d["placement"]
+            if p is None:
+                continue
+            for c in d["candidates"]:
+                if (c["job"], c["stage"], c["task"]) != (
+                    p["job"], p["stage"], p["task"]
+                ):
+                    lost = (c, p)
+                    break
+            if lost:
+                break
+        assert lost is not None, "no contested iteration in this log"
+        cand, winner = lost
+        explanation = explain_task(
+            path, cand["job"], cand["stage"], cand["task"]
+        )
+        entries = [
+            e for e in explanation["considerations"]
+            if e["time"] == cand["time"]
+            and e["machine"] == cand["machine"]
+            and e["outcome"] == "lost"
+        ]
+        assert entries
+        entry = entries[0]
+        assert entry["lost_to"]["job"] == winner["job"]
+        assert entry["behind_by"] == pytest.approx(
+            winner["combined"] - cand["combined"]
+        )
+        assert entry["behind_by"] >= 0.0 or explanation["found"]
+
+    def test_explanation_is_json_serializable(self, tmp_path):
+        engine, _, path = _traced_run(tmp_path)
+        job, stage, index, _, _ = _log_placements(engine)[0]
+        explanation = explain_task(path, job, stage, index)
+        json.dumps(explanation)
+
+
+class TestExplainWindow:
+    def test_full_window_counts_every_placement(self, tmp_path):
+        engine, _, path = _traced_run(tmp_path)
+        summary = explain_window(path, 0.0, float("inf"))
+        assert summary["placements"] == engine.num_placements
+        assert summary["candidates_scored"] > 0
+        assert sum(summary["placements_by_via"].values()) == (
+            engine.num_placements
+        )
+        assert summary["margin"]["count"] <= summary["placements"]
+
+    def test_empty_window(self, tmp_path):
+        _, _, path = _traced_run(tmp_path)
+        summary = explain_window(path, 1e9, 2e9)
+        assert summary["placements"] == 0
+        assert summary["margin"]["mean"] is None
+        assert summary["pool_size_mean"] is None
+        rendered = render_window_explanation(summary)
+        assert "placements: 0" in rendered
+
+    def test_windows_partition_the_run(self, tmp_path):
+        engine, _, path = _traced_run(tmp_path, seed=5)
+        times = [t for *_rest, t in _log_placements(engine)]
+        mid = sorted(times)[len(times) // 2]
+        eps = 1e-9
+        left = explain_window(path, 0.0, mid)
+        right = explain_window(path, mid + eps, float("inf"))
+        assert left["placements"] + right["placements"] == len(times)
+
+
+class TestRendering:
+    def test_narrative_contains_the_decomposition(self, tmp_path):
+        engine, _, path = _traced_run(tmp_path)
+        # find a placement that won a contested pool so the margin and
+        # competitor lines render too
+        target = None
+        for d in iter_decisions(path):
+            p = d["placement"]
+            if p is not None and p.get("margin") is not None:
+                target = p
+                break
+        assert target is not None
+        explanation = explain_task(
+            path, target["job"], target["stage"], target["task"]
+        )
+        text = render_task_explanation(explanation)
+        assert "alignment term" in text
+        assert "srtf term" in text
+        assert "combined score" in text
+        assert "won by margin" in text
+
+    def test_window_rollup_renders(self, tmp_path):
+        _, _, path = _traced_run(tmp_path)
+        text = render_window_explanation(
+            explain_window(path, 0.0, float("inf"))
+        )
+        assert text.startswith("window t=")
+        assert "placements:" in text

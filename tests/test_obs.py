@@ -25,6 +25,7 @@ from repro.obs import (
     Gauge,
     Histogram,
     Registry,
+    RollingWindow,
     chrome_trace_events,
     parse_exposition,
     summarize_decision_log,
@@ -274,6 +275,107 @@ class TestParseExposition:
     def test_garbage_line_rejected(self):
         with pytest.raises(ValueError, match="unparseable"):
             parse_exposition("!!not a metric!!")
+
+
+class TestLabelEscaping:
+    """Prometheus exposition escaping: label values may contain any
+    byte; ``\\``, ``\"`` and newlines must be escaped on render and
+    restored on parse."""
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            'quoted "value"',
+            "back\\slash",
+            "multi\nline",
+            'all \\ of "them"\ntogether',
+            "braces } and { and = and ,",
+        ],
+    )
+    def test_label_value_round_trips(self, value):
+        reg = Registry()
+        fam = reg.counter("esc_total", "doc", labelnames=("job",))
+        fam.labels(job=value).inc(3)
+        parsed = parse_exposition(reg.render())
+        assert parsed["esc_total"] == {f"job={value}": 3.0}
+
+    def test_rendered_line_is_single_line(self):
+        # a newline in a label value must not split the sample line
+        reg = Registry()
+        reg.counter("nl_total", "doc", labelnames=("j",)).labels(
+            j="a\nb"
+        ).inc()
+        sample_lines = [
+            line
+            for line in reg.render().splitlines()
+            if not line.startswith("#") and line
+        ]
+        assert sample_lines == ['nl_total{j="a\\nb"} 1']
+
+    def test_help_text_newlines_escaped(self):
+        reg = Registry()
+        reg.counter("h_total", "first\nsecond \\ slash")
+        rendered = reg.render()
+        assert "# HELP h_total first\\nsecond \\\\ slash" in rendered
+        # still parseable
+        assert parse_exposition(rendered)["h_total"] == {"": 0.0}
+
+    def test_closing_brace_inside_label_value(self):
+        # the sample regex must not stop at the first '}' it sees
+        reg = Registry()
+        reg.gauge("g", "doc", labelnames=("expr",)).labels(
+            expr='x{y="z"}'
+        ).set(2.5)
+        parsed = parse_exposition(reg.render())
+        assert parsed["g"] == {'expr=x{y="z"}': 2.5}
+
+
+class TestRollingWindow:
+    def test_rate_over_partial_window(self):
+        win = RollingWindow(window=60.0)
+        win.add(0.0, 10.0)
+        win.add(10.0, 20.0)
+        # only 10s have elapsed: divide by the observed span, not 60
+        assert win.rate(10.0) == pytest.approx(3.0)
+
+    def test_old_samples_age_out(self):
+        win = RollingWindow(window=5.0)
+        win.add(0.0, 1.0)
+        win.add(1.0, 1.0)
+        win.add(10.0, 1.0)
+        assert win.count(10.0) == 1
+        assert win.total(10.0) == 1.0
+
+    def test_quantiles_are_exact_on_retained_values(self):
+        win = RollingWindow(window=100.0)
+        for i, v in enumerate([5.0, 1.0, 3.0, 2.0, 4.0]):
+            win.add(float(i), v)
+        assert win.quantile(0.0, 4.0) == 1.0
+        assert win.quantile(0.5, 4.0) == 3.0
+        assert win.quantile(1.0, 4.0) == 5.0
+
+    def test_empty_quantile_is_nan(self):
+        import math
+
+        win = RollingWindow(window=5.0)
+        assert math.isnan(win.quantile(0.5, 0.0))
+        win.add(0.0, 1.0)
+        # once the only sample ages out the window is empty again
+        assert math.isnan(win.quantile(0.5, 100.0))
+
+    def test_max_samples_caps_memory(self):
+        win = RollingWindow(window=1e9, max_samples=4)
+        for i in range(10):
+            win.add(float(i), 1.0)
+        assert len(win) == 4
+        assert win.total(9.0) == 4.0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            RollingWindow(window=0.0)
+        win = RollingWindow()
+        with pytest.raises(ValueError):
+            win.quantile(1.5, 0.0)
 
 
 class TestRegistryMerge:
@@ -586,6 +688,46 @@ class TestSummarizer:
         assert summary["alignment"]["count"] > 0
         assert any(r.startswith("fit:") for r in summary["rejections"])
         assert summary["placements_by_via"].get("pack", 0) > 0
+
+    def test_empty_log(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        summary = summarize_decision_log(path)
+        assert summary["events_total"] == 0
+        assert summary["invalid_events"] == 0
+        assert summary["placements"] == 0
+        assert summary["rounds"] == 0
+        assert summary["alignment"]["count"] == 0
+        assert summary["rejections"] == {}
+
+    def test_truncated_json_line_is_counted_not_fatal(self, tmp_path):
+        path = tmp_path / "trunc.jsonl"
+        good = json.dumps(
+            {"type": "round", "time": 1.0, "machines": 4,
+             "placements": 2, "queue_depth": 1}
+        )
+        path.write_text(good + "\n" + good[: len(good) // 2] + "\n")
+        summary = summarize_decision_log(path)
+        assert summary["events_total"] == 1
+        assert summary["invalid_events"] == 1
+        assert summary["rounds"] == 1
+        assert any("line 2" in e for e in summary["errors"])
+
+    def test_unknown_event_type_is_tallied_as_invalid(self, tmp_path):
+        path = tmp_path / "unknown.jsonl"
+        path.write_text(
+            json.dumps({"type": "quantum_tunnel", "time": 0.0}) + "\n"
+        )
+        summary = summarize_decision_log(path)
+        assert summary["invalid_events"] == 1
+        assert summary["events_total"] == 0
+
+    def test_missing_required_field_is_invalid(self, tmp_path):
+        path = tmp_path / "missing.jsonl"
+        path.write_text(json.dumps({"type": "round", "time": 3.0}) + "\n")
+        summary = summarize_decision_log(path)
+        assert summary["invalid_events"] == 1
+        assert summary["rounds"] == 0
 
 
 # -- the Perfetto export --------------------------------------------------------

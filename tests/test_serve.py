@@ -74,18 +74,22 @@ def _batch_run(trace, seed=3, num_machines=6, use_tracker=False):
 def _serve_run(
     trace, seed=3, num_machines=6, use_tracker=False,
     max_batch=8, admission=None, registry=None,
+    serve_config=None, max_placement_log=None,
 ):
     cluster, jobs, tracker = _build(trace, num_machines, seed, use_tracker)
     engine = Engine(
         cluster, TetrisScheduler(), [],
-        tracker=tracker, config=EngineConfig(seed=seed), metrics=registry,
+        tracker=tracker,
+        config=EngineConfig(seed=seed, max_placement_log=max_placement_log),
+        metrics=registry,
     )
     service = SchedulerService(
         engine,
         TraceReplaySource(jobs),
         admission if admission is not None
         else AdmissionController(AdmissionConfig(queue_cap=10_000)),
-        ServeConfig(max_batch=max_batch),
+        serve_config if serve_config is not None
+        else ServeConfig(max_batch=max_batch),
         registry=registry,
     )
     report = asyncio.run(service.serve())
@@ -491,3 +495,216 @@ class TestEngineStepping:
         engine.start()
         steps = engine.run_until(float("inf"))
         assert steps == 0
+
+
+# ---------------------------------------------------------------------------
+# the telemetry surfaces (/healthz, /status, rolling windows, latency scan)
+# ---------------------------------------------------------------------------
+
+def _make_service(
+    trace, seed=3, num_machines=6, max_placement_log=None,
+    serve_config=None, registry=None,
+):
+    cluster, jobs, _ = _build(trace, num_machines, seed)
+    engine = Engine(
+        cluster, TetrisScheduler(), [],
+        config=EngineConfig(seed=seed, max_placement_log=max_placement_log),
+        metrics=registry,
+    )
+    service = SchedulerService(
+        engine,
+        TraceReplaySource(jobs),
+        AdmissionController(AdmissionConfig(queue_cap=10_000)),
+        serve_config if serve_config is not None else ServeConfig(),
+        registry=registry,
+    )
+    return engine, service
+
+
+class TestPlacementLatencyScan:
+    def test_uncapped_log_yields_full_coverage(self):
+        import warnings
+
+        engine, service = _make_service(_trace(num_jobs=6))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            report = asyncio.run(service.serve())
+        assert report.latency_scan_misses == 0
+        assert report.placement_latency["count"] == 6
+        assert report.placement_latency["scan_misses"] == 0
+
+    def test_capped_log_warns_and_accounts_misses(self):
+        # a 2-entry log cap with 8-job batches: placements are evicted
+        # between scans, so coverage degrades -- loudly
+        engine, service = _make_service(
+            _trace(num_jobs=10),
+            max_placement_log=2,
+            serve_config=ServeConfig(max_batch=8),
+        )
+        with pytest.warns(RuntimeWarning, match="placement log cap"):
+            report = asyncio.run(service.serve())
+        assert report.latency_scan_misses > 0
+        assert report.placement_latency["scan_misses"] == (
+            report.latency_scan_misses
+        )
+        # every placement is either scanned or counted as missed
+        assert report.latency_scan_misses < engine.num_placements
+
+    def test_capped_log_warns_once(self):
+        import warnings
+
+        _, service = _make_service(
+            _trace(num_jobs=10),
+            max_placement_log=2,
+            serve_config=ServeConfig(max_batch=8),
+        )
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            asyncio.run(service.serve())
+        cap_warnings = [
+            w for w in caught if "placement log cap" in str(w.message)
+        ]
+        assert len(cap_warnings) == 1
+
+
+class TestRollingWindowTelemetry:
+    def test_window_gauges_populate(self):
+        registry = Registry()
+        _, service = _make_service(
+            _trace(num_jobs=6),
+            serve_config=ServeConfig(window_seconds=60.0),
+            registry=registry,
+        )
+        asyncio.run(service.serve())
+        snap = registry.snapshot()
+        assert snap["repro_serve_window_placements_per_sec"]["values"][""] >= 0
+        latency = snap["repro_serve_window_placement_latency_seconds"]["values"]
+        assert set(latency) == {
+            "quantile=0.5", "quantile=0.95", "quantile=0.99"
+        }
+        assert latency["quantile=0.5"] <= latency["quantile=0.99"]
+        assert snap["repro_serve_window_admission_reject_rate"]["values"][""] == 0.0
+
+    def test_windows_off_by_default(self):
+        registry = Registry()
+        _, service = _make_service(_trace(num_jobs=4), registry=registry)
+        asyncio.run(service.serve())
+        snap = registry.snapshot()
+        assert "repro_serve_window_placements_per_sec" not in snap
+        assert service.window_snapshot() is None
+
+    def test_window_snapshot_shape(self):
+        _, service = _make_service(
+            _trace(num_jobs=6),
+            serve_config=ServeConfig(window_seconds=45.0),
+        )
+        asyncio.run(service.serve())
+        snap = service.window_snapshot()
+        assert snap["seconds"] == 45.0
+        assert snap["placements_per_sec"] >= 0.0
+        # quantiles are either real floats or None, never NaN
+        for key in ("latency_p50", "latency_p95", "latency_p99"):
+            value = snap[key]
+            assert value is None or value == value
+        assert snap["admission_reject_rate"] == 0.0
+        json.dumps(snap)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="window_seconds"):
+            ServeConfig(window_seconds=0.0)
+        with pytest.raises(ValueError, match="liveness_deadline"):
+            ServeConfig(liveness_deadline=-1.0)
+
+
+class TestHealthAndStatus:
+    def test_health_after_clean_run(self):
+        _, service = _make_service(_trace(num_jobs=5))
+        asyncio.run(service.serve())
+        health = service.health()
+        assert health["healthy"] is True
+        assert health["status"] == "ok"
+        assert health["phase"] == "done"
+        assert health["queue_depth"] == 0
+        assert health["watermark"]["lag_seconds"] == 0.0
+        assert health["invariant_violations"] == 0
+        json.dumps(health)
+
+    def test_health_before_serve_is_idle_and_healthy(self):
+        _, service = _make_service(_trace(num_jobs=3))
+        health = service.health()
+        assert health["healthy"] is True
+        assert health["phase"] == "init"
+        assert health["uptime_seconds"] == 0.0
+
+    def test_stalled_consumer_reports_unhealthy(self):
+        clock = [0.0]
+        cluster, jobs, _ = _build(_trace(num_jobs=3), 6, 3)
+        engine = Engine(
+            cluster, TetrisScheduler(), [], config=EngineConfig(seed=3)
+        )
+        service = SchedulerService(
+            engine,
+            TraceReplaySource(jobs),
+            AdmissionController(AdmissionConfig(queue_cap=100)),
+            ServeConfig(liveness_deadline=5.0),
+            clock=lambda: clock[0],
+        )
+        # simulate a wedged active consumer: phase active, no progress
+        service._phase = "active"
+        service._last_progress = 0.0
+        clock[0] = 10.0
+        health = service.health()
+        assert health["healthy"] is False
+        assert health["status"] == "stalled"
+        assert health["liveness"]["last_progress_age_seconds"] == 10.0
+
+    def test_idle_waiting_never_counts_as_stalled(self):
+        clock = [0.0]
+        cluster, jobs, _ = _build(_trace(num_jobs=3), 6, 3)
+        engine = Engine(
+            cluster, TetrisScheduler(), [], config=EngineConfig(seed=3)
+        )
+        service = SchedulerService(
+            engine,
+            TraceReplaySource(jobs),
+            AdmissionController(AdmissionConfig(queue_cap=100)),
+            ServeConfig(liveness_deadline=5.0),
+            clock=lambda: clock[0],
+        )
+        service._phase = "waiting"
+        service._last_progress = 0.0
+        clock[0] = 1000.0
+        assert service.health()["healthy"] is True
+
+    def test_invariant_violation_is_unhealthy(self):
+        _, service = _make_service(_trace(num_jobs=3))
+        asyncio.run(service.serve())
+        service.report.invariant_violations = 1
+        health = service.health()
+        assert health["healthy"] is False
+        assert health["status"] == "invariant-violation"
+
+    def test_status_snapshot_shape_and_liveness(self):
+        _, service = _make_service(
+            _trace(num_jobs=5),
+            serve_config=ServeConfig(window_seconds=60.0),
+        )
+        asyncio.run(service.serve())
+        snap = service.status_snapshot()
+        assert snap["phase"] == "done"
+        assert snap["jobs"]["offered"] == 5
+        assert snap["jobs"]["admitted"] == 5
+        assert snap["jobs"]["finished"] == 5
+        assert snap["placements"] > 0
+        assert snap["queue_depth"] == 0
+        assert snap["window"]["seconds"] == 60.0
+        assert snap["placement_latency"]["scan_misses"] == 0
+        json.dumps(snap)
+
+    def test_status_snapshot_before_serve(self):
+        _, service = _make_service(_trace(num_jobs=3))
+        snap = service.status_snapshot()
+        assert snap["phase"] == "init"
+        assert snap["placements"] == 0
+        assert snap["wall_seconds"] == 0.0
+        json.dumps(snap)

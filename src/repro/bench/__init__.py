@@ -17,18 +17,45 @@ durable, comparable artifacts instead of hand re-derived measurements:
   Mann–Whitney confirmation when repeat samples exist) with per-phase
   attribution of slowdowns;
 - :mod:`repro.bench.report` — the trajectory table across stored
-  profiles.
+  profiles;
+- :mod:`repro.bench.history` — the append-only per-commit profile
+  history store (keyed by git SHA + scenario + host-calibration stamp)
+  with trend queries, entry diffs, retention/compaction, and top-level
+  trajectory artifacts;
+- :mod:`repro.bench.bisect` — automatic degradation bisect: the
+  detector as a ``git bisect`` oracle with adaptive repeat counts.
 
-Surfaced on the command line as ``repro bench run|compare|report``; the
-same shape as Perun's per-version performance profiles, scaled to this
-repo.
+Surfaced on the command line as ``repro bench
+run|compare|report|history|diff|bisect``; the same shape as Perun's
+per-version performance profiles, scaled to this repo.
 """
 
+from repro.bench.bisect import (
+    BisectResult,
+    BisectStep,
+    ProfileOracle,
+    bisect_linear,
+    choose_repeats,
+    git_bisect,
+)
 from repro.bench.detect import (
     ComparisonResult,
     MetricVerdict,
     compare_profiles,
     mann_whitney_p,
+)
+from repro.bench.history import (
+    DEFAULT_HISTORY_DIR,
+    HISTORY_SCHEMA,
+    TRAJECTORY_SCHEMA,
+    HistoryEntry,
+    HistoryStore,
+    calibration_stamp,
+    collect_history,
+    diff_entries,
+    render_trend,
+    trend_rows,
+    write_trajectory_artifact,
 )
 from repro.bench.profile import (
     SCHEMA,
@@ -50,10 +77,27 @@ from repro.bench.scenarios import (
 from repro.bench.store import ProfileStore
 
 __all__ = [
+    "BisectResult",
+    "BisectStep",
+    "ProfileOracle",
+    "bisect_linear",
+    "choose_repeats",
+    "git_bisect",
     "ComparisonResult",
     "MetricVerdict",
     "compare_profiles",
     "mann_whitney_p",
+    "DEFAULT_HISTORY_DIR",
+    "HISTORY_SCHEMA",
+    "TRAJECTORY_SCHEMA",
+    "HistoryEntry",
+    "HistoryStore",
+    "calibration_stamp",
+    "collect_history",
+    "diff_entries",
+    "render_trend",
+    "trend_rows",
+    "write_trajectory_artifact",
     "SCHEMA",
     "capture",
     "dump_json",

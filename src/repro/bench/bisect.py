@@ -1,0 +1,408 @@
+"""Automatic degradation bisect: the detector as a ``git bisect`` oracle.
+
+``repro bench compare`` can say *that* a scenario regressed;
+:func:`git_bisect` localizes *which commit* did it.  Three layers, so
+the search logic is testable without a git checkout:
+
+- :class:`ProfileOracle` — judges one candidate profile against the
+  known-good baseline with :func:`~repro.bench.detect.compare_profiles`
+  (same tolerance bands, same Mann–Whitney confirmation) and
+  **adaptively escalates repeat counts**: when a timing band is
+  exceeded but the rank test lacks significance ("band exceeded but
+  not significant"), the capture is re-run with doubled repeats — up to
+  ``max_repeats`` — instead of guessing through the noise.  The initial
+  repeat count is sized from the baseline's own observed noise
+  (coefficient of variation of its timing samples).
+- :func:`bisect_linear` — a pure binary search over an ordered commit
+  list (oldest→newest, first index known good side, last known bad)
+  that finds the first bad commit in ``ceil(log2(n))`` oracle calls.
+  Unit tests drive it with scripted profile sequences; no git needed.
+- :func:`git_bisect` — the real thing: drives ``git bisect`` in a
+  checkout, capturing a profile per candidate commit **in a fresh
+  worker process** through :class:`~repro.exec.backends.ProcessPoolBackend`
+  (per-attempt timeouts and bounded retries for free), with the
+  :class:`~repro.bench.history.HistoryStore` as a cache — a commit
+  already profiled on this host-speed class is judged from its stored
+  entry without re-running.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import re
+import statistics
+import subprocess
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.bench.detect import compare_profiles
+from repro.bench.history import HistoryStore, calibration_stamp
+
+__all__ = [
+    "BisectStep",
+    "BisectResult",
+    "ProfileOracle",
+    "bisect_linear",
+    "choose_repeats",
+    "git_bisect",
+]
+
+#: hard ceiling on adaptive repeat escalation
+DEFAULT_MIN_REPEATS = 3
+DEFAULT_MAX_REPEATS = 12
+
+
+def choose_repeats(
+    baseline: Dict[str, object],
+    min_repeats: int = DEFAULT_MIN_REPEATS,
+    max_repeats: int = DEFAULT_MAX_REPEATS,
+    timing_tolerance: float = 0.5,
+) -> int:
+    """Initial repeat count sized from the baseline's observed noise.
+
+    The worst coefficient of variation across the baseline's timing
+    metrics estimates per-repeat noise; the median of ``k`` repeats
+    shrinks it roughly by ``sqrt(k)``, so we pick the smallest ``k``
+    that pulls the median's noise comfortably (4x) inside the tolerance
+    band, clamped to ``[min_repeats, max_repeats]``.  A quiet baseline
+    costs ``min_repeats``; a noisy one starts higher instead of paying
+    an escalation round-trip per bisect step.
+    """
+    worst_cv = 0.0
+    for record in (baseline.get("metrics") or {}).values():
+        if not isinstance(record, dict) or record.get("kind") != "timing":
+            continue
+        samples = [float(s) for s in (record.get("samples") or [])]
+        if len(samples) < 2:
+            continue
+        mean = statistics.fmean(samples)
+        if mean <= 0:
+            continue
+        worst_cv = max(worst_cv, statistics.stdev(samples) / mean)
+    if worst_cv <= 0:
+        return max(1, min_repeats)
+    needed = math.ceil((4.0 * worst_cv / timing_tolerance) ** 2)
+    return max(min_repeats, min(max_repeats, needed))
+
+
+@dataclass
+class BisectStep:
+    """One oracle consultation during a bisect."""
+
+    sha: str
+    verdict: str  # "good" | "bad" | "skip"
+    repeats: int
+    escalations: int
+    cached: bool
+    degraded: List[str] = field(default_factory=list)
+
+
+@dataclass
+class BisectResult:
+    """What a bisect run learned."""
+
+    culprit: Optional[str]
+    steps: List[BisectStep] = field(default_factory=list)
+    log: List[str] = field(default_factory=list)
+
+    @property
+    def oracle_calls(self) -> int:
+        return len(self.steps)
+
+    def render(self) -> str:
+        lines = []
+        for step in self.steps:
+            suffix = " (cached)" if step.cached else (
+                f" (repeats={step.repeats}"
+                + (f", escalated x{step.escalations}" if step.escalations
+                   else "")
+                + ")"
+            )
+            blame = f" <- {', '.join(step.degraded)}" if step.degraded else ""
+            lines.append(f"  {step.sha[:12]}: {step.verdict}{suffix}{blame}")
+        head = (
+            f"first bad commit: {self.culprit}"
+            if self.culprit
+            else "no culprit found"
+        )
+        return "\n".join(
+            [head, f"oracle calls: {self.oracle_calls}"] + lines
+        )
+
+
+class ProfileOracle:
+    """Judge candidate commits against a known-good baseline profile.
+
+    ``capture_fn(sha, repeats) -> profile`` produces a candidate profile
+    (in tests a scripted generator; in :func:`git_bisect` a subprocess
+    capture at the checked-out commit).  The oracle records every step
+    so the final :class:`BisectResult` shows its work.
+    """
+
+    def __init__(
+        self,
+        baseline: Dict[str, object],
+        capture_fn: Callable[[str, int], Dict[str, object]],
+        timing_tolerance: float = 0.5,
+        fidelity_tolerance: float = 0.02,
+        min_repeats: int = DEFAULT_MIN_REPEATS,
+        max_repeats: int = DEFAULT_MAX_REPEATS,
+        cache_lookup: Optional[
+            Callable[[str], Optional[Dict[str, object]]]
+        ] = None,
+    ) -> None:
+        self.baseline = baseline
+        self.capture_fn = capture_fn
+        self.timing_tolerance = timing_tolerance
+        self.fidelity_tolerance = fidelity_tolerance
+        self.min_repeats = min_repeats
+        self.max_repeats = max_repeats
+        self.cache_lookup = cache_lookup
+        self.initial_repeats = choose_repeats(
+            baseline, min_repeats, max_repeats, timing_tolerance
+        )
+        self.steps: List[BisectStep] = []
+
+    def _judge(self, profile: Dict[str, object]):
+        return compare_profiles(
+            self.baseline,
+            profile,
+            timing_tolerance=self.timing_tolerance,
+            fidelity_tolerance=self.fidelity_tolerance,
+        )
+
+    @staticmethod
+    def _inconclusive(result) -> bool:
+        """A band was exceeded but the rank test withheld confirmation —
+        more repeats may settle it."""
+        return any(
+            v.status == "stable" and v.note.startswith("band exceeded")
+            for v in result.verdicts
+        )
+
+    def is_bad(self, sha: str) -> bool:
+        """True when the commit's profile degrades vs the baseline.
+
+        Escalates repeats while the verdict is inconclusive; a config
+        mismatch (the scenario itself changed mid-range) raises rather
+        than mislabeling the commit.
+        """
+        cached = self.cache_lookup(sha) if self.cache_lookup else None
+        if cached is not None:
+            result = self._judge(cached)
+            if result.config_mismatch:
+                raise RuntimeError(
+                    f"cannot judge {sha}: " + "; ".join(result.notes)
+                )
+            self.steps.append(BisectStep(
+                sha=sha,
+                verdict="bad" if not result.ok else "good",
+                repeats=0,
+                escalations=0,
+                cached=True,
+                degraded=[v.name for v in result.degraded],
+            ))
+            return not result.ok
+        repeats = self.initial_repeats
+        escalations = 0
+        while True:
+            profile = self.capture_fn(sha, repeats)
+            result = self._judge(profile)
+            if result.config_mismatch:
+                raise RuntimeError(
+                    f"cannot judge {sha}: " + "; ".join(result.notes)
+                )
+            if (
+                result.ok
+                and self._inconclusive(result)
+                and repeats < self.max_repeats
+            ):
+                repeats = min(self.max_repeats, repeats * 2)
+                escalations += 1
+                continue
+            break
+        self.steps.append(BisectStep(
+            sha=sha,
+            verdict="bad" if not result.ok else "good",
+            repeats=repeats,
+            escalations=escalations,
+            cached=False,
+            degraded=[v.name for v in result.degraded],
+        ))
+        return not result.ok
+
+
+def bisect_linear(
+    commits: Sequence[str], is_bad: Callable[[str], bool]
+) -> Optional[str]:
+    """First bad commit in an ordered range, by binary search.
+
+    ``commits`` is oldest→newest, with the commit *before* ``commits[0]``
+    known good and ``commits[-1]`` known bad (the classic
+    ``git bisect`` contract).  Candidates strictly inside the range are
+    consulted — ``ceil(log2(n))`` oracle calls for ``n`` commits; the
+    endpoints' verdicts are the caller's contract, so the worst case
+    with endpoint re-validation stays within ``log2(n) + 2``.
+    """
+    if not commits:
+        return None
+    lo, hi = 0, len(commits) - 1  # invariant: commits[hi] is bad
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if is_bad(commits[mid]):
+            hi = mid
+        else:
+            lo = mid + 1
+    return commits[hi]
+
+
+# ---------------------------------------------------------------------------
+# the real thing: git bisect over a working checkout
+# ---------------------------------------------------------------------------
+
+def _git(repo, *argv: str) -> str:
+    proc = subprocess.run(
+        ["git", *argv],
+        cwd=repo, capture_output=True, text=True, timeout=120,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"git {' '.join(argv)} failed: {proc.stderr.strip()}"
+        )
+    return proc.stdout
+
+
+def _capture_in_checkout(payload):
+    """Worker-process body: profile a scenario with *the checkout's own
+    code*.  Runs in a fresh process (``ProcessPoolBackend``), where
+    re-pointing ``sys.path`` at the checked-out tree and dropping any
+    inherited ``repro`` modules makes the import below load the
+    candidate commit's implementation."""
+    import sys
+
+    checkout, scenario_name, repeats = payload
+    src = os.path.join(checkout, "src")
+    sys.path.insert(0, src if os.path.isdir(src) else checkout)
+    for name in [m for m in sys.modules
+                 if m == "repro" or m.startswith("repro.")]:
+        del sys.modules[name]
+    from repro.bench.profile import capture
+
+    return capture(scenario_name, repeats=repeats)
+
+
+def git_bisect(
+    scenario: str,
+    good: str,
+    bad: str,
+    repo: str = ".",
+    history: Optional[HistoryStore] = None,
+    timing_tolerance: float = 0.5,
+    fidelity_tolerance: float = 0.02,
+    min_repeats: int = DEFAULT_MIN_REPEATS,
+    max_repeats: int = DEFAULT_MAX_REPEATS,
+    capture_timeout: Optional[float] = 1800.0,
+    progress: Optional[Callable[[str], None]] = None,
+) -> BisectResult:
+    """Drive ``git bisect`` with the degradation detector as oracle.
+
+    The baseline profile is captured at ``good`` (or pulled from
+    ``history`` when a same-host entry exists); every candidate commit
+    ``git bisect`` proposes is profiled in an isolated worker process
+    and judged against it.  Every fresh capture is appended to
+    ``history``, so a re-run — or a later bisect over an overlapping
+    range — reuses instead of re-measuring.  The checkout must be clean;
+    ``git bisect reset`` runs on every exit path.
+    """
+    from repro.exec.backends import ProcessPoolBackend
+
+    say = progress if progress is not None else (lambda _msg: None)
+    if _git(repo, "status", "--porcelain").strip():
+        raise RuntimeError(
+            "refusing to bisect a dirty checkout; commit or stash first"
+        )
+    good_sha = _git(repo, "rev-parse", good).strip()
+    bad_sha = _git(repo, "rev-parse", bad).strip()
+    backend = ProcessPoolBackend(
+        workers=1, timeout=capture_timeout, retries=1
+    )
+
+    def capture_at(sha: str, repeats: int) -> Dict[str, object]:
+        outcome = backend.map(
+            _capture_in_checkout, [(os.path.abspath(repo), scenario, repeats)]
+        )[0]
+        if not outcome.ok:
+            raise RuntimeError(
+                f"profile capture at {sha[:12]} failed: {outcome.error}"
+            )
+        profile = outcome.value
+        if history is not None:
+            history.append(profile)
+        return profile
+
+    result = BisectResult(culprit=None)
+
+    # the known-good baseline: cached entry if the host-speed class
+    # matches, else a fresh capture at the good commit
+    baseline_entry = (
+        history.for_sha(scenario, good_sha) if history is not None else None
+    )
+    if baseline_entry is not None:
+        baseline = baseline_entry.profile
+        result.log.append(
+            f"baseline: history entry {baseline_entry.path.name}"
+        )
+    else:
+        say(f"capturing baseline at good commit {good_sha[:12]}")
+        _git(repo, "checkout", "--quiet", good_sha)
+        try:
+            baseline = capture_at(good_sha, DEFAULT_MIN_REPEATS)
+        finally:
+            _git(repo, "checkout", "--quiet", "-")
+        result.log.append(f"baseline: captured at {good_sha[:12]}")
+
+    stamp = calibration_stamp(baseline)
+
+    def cache_lookup(sha: str) -> Optional[Dict[str, object]]:
+        if history is None:
+            return None
+        entry = history.for_sha(scenario, sha, stamp=stamp)
+        return entry.profile if entry is not None else None
+
+    oracle = ProfileOracle(
+        baseline,
+        capture_at,
+        timing_tolerance=timing_tolerance,
+        fidelity_tolerance=fidelity_tolerance,
+        min_repeats=min_repeats,
+        max_repeats=max_repeats,
+        cache_lookup=cache_lookup,
+    )
+    result.log.append(
+        f"initial repeats from baseline noise: {oracle.initial_repeats}"
+    )
+
+    first_bad = re.compile(r"^([0-9a-f]{40}) is the first bad commit")
+    try:
+        out = _git(repo, "bisect", "start", bad_sha, good_sha)
+        result.log.append(out.strip())
+        while True:
+            match = first_bad.search(out)
+            if match:
+                result.culprit = match.group(1)
+                break
+            head = _git(repo, "rev-parse", "HEAD").strip()
+            say(f"profiling candidate {head[:12]}")
+            try:
+                verdict = "bad" if oracle.is_bad(head) else "good"
+            except RuntimeError as exc:
+                result.log.append(f"{head[:12]}: skipped ({exc})")
+                verdict = "skip"
+            out = _git(repo, "bisect", verdict)
+            result.log.append(out.strip().splitlines()[0] if out.strip()
+                              else f"bisect {verdict}")
+    finally:
+        _git(repo, "bisect", "reset")
+    result.steps = oracle.steps
+    return result

@@ -26,6 +26,7 @@ round got 2× slower" names ``tetris.schedule``).
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -191,14 +192,33 @@ class ComparisonResult:
         return "\n".join(lines)
 
 
-def _calibration_ratio(baseline: Dict, current: Dict) -> float:
-    """current-host speed relative to baseline-host speed (>1 = the
-    current host is slower, so baseline timings are scaled up)."""
-    base_cal = (baseline.get("meta") or {}).get("calibration_seconds")
-    cur_cal = (current.get("meta") or {}).get("calibration_seconds")
-    if not base_cal or not cur_cal or base_cal <= 0 or cur_cal <= 0:
-        return 1.0
-    return cur_cal / base_cal
+def _calibration_ratio(baseline: Dict, current: Dict):
+    """``(ratio, note)``: current-host speed relative to baseline-host
+    speed (>1 = the current host is slower, so baseline timings are
+    scaled up).
+
+    A profile captured before the host-calibration stamp existed (or
+    carrying a malformed one) must not kill the comparison: rescaling is
+    skipped (ratio 1.0), a warning names the side at fault, and the
+    note rides along in the result so the degraded verdicts it may
+    cause are explainable.
+    """
+    sides = {
+        "baseline": (baseline.get("meta") or {}).get("calibration_seconds"),
+        "current": (current.get("meta") or {}).get("calibration_seconds"),
+    }
+    legacy = sorted(
+        side for side, cal in sides.items()
+        if not isinstance(cal, (int, float)) or cal <= 0
+    )
+    if legacy:
+        note = (
+            f"{' and '.join(legacy)} profile predates the "
+            "host-calibration stamp; timing rescaling skipped"
+        )
+        warnings.warn(note, RuntimeWarning, stacklevel=3)
+        return 1.0, note
+    return sides["current"] / sides["baseline"], None
 
 
 def compare_profiles(
@@ -228,7 +248,9 @@ def compare_profiles(
         )
         return result
 
-    cal_ratio = _calibration_ratio(baseline, current)
+    cal_ratio, cal_note = _calibration_ratio(baseline, current)
+    if cal_note:
+        result.notes.append(cal_note)
     if not 0.8 <= cal_ratio <= 1.25:
         result.notes.append(
             f"hosts differ in speed (calibration ratio {cal_ratio:.2f}); "

@@ -371,10 +371,75 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_profile_phases(path: str) -> int:
+    """Render the phase table of an offline profile capture.
+
+    Accepts any of the three phase-bearing artifacts in the repo: a
+    ``BENCH_<scenario>.json`` bench profile, a history-store entry
+    (which wraps one), or a saved ``/debug/profile`` response from a
+    live serve daemon.
+    """
+    import json as _json
+
+    with open(path, encoding="utf-8") as f:
+        payload = _json.load(f)
+    schema = payload.get("schema", "")
+    if isinstance(schema, str) and schema.startswith(
+        "repro.bench.history-entry/"
+    ):
+        meta = {
+            "scenario": payload.get("scenario"),
+            "git_sha": (payload.get("key") or {}).get("git_sha"),
+        }
+        payload = payload.get("profile", {})
+    else:
+        meta = {
+            "scenario": payload.get("scenario"),
+            "git_sha": (payload.get("meta") or {}).get("git_sha"),
+        }
+    phases = payload.get("phases") or {}
+    if not phases:
+        print(f"no phase data in {path}")
+        return 1
+    title = meta.get("scenario") or payload.get("phase") or "live"
+    sha = meta.get("git_sha")
+    print(f"profile: {title}" + (f" @ {str(sha)[:12]}" if sha else ""))
+    header = (f"  {'phase':<28} {'count':>8} {'total ms':>12} "
+              f"{'self ms':>12} {'mean ms':>10}")
+    print(header)
+    for label in sorted(phases):
+        st = phases[label]
+        # bench profiles store seconds under total/self_total; live
+        # /debug/profile dumps store total_seconds/self_seconds + mean_ms
+        total = st.get("total", st.get("total_seconds", 0.0)) * 1e3
+        self_s = st.get("self_total", st.get("self_seconds"))
+        self_ms = f"{self_s * 1e3:>12.2f}" if self_s is not None \
+            else f"{'-':>12}"
+        mean_ms = st.get("mean_ms")
+        if mean_ms is None:
+            mean_ms = st.get("mean", 0.0) * 1e3
+        line = (f"  {label:<28} {st.get('count', 0):>8} {total:>12.2f} "
+                f"{self_ms} {mean_ms:>10.3f}")
+        window = st.get("window")
+        if isinstance(window, dict):
+            line += (f"  [{window['rate_per_sec']:.2f}/s, "
+                     f"busy {window['busy_fraction']:.1%} "
+                     f"over {window['seconds']:.0f}s]")
+        print(line)
+    return 0
+
+
 def cmd_inspect(args: argparse.Namespace) -> int:
     """Summarize a decision JSONL written by `repro trace`."""
     from repro.obs import summarize_decision_log
 
+    if args.profile:
+        rc = _print_profile_phases(args.profile)
+        if args.log is None:
+            return rc
+    elif args.log is None:
+        print("error: provide a decision log and/or --profile PATH")
+        return 2
     summary = summarize_decision_log(args.log)
     print(f"events:     {summary['events_total']}")
     print(f"rounds:     {summary['rounds']}")
@@ -480,6 +545,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.estimation.tracker import ResourceTracker
     from repro.obs import DecisionTrace, Registry, TelemetryServer
+    from repro.profiling import Profiler
     from repro.serve import (
         AdmissionConfig,
         AdmissionController,
@@ -513,12 +579,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
         if args.trace_ring
         else None
     )
+    # /debug/profile rides the same rule: without --listen nothing can
+    # scrape it, so no profiler is created and the engine's timing
+    # hooks stay on their None fast path (zero overhead)
+    profiler = Profiler() if args.listen else None
     engine = Engine(
         cluster,
         _make_scheduler(args.scheduler, args),
         [],
         tracker=tracker,
         config=config.make_engine_config(),
+        profiler=profiler,
         decision_trace=decision_trace,
         metrics=registry,
     )
@@ -554,6 +625,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             health_fn=service.health,
             status_fn=service.status_snapshot,
             trace=decision_trace,
+            profile_fn=service.profile_snapshot,
         )
         bound_host, bound_port = telemetry.start()
         # flush so a supervising process can read the bound (possibly
@@ -666,6 +738,11 @@ def cmd_report(args: argparse.Namespace) -> int:
 #: where the repo keeps its committed baseline profiles
 BENCH_BASELINE_DIR = "benchmarks/baselines"
 
+#: default root of the per-commit profile history store (mirrors
+#: repro.bench.history.DEFAULT_HISTORY_DIR without importing it at
+#: parser-build time)
+DEFAULT_HISTORY_DIR = ".bench-history"
+
 
 def _bench_scenarios(args: argparse.Namespace) -> list:
     from repro.bench import scenario_names
@@ -677,9 +754,16 @@ def _bench_scenarios(args: argparse.Namespace) -> list:
 
 def cmd_bench_run(args: argparse.Namespace) -> int:
     """Capture a BENCH_<scenario>.json profile per requested scenario."""
-    from repro.bench import ProfileStore, capture, get_scenario
+    from repro.bench import (
+        HistoryStore,
+        ProfileStore,
+        capture,
+        get_scenario,
+        write_trajectory_artifact,
+    )
 
     store = ProfileStore(args.output)
+    history = HistoryStore(args.history) if args.history else None
     for name in _bench_scenarios(args):
         try:
             scenario = get_scenario(name)  # fail fast on unknown names
@@ -694,6 +778,14 @@ def cmd_bench_run(args: argparse.Namespace) -> int:
         headline = f"{wall['value']:.2f}{wall['unit']}" if wall else "-"
         print(f"{name:<14} captured ({headline} median of "
               f"{args.repeats}) -> {path}")
+        if history is not None:
+            entry = history.append(profile)
+            print(f"{'':<14} history  -> {entry.path}")
+            if not args.no_trajectory:
+                artifact = write_trajectory_artifact(
+                    history, name, args.trajectory_dir
+                )
+                print(f"{'':<14} trajectory -> {artifact}")
     return 0
 
 
@@ -793,6 +885,147 @@ def cmd_bench_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _history_dirs(spec: str) -> list:
+    return [d.strip() for d in spec.split(",") if d.strip()]
+
+
+def cmd_bench_history(args: argparse.Namespace) -> int:
+    """Render a scenario's per-commit perf trend from the history store."""
+    from repro.bench import HistoryStore, collect_history, render_trend
+    from repro.bench.profile import dump_json
+
+    directories = _history_dirs(args.history)
+    if args.compact is not None:
+        for directory in directories:
+            removed = HistoryStore(directory).compact(
+                scenario=args.scenario, keep_last=args.compact
+            )
+            if removed:
+                print(f"compacted {directory}: removed {len(removed)} "
+                      "superseded entries")
+    entries = collect_history(directories, args.scenario)
+    if not entries:
+        print(f"no history entries for scenario {args.scenario!r} "
+              f"under: {', '.join(directories)}")
+        return 1
+    if args.limit is not None and args.limit > 0:
+        entries = entries[-args.limit:]
+    metrics = (
+        [m.strip() for m in args.metrics.split(",") if m.strip()]
+        if args.metrics
+        else None
+    )
+    print(render_trend(entries, metrics=metrics, fmt=args.format))
+    if args.json:
+        dump_json(
+            {
+                "scenario": args.scenario,
+                "history_dirs": directories,
+                "entries": [e.as_index_row() for e in entries],
+            },
+            args.json,
+        )
+        print(f"wrote {args.json}")
+    return 0
+
+
+def cmd_bench_diff(args: argparse.Namespace) -> int:
+    """Per-phase delta view between two history entries (commits)."""
+    from repro.bench import HistoryStore, diff_entries
+    from repro.bench.profile import dump_json
+
+    store = HistoryStore(args.history)
+    try:
+        older = store.resolve(args.scenario, args.ref_a)
+        newer = store.resolve(args.scenario, args.ref_b)
+    except KeyError as exc:
+        print(f"error: {exc.args[0] if exc.args else exc}")
+        return 1
+    print(f"diff {older.short_sha} ({older.calibration_stamp}) -> "
+          f"{newer.short_sha} ({newer.calibration_stamp})")
+    result = diff_entries(
+        older,
+        newer,
+        timing_tolerance=args.timing_tolerance,
+        fidelity_tolerance=args.fidelity_tolerance,
+    )
+    print(result.render())
+    attribution = result.attribution()
+    if attribution:
+        print("phase attribution (worst first): "
+              + ", ".join(v.name for v in attribution))
+    if args.json:
+        dump_json(
+            {
+                "scenario": args.scenario,
+                "older": older.as_index_row(),
+                "newer": newer.as_index_row(),
+                "ok": result.ok,
+                "notes": result.notes,
+                "degraded": [v.name for v in result.degraded],
+                "attribution": [v.name for v in attribution],
+            },
+            args.json,
+        )
+        print(f"wrote {args.json}")
+    if not result.ok and not args.no_gate:
+        return 1
+    return 0
+
+
+def cmd_bench_bisect(args: argparse.Namespace) -> int:
+    """Localize the first commit that degraded a scenario."""
+    from repro.bench import HistoryStore, git_bisect
+    from repro.bench.profile import dump_json
+
+    history = HistoryStore(args.history) if args.history else None
+    try:
+        result = git_bisect(
+            args.scenario,
+            good=args.good,
+            bad=args.bad,
+            repo=args.repo,
+            history=history,
+            timing_tolerance=args.timing_tolerance,
+            fidelity_tolerance=args.fidelity_tolerance,
+            min_repeats=args.min_repeats,
+            max_repeats=args.max_repeats,
+            capture_timeout=args.timeout,
+            progress=print,
+        )
+    except RuntimeError as exc:
+        print(f"error: {exc}")
+        return 1
+    print(result.render())
+    for line in result.log:
+        print(f"  | {line}")
+    if args.json:
+        dump_json(
+            {
+                "scenario": args.scenario,
+                "good": args.good,
+                "bad": args.bad,
+                "culprit": result.culprit,
+                "oracle_calls": result.oracle_calls,
+                "steps": [
+                    {
+                        "sha": s.sha,
+                        "verdict": s.verdict,
+                        "repeats": s.repeats,
+                        "escalations": s.escalations,
+                        "cached": s.cached,
+                        "degraded": s.degraded,
+                    }
+                    for s in result.steps
+                ],
+                "log": result.log,
+            },
+            args.json,
+        )
+        print(f"wrote {args.json}")
+    return 0 if result.culprit else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -872,9 +1105,15 @@ def build_parser() -> argparse.ArgumentParser:
     tr.set_defaults(func=cmd_trace)
 
     ins = sub.add_parser(
-        "inspect", help="summarize a decision log from `repro trace`"
+        "inspect", help="summarize a decision log from `repro trace` "
+        "and/or an offline profile capture"
     )
-    ins.add_argument("log", help="decisions.jsonl path")
+    ins.add_argument("log", nargs="?", default=None,
+                     help="decisions.jsonl path")
+    ins.add_argument("--profile", default=None, metavar="PATH",
+                     help="render the phase table of an offline profile: "
+                     "a BENCH_<scenario>.json capture, a history-store "
+                     "entry, or a saved /debug/profile response")
     ins.add_argument("--strict", action="store_true",
                      help="exit non-zero if any event fails validation")
     ins.add_argument("--metrics", default=None, metavar="PATH",
@@ -953,9 +1192,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also write the full serve report as JSON")
     serve.add_argument("--listen", default=None, metavar="HOST:PORT",
                        help="bind the live telemetry plane (/metrics, "
-                       "/healthz, /status, /debug/trace); port 0 picks "
-                       "an ephemeral port and prints it; unset = no "
-                       "server thread at all")
+                       "/healthz, /status, /debug/trace, "
+                       "/debug/profile); port 0 picks an ephemeral "
+                       "port and prints it; unset = no server thread "
+                       "at all")
     serve.add_argument("--window", type=float, default=60.0,
                        help="rolling-window span in seconds for the "
                        "sliding telemetry gauges (only active with "
@@ -1008,6 +1248,17 @@ def build_parser() -> argparse.ArgumentParser:
                       "(profiles store the median + raw samples)")
     brun.add_argument("-o", "--output", default="bench-out",
                       help="profile output directory")
+    brun.add_argument("--history", nargs="?", default=None,
+                      const=DEFAULT_HISTORY_DIR, metavar="DIR",
+                      help="also append each capture to the per-commit "
+                      f"history store (default dir: {DEFAULT_HISTORY_DIR})")
+    brun.add_argument("--trajectory-dir", default=".", metavar="DIR",
+                      help="where BENCH_<scenario>.json trajectory "
+                      "pointer artifacts land when --history is on "
+                      "(default: repo root)")
+    brun.add_argument("--no-trajectory", action="store_true",
+                      help="append to history without refreshing the "
+                      "trajectory artifacts")
     workers_arg(brun)
     brun.set_defaults(func=cmd_bench_run)
 
@@ -1043,6 +1294,75 @@ def build_parser() -> argparse.ArgumentParser:
     brep.add_argument("-o", "--output", default=None,
                       help="write to a file instead of stdout")
     brep.set_defaults(func=cmd_bench_report)
+
+    bhist = bench_sub.add_parser(
+        "history",
+        help="per-commit perf trend of one scenario from the history "
+        "store",
+    )
+    bhist.add_argument("--scenario", required=True)
+    bhist.add_argument("--history", default=DEFAULT_HISTORY_DIR,
+                       help="comma-separated history store roots")
+    bhist.add_argument("--metrics", default=None,
+                       help="comma-separated metric names "
+                       "(default: headline + phase timings present)")
+    bhist.add_argument("--limit", type=int, default=None,
+                       help="show only the newest N entries")
+    bhist.add_argument("--format", choices=("term", "md"), default="term")
+    bhist.add_argument("--compact", type=int, default=None, metavar="N",
+                       help="first compact each store: keep the newest N "
+                       "entries plus one per (commit, host-speed class)")
+    bhist.add_argument("--json", default=None, metavar="PATH",
+                       help="also write the entry index as JSON")
+    bhist.set_defaults(func=cmd_bench_history)
+
+    bdiff = bench_sub.add_parser(
+        "diff",
+        help="per-phase delta view between two commits' history "
+        "entries; exits non-zero on confirmed degradation",
+    )
+    bdiff.add_argument("ref_a", help="older entry: SHA prefix or @N "
+                       "(@0 = newest)")
+    bdiff.add_argument("ref_b", help="newer entry: SHA prefix or @N")
+    bdiff.add_argument("--scenario", required=True)
+    bdiff.add_argument("--history", default=DEFAULT_HISTORY_DIR,
+                       help="history store root")
+    bdiff.add_argument("--timing-tolerance", type=float, default=None)
+    bdiff.add_argument("--fidelity-tolerance", type=float, default=None)
+    bdiff.add_argument("--no-gate", action="store_true",
+                       help="informational mode: report deltas but "
+                       "always exit 0 (for cross-host CI views)")
+    bdiff.add_argument("--json", default=None, metavar="PATH",
+                       help="also write the structured diff as JSON")
+    bdiff.set_defaults(func=cmd_bench_diff)
+
+    bbisect = bench_sub.add_parser(
+        "bisect",
+        help="drive `git bisect` with the degradation detector as "
+        "oracle to find the first bad commit",
+    )
+    bbisect.add_argument("--scenario", required=True)
+    bbisect.add_argument("--good", required=True,
+                         help="known-good rev (baseline side)")
+    bbisect.add_argument("--bad", required=True,
+                         help="known-bad rev (usually HEAD)")
+    bbisect.add_argument("--repo", default=".",
+                         help="git checkout to bisect in (must be clean)")
+    bbisect.add_argument("--history", nargs="?", default=None,
+                         const=DEFAULT_HISTORY_DIR, metavar="DIR",
+                         help="reuse/store per-commit profiles in this "
+                         "history store "
+                         f"(default dir: {DEFAULT_HISTORY_DIR})")
+    bbisect.add_argument("--timing-tolerance", type=float, default=0.5)
+    bbisect.add_argument("--fidelity-tolerance", type=float, default=0.02)
+    bbisect.add_argument("--min-repeats", type=int, default=3)
+    bbisect.add_argument("--max-repeats", type=int, default=12,
+                         help="ceiling for adaptive repeat escalation")
+    bbisect.add_argument("--timeout", type=float, default=1800.0,
+                         help="per-capture wall-clock timeout in seconds")
+    bbisect.add_argument("--json", default=None, metavar="PATH",
+                         help="also write the bisect transcript as JSON")
+    bbisect.set_defaults(func=cmd_bench_bisect)
     return parser
 
 

@@ -15,7 +15,12 @@ about the serve daemon (or any other host):
 - ``GET /debug/trace?n=K`` — the last ``K`` ring-buffered decision
   events of a :class:`~repro.obs.trace.DecisionTrace` (tracing is a
   debug knob: when no trace is wired the endpoint answers with an
-  empty list and a note rather than 404, so probes stay simple).
+  empty list and a note rather than 404, so probes stay simple);
+- ``GET /debug/profile`` — a live :class:`~repro.profiling.Profiler`
+  snapshot (per-phase cumulative/self wall time plus rolling
+  per-window rates; the serve daemon wires
+  :meth:`SchedulerService.profile_snapshot` here).  Like tracing,
+  an unwired profiler answers with empty phases and a note.
 
 The server runs entirely in daemon threads: :meth:`start` binds and
 returns the address (bind to port ``0`` for an ephemeral port — the
@@ -50,8 +55,9 @@ class TelemetryServer:
 
     Every surface is optional: a missing ``registry`` renders an empty
     exposition, missing ``health_fn``/``status_fn`` answer 404, a
-    missing ``trace`` yields an empty event list.  ``health_fn`` must
-    return a dict with a boolean ``"healthy"`` key; ``status_fn`` any
+    missing ``trace`` or ``profile_fn`` yields an empty payload with a
+    note.  ``health_fn`` must return a dict with a boolean
+    ``"healthy"`` key; ``status_fn`` and ``profile_fn`` any
     JSON-serializable dict.
     """
 
@@ -64,6 +70,7 @@ class TelemetryServer:
         health_fn: Optional[Callable[[], Dict[str, object]]] = None,
         status_fn: Optional[Callable[[], Dict[str, object]]] = None,
         trace: Optional["DecisionTrace"] = None,
+        profile_fn: Optional[Callable[[], Dict[str, object]]] = None,
     ) -> None:
         self._host = host
         self._port = port
@@ -71,6 +78,7 @@ class TelemetryServer:
         self.health_fn = health_fn
         self.status_fn = status_fn
         self.trace = trace
+        self.profile_fn = profile_fn
         self._server: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
 
@@ -150,6 +158,15 @@ class TelemetryServer:
             "dropped": trace.dropped,
         }
 
+    def profile_payload(self) -> Dict[str, object]:
+        if self.profile_fn is None:
+            return {
+                "enabled": False,
+                "phases": {},
+                "note": "live profiling is not enabled on this run",
+            }
+        return self.profile_fn()
+
 
 def _make_handler(server: TelemetryServer):
     class Handler(BaseHTTPRequestHandler):
@@ -194,6 +211,8 @@ def _make_handler(server: TelemetryServer):
                     )
                     return
                 self._send_json(200, server.trace_events(n))
+            elif route == "/debug/profile":
+                self._send_json(200, server.profile_payload())
             elif route == "/":
                 self._send_json(
                     200,
@@ -203,6 +222,7 @@ def _make_handler(server: TelemetryServer):
                             "/healthz",
                             "/status",
                             "/debug/trace?n=K",
+                            "/debug/profile",
                         ]
                     },
                 )

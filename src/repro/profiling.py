@@ -22,7 +22,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from math import sqrt
 from time import perf_counter
-from typing import Dict, Iterator, List
+from typing import Dict, Iterator, List, Optional
 
 __all__ = ["PhaseStats", "Profiler"]
 
@@ -120,26 +120,68 @@ class PhaseStats:
 
 
 class Profiler:
-    """Accumulates wall-clock samples per label."""
+    """Accumulates wall-clock samples per label.
+
+    :meth:`time` additionally tracks phase *nesting*: entering a phase
+    inside another phase attributes the inner wall time to the outer
+    phase's cumulative total but not to its **self time** (cumulative
+    minus time spent in nested phases), and re-entering the *same* phase
+    while it is already open records nothing — the outer frame already
+    owns that wall time, so recursion cannot double-count it.
+    """
 
     def __init__(self) -> None:
         self._stats: Dict[str, PhaseStats] = {}
+        #: per-label self time (seconds); equals the cumulative total
+        #: for phases never observed with nested children
+        self._self_totals: Dict[str, float] = {}
+        #: open :meth:`time` frames: [label, accumulated child seconds]
+        self._frames: List[list] = []
+        #: labels currently open via :meth:`time`, with nesting depth
+        self._open: Dict[str, int] = {}
 
-    def record(self, label: str, duration: float) -> None:
-        """Add one duration sample (seconds) under ``label``."""
+    def record(
+        self, label: str, duration: float, self_seconds: Optional[float] = None
+    ) -> None:
+        """Add one duration sample (seconds) under ``label``.
+
+        ``self_seconds`` is the portion not spent in nested phases;
+        direct callers (no nesting information) leave it ``None`` and
+        the whole duration counts as self time.
+        """
         stats = self._stats.get(label)
         if stats is None:
             stats = self._stats[label] = PhaseStats()
         stats.add(duration)
+        self._self_totals[label] = self._self_totals.get(label, 0.0) + (
+            duration if self_seconds is None else self_seconds
+        )
 
     @contextmanager
     def time(self, label: str) -> Iterator[None]:
         """Context manager timing its body into ``label``."""
+        depth = self._open.get(label, 0)
+        self._open[label] = depth + 1
+        if depth:
+            # re-entrant: the outer frame of this label is already on
+            # the clock; recording here would double-count wall time
+            try:
+                yield
+            finally:
+                self._open[label] = depth
+            return
+        frame = [label, 0.0]
+        self._frames.append(frame)
         start = perf_counter()
         try:
             yield
         finally:
-            self.record(label, perf_counter() - start)
+            duration = perf_counter() - start
+            self._frames.pop()
+            del self._open[label]
+            if self._frames:
+                self._frames[-1][1] += duration
+            self.record(label, duration, self_seconds=duration - frame[1])
 
     def stats(self, label: str) -> PhaseStats:
         """Samples recorded under ``label``.
@@ -163,17 +205,37 @@ class Profiler:
             if stats is None:
                 stats = self._stats[label] = PhaseStats()
             stats.merge(other._stats[label])
+            self._self_totals[label] = (
+                self._self_totals.get(label, 0.0) + other.self_total(label)
+            )
         return self
 
     def labels(self) -> List[str]:
         return sorted(self._stats)
 
+    def self_total(self, label: str) -> float:
+        """Self time (seconds) accumulated under ``label``: cumulative
+        total minus time spent in phases nested within it."""
+        stats = self._stats.get(label)
+        if stats is None:
+            return 0.0
+        return self._self_totals.get(label, stats.total)
+
     def as_dict(self) -> Dict[str, Dict[str, float]]:
-        """Per-label plain-dict export of every recorded phase."""
-        return {label: self._stats[label].as_dict() for label in self.labels()}
+        """Per-label plain-dict export of every recorded phase, each
+        with a ``self_total`` entry alongside the PhaseStats fields."""
+        out: Dict[str, Dict[str, float]] = {}
+        for label in self.labels():
+            d = self._stats[label].as_dict()
+            d["self_total"] = self.self_total(label)
+            out[label] = d
+        return out
 
     def reset(self) -> None:
         self._stats.clear()
+        self._self_totals.clear()
+        self._frames.clear()
+        self._open.clear()
 
     def summary(self) -> str:
         """A human-readable table of all phases."""

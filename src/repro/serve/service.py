@@ -37,6 +37,7 @@ from __future__ import annotations
 import asyncio
 import math
 import warnings
+from collections import deque
 from dataclasses import dataclass, field
 from itertools import islice
 from time import monotonic, perf_counter
@@ -289,6 +290,11 @@ class SchedulerService:
         self._win_rejected = (
             RollingWindow(window) if window is not None else None
         )
+        #: rolling (wall time, {phase: (count, total, self)}) profiler
+        #: checkpoints, so /debug/profile can report per-window phase
+        #: rates; only fed when the engine carries a profiler AND the
+        #: window gauges are on (an unobserved daemon pays nothing)
+        self._profile_ring: deque = deque(maxlen=4096)
         self._m_depth = self._m_admission = self._m_committed = None
         self._m_batches = self._m_latency = self._m_pps = None
         self._m_invariants = None
@@ -572,8 +578,27 @@ class SchedulerService:
             self._win_placements.add(now, float(new))
         self._log_seen = total
 
+    def _checkpoint_profiler(self, now: float) -> None:
+        """Append a profiler checkpoint for the rolling profile view."""
+        profiler = self.engine.profiler
+        if profiler is None or self.config.window_seconds is None:
+            return
+        counts = {
+            label: (
+                profiler.stats(label).count,
+                profiler.stats(label).total,
+                profiler.self_total(label),
+            )
+            for label in profiler.labels()
+        }
+        self._profile_ring.append((now, counts))
+        floor = now - 2.0 * self.config.window_seconds
+        while self._profile_ring and self._profile_ring[0][0] < floor:
+            self._profile_ring.popleft()
+
     def _update_window_gauges(self) -> None:
         """Refresh the rolling-window gauges (consumer loop only)."""
+        self._checkpoint_profiler(self._now())
         if self._win_placements is None:
             return
         now = self._now()
@@ -613,6 +638,85 @@ class SchedulerService:
             "admission_reject_rate": (
                 self._win_rejected.total(now) / offered if offered else 0.0
             ),
+        }
+
+    def profile_snapshot(self) -> Dict[str, object]:
+        """Live :class:`Profiler` phase snapshot (the ``/debug/profile``
+        payload).
+
+        Per phase: cumulative wall time, **self** time (cumulative minus
+        nested phases), count and moments since start, plus — when the
+        rolling window is on and a checkpoint old enough exists — the
+        phase's rate and busy fraction over the trailing window.  Safe
+        to call from the telemetry plane's HTTP threads: it only reads;
+        the consumer loop owns all writes.
+        """
+        profiler = self.engine.profiler
+        if profiler is None:
+            return {
+                "enabled": False,
+                "phases": {},
+                "note": "serve daemon is running without a profiler",
+            }
+        now = self._now()
+        window = self.config.window_seconds
+        base = None
+        if window is not None:
+            for t, counts in self._profile_ring:
+                if t >= now - window:
+                    base = (t, counts)
+                    break
+        phases: Dict[str, Dict[str, object]] = {}
+        # the consumer may register a new phase mid-iteration; re-read
+        # on the (rare) mutation instead of locking the hot path
+        for _ in range(3):
+            try:
+                labels = profiler.labels()
+                break
+            except RuntimeError:  # pragma: no cover - needs a data race
+                continue
+        else:  # pragma: no cover
+            labels = profiler.labels()
+        for label in labels:
+            stats = profiler.stats(label)
+            entry: Dict[str, object] = {
+                "count": stats.count,
+                "total_seconds": stats.total,
+                "self_seconds": profiler.self_total(label),
+                "mean_ms": stats.mean * 1e3,
+                "max_ms": stats.max * 1e3,
+                "stddev_ms": stats.stddev * 1e3,
+            }
+            if base is not None and now > base[0]:
+                span = now - base[0]
+                then_count, then_total, then_self = base[1].get(
+                    label, (0, 0.0, 0.0)
+                )
+                d_count = stats.count - then_count
+                d_total = stats.total - then_total
+                entry["window"] = {
+                    "seconds": span,
+                    "rate_per_sec": d_count / span,
+                    "busy_fraction": d_total / span,
+                    "self_fraction": (
+                        (profiler.self_total(label) - then_self) / span
+                    ),
+                    "mean_ms": (
+                        d_total / d_count * 1e3 if d_count > 0 else None
+                    ),
+                }
+            phases[label] = entry
+        return {
+            "enabled": True,
+            "phase": self._phase,
+            "uptime_seconds": (
+                now - self._started_wall
+                if self._started_wall is not None
+                else 0.0
+            ),
+            "window_seconds": window,
+            "checkpoints": len(self._profile_ring),
+            "phases": phases,
         }
 
     def health(self) -> Dict[str, object]:

@@ -524,3 +524,47 @@ class TestParallelCapture:
         assert len(p["metrics"]["round_ms"]["samples"]) == \
             2 * TINY_PACKING.rounds
         assert p["metrics"]["placements_per_round"]["value"] > 0
+
+
+class TestLegacyCalibration:
+    """Baselines captured before the host-calibration stamp existed."""
+
+    def _legacy(self, metrics):
+        """A hand-rolled pre-calibration profile: no
+        ``calibration_seconds`` in meta at all."""
+        profile = make_profile(metrics)
+        del profile["meta"]["calibration_seconds"]
+        return profile
+
+    def test_missing_baseline_calibration_warns_not_raises(self):
+        base = self._legacy({"t": timing(1.0, [0.9, 1.0, 1.1])})
+        cur = make_profile({"t": timing(1.0, [0.9, 1.0, 1.1])})
+        with pytest.warns(RuntimeWarning, match="predates"):
+            result = compare_profiles(base, cur)
+        assert result.ok, result.render()
+        assert any("rescaling skipped" in n for n in result.notes)
+
+    def test_skipped_rescaling_means_raw_comparison(self):
+        """Without a calibration constant the timings compare raw: a
+        genuine 2x slowdown still trips the detector."""
+        base = self._legacy({"t": timing(1.0, [0.9, 1.0, 1.1])})
+        cur = make_profile({"t": timing(2.0, [1.8, 2.0, 2.2])})
+        with pytest.warns(RuntimeWarning):
+            result = compare_profiles(base, cur)
+        assert not result.ok
+        assert [v.name for v in result.degraded] == ["t"]
+
+    def test_current_side_missing_calibration_also_degrades(self):
+        base = make_profile({"t": timing(1.0, [0.9, 1.0, 1.1])})
+        cur = self._legacy({"t": timing(1.0, [0.9, 1.0, 1.1])})
+        with pytest.warns(RuntimeWarning, match="current"):
+            result = compare_profiles(base, cur)
+        assert result.ok
+        assert any("skipped" in n for n in result.notes)
+
+    def test_nonpositive_calibration_treated_as_legacy(self):
+        base = make_profile({"t": timing(1.0, [1.0])}, calibration=0.0)
+        cur = make_profile({"t": timing(1.0, [1.0])})
+        with pytest.warns(RuntimeWarning):
+            result = compare_profiles(base, cur)
+        assert result.ok

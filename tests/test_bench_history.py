@@ -1,0 +1,490 @@
+"""The performance history plane: per-commit store, trend/diff views,
+and the degradation-bisect oracle (repro.bench.history / .bisect).
+
+Everything here runs on hand-rolled profiles and scripted capture
+functions — no git checkout, no real ``git bisect`` — so the search
+logic and the store's retention rules are exercised deterministically.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.bench import (
+    HISTORY_SCHEMA,
+    TRAJECTORY_SCHEMA,
+    HistoryStore,
+    ProfileOracle,
+    SCHEMA,
+    bisect_linear,
+    calibration_stamp,
+    choose_repeats,
+    collect_history,
+    diff_entries,
+    render_trend,
+    trend_rows,
+    write_trajectory_artifact,
+)
+
+
+def make_profile(metrics, scenario="synthetic", sha="a" * 40,
+                 fingerprint="fp0", calibration=0.01, created=1_000.0):
+    """A minimal schema-valid profile for history/bisect tests."""
+    return {
+        "schema": SCHEMA,
+        "scenario": scenario,
+        "kind": "trace",
+        "created_unix": created,
+        "meta": {
+            "git_sha": sha,
+            "git_dirty": False,
+            "host": "test",
+            "platform": "test",
+            "python": "3",
+            "config_fingerprint": fingerprint,
+            "calibration_seconds": calibration,
+            "repeats": len(next(iter(metrics.values()))["samples"])
+            if metrics else 3,
+        },
+        "metrics": metrics,
+        "phases": {},
+        "registry": {},
+    }
+
+
+def timing(value, samples=None, direction="lower"):
+    return {
+        "kind": "timing",
+        "direction": direction,
+        "unit": "s",
+        "value": value,
+        "samples": samples if samples is not None else [value],
+    }
+
+
+BASE_SAMPLES = [0.9, 0.95, 1.0, 1.05, 1.1]
+
+
+def good_metrics():
+    return {
+        "wall_seconds": timing(1.0, list(BASE_SAMPLES)),
+        "phase:packing:mean_ms": timing(1.0, list(BASE_SAMPLES)),
+    }
+
+
+def bad_metrics(factor=2.0):
+    """The planted regression: the packing phase (and the wall clock it
+    dominates) slowed by ``factor`` with clearly separated samples."""
+    return {
+        "wall_seconds": timing(
+            factor, [s * factor for s in BASE_SAMPLES]
+        ),
+        "phase:packing:mean_ms": timing(
+            factor, [s * factor for s in BASE_SAMPLES]
+        ),
+    }
+
+
+class TestCalibrationStamp:
+    def test_same_speed_class_shares_stamp(self):
+        a = make_profile({}, calibration=0.0100)
+        b = make_profile({}, calibration=0.0103)
+        assert calibration_stamp(a) == calibration_stamp(b)
+
+    def test_2x_speed_difference_changes_stamp(self):
+        a = make_profile({}, calibration=0.01)
+        b = make_profile({}, calibration=0.02)
+        assert calibration_stamp(a) != calibration_stamp(b)
+
+    def test_legacy_profile_stamps_uncalibrated(self):
+        profile = make_profile({})
+        del profile["meta"]["calibration_seconds"]
+        assert calibration_stamp(profile) == "uncalibrated"
+        profile["meta"]["calibration_seconds"] = 0.0
+        assert calibration_stamp(profile) == "uncalibrated"
+
+
+class TestHistoryStore:
+    def test_append_and_load_round_trip(self, tmp_path):
+        store = HistoryStore(tmp_path)
+        profile = make_profile(good_metrics())
+        entry = store.append(profile)
+        assert entry.path.is_file()
+        loaded = store.load_entry(entry.path)
+        assert loaded.profile == profile
+        assert loaded.scenario == "synthetic"
+        assert loaded.sha == "a" * 40
+        assert loaded.calibration_stamp == calibration_stamp(profile)
+        payload = json.loads(entry.path.read_text())
+        assert payload["schema"] == HISTORY_SCHEMA
+
+    def test_append_rejects_non_profile(self, tmp_path):
+        with pytest.raises(ValueError, match="scenario"):
+            HistoryStore(tmp_path).append({"not": "a profile"})
+
+    def test_append_warns_on_foreign_schema(self, tmp_path):
+        profile = make_profile(good_metrics())
+        profile["schema"] = "somebody.else/v9"
+        with pytest.warns(RuntimeWarning, match="somebody.else/v9"):
+            HistoryStore(tmp_path).append(profile)
+
+    def test_entries_ordered_oldest_first(self, tmp_path):
+        store = HistoryStore(tmp_path)
+        for t, sha in ((3_000.0, "c" * 40), (1_000.0, "a" * 40),
+                       (2_000.0, "b" * 40)):
+            store.append(make_profile(good_metrics(), sha=sha, created=t))
+        entries = store.entries("synthetic")
+        assert [e.recorded_unix for e in entries] == [
+            1_000.0, 2_000.0, 3_000.0
+        ]
+        assert store.latest("synthetic").sha == "c" * 40
+
+    def test_same_millisecond_collision_keeps_both(self, tmp_path):
+        store = HistoryStore(tmp_path)
+        profile = make_profile(good_metrics())
+        first = store.append(profile)
+        second = store.append(profile)
+        assert first.path != second.path
+        assert len(store.entries("synthetic")) == 2
+
+    def test_resolve_at_refs_and_sha_prefix(self, tmp_path):
+        store = HistoryStore(tmp_path)
+        store.append(make_profile(good_metrics(), sha="a" * 40,
+                                  created=1_000.0))
+        store.append(make_profile(good_metrics(), sha="b" * 40,
+                                  created=2_000.0))
+        assert store.resolve("synthetic", "@0").sha == "b" * 40
+        assert store.resolve("synthetic", "@1").sha == "a" * 40
+        assert store.resolve("synthetic", "aaaa").sha == "a" * 40
+        with pytest.raises(KeyError, match="out of range"):
+            store.resolve("synthetic", "@2")
+        with pytest.raises(KeyError, match="matches"):
+            store.resolve("synthetic", "ffff")
+        with pytest.raises(KeyError, match="no history"):
+            store.resolve("other", "@0")
+
+    def test_sha_prefix_resolves_newest_recapture(self, tmp_path):
+        store = HistoryStore(tmp_path)
+        store.append(make_profile(good_metrics(), created=1_000.0))
+        newer = make_profile(bad_metrics(), created=2_000.0)
+        store.append(newer)
+        assert store.resolve("synthetic", "aa").profile == newer
+
+    def test_for_sha_respects_calibration_stamp(self, tmp_path):
+        store = HistoryStore(tmp_path)
+        slow_host = make_profile(good_metrics(), calibration=0.02,
+                                 created=1_000.0)
+        fast_host = make_profile(good_metrics(), calibration=0.01,
+                                 created=2_000.0)
+        store.append(slow_host)
+        store.append(fast_host)
+        stamp = calibration_stamp(slow_host)
+        hit = store.for_sha("synthetic", "a" * 40, stamp=stamp)
+        assert hit is not None
+        assert hit.profile["meta"]["calibration_seconds"] == 0.02
+        assert store.for_sha("synthetic", "a" * 40,
+                             stamp="s+999") is None
+        # unrestricted lookup returns the newest capture
+        assert store.for_sha(
+            "synthetic", "a" * 40
+        ).profile is not slow_host
+
+    def test_compact_keeps_newest_and_one_per_commit(self, tmp_path):
+        store = HistoryStore(tmp_path)
+        # three captures each for two commits, then two recent ones
+        t = 1_000.0
+        for sha in ("a" * 40, "b" * 40):
+            for _ in range(3):
+                store.append(make_profile(good_metrics(), sha=sha,
+                                          created=t))
+                t += 1.0
+        for _ in range(2):
+            store.append(make_profile(good_metrics(), sha="c" * 40,
+                                      created=t))
+            t += 1.0
+        removed = store.compact("synthetic", keep_last=2, keep_per_sha=1)
+        # tail: 3x a + 3x b -> one of each survives; the newest 2 (both
+        # c) are untouchable
+        assert len(removed) == 4
+        assert all(not p.exists() for p in removed)
+        survivors = store.entries("synthetic")
+        assert len(survivors) == 4
+        by_sha = {}
+        for e in survivors:
+            by_sha[e.sha] = by_sha.get(e.sha, 0) + 1
+        assert by_sha == {"a" * 40: 1, "b" * 40: 1, "c" * 40: 2}
+        # per-SHA survivor is the newest capture of that commit
+        assert store.for_sha("synthetic", "a" * 40).recorded_unix == \
+            1_002.0
+
+    def test_compact_rejects_negative_knobs(self, tmp_path):
+        with pytest.raises(ValueError):
+            HistoryStore(tmp_path).compact(keep_last=-1)
+
+    def test_scenarios_listing(self, tmp_path):
+        store = HistoryStore(tmp_path)
+        assert store.scenarios() == []
+        store.append(make_profile(good_metrics(), scenario="beta"))
+        store.append(make_profile(good_metrics(), scenario="alpha"))
+        assert store.scenarios() == ["alpha", "beta"]
+
+
+class TestDiffAndTrend:
+    def test_diff_attributes_planted_phase_slowdown(self, tmp_path):
+        store = HistoryStore(tmp_path)
+        older = store.append(make_profile(good_metrics(), sha="a" * 40,
+                                          created=1_000.0))
+        newer = store.append(make_profile(bad_metrics(), sha="b" * 40,
+                                          created=2_000.0))
+        result = diff_entries(older, newer)
+        assert not result.ok
+        assert [v.phase_label for v in result.attribution()] == \
+            ["packing"]
+
+    def test_diff_clean_pair_is_ok(self, tmp_path):
+        store = HistoryStore(tmp_path)
+        a = store.append(make_profile(good_metrics(), created=1_000.0))
+        b = store.append(make_profile(good_metrics(), created=2_000.0))
+        assert diff_entries(a, b).ok
+
+    def test_diff_forwards_tolerances(self, tmp_path):
+        store = HistoryStore(tmp_path)
+        a = store.append(make_profile(good_metrics(), created=1_000.0))
+        b = store.append(make_profile(bad_metrics(1.3),
+                                      created=2_000.0))
+        assert diff_entries(a, b).ok  # inside the default 50% band
+        assert not diff_entries(a, b, timing_tolerance=0.1).ok
+
+    def test_trend_rows_carry_deltas(self, tmp_path):
+        store = HistoryStore(tmp_path)
+        store.append(make_profile(good_metrics(), sha="a" * 40,
+                                  created=1_000.0))
+        store.append(make_profile(bad_metrics(), sha="b" * 40,
+                                  created=2_000.0))
+        header, rows = trend_rows(store.entries("synthetic"))
+        assert header[:3] == ["captured", "git", "stamp"]
+        assert "wall_seconds" in header
+        wall = header.index("wall_seconds")
+        assert "(" not in rows[0][wall]  # first row has no predecessor
+        assert "(+100%)" in rows[1][wall]
+
+    def test_render_trend_formats(self, tmp_path):
+        store = HistoryStore(tmp_path)
+        store.append(make_profile(good_metrics()))
+        entries = store.entries("synthetic")
+        term = render_trend(entries)
+        md = render_trend(entries, fmt="md")
+        assert "wall_seconds" in term
+        assert md.startswith("| captured |")
+        assert render_trend([]) == "no history entries"
+
+
+class TestTrajectoryArtifact:
+    def test_write_and_shape(self, tmp_path):
+        store = HistoryStore(tmp_path / "hist")
+        for t in (1_000.0, 2_000.0):
+            store.append(make_profile(good_metrics(), created=t))
+        path = write_trajectory_artifact(store, "synthetic",
+                                         tmp_path)
+        assert path.name == "BENCH_synthetic.json"
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == TRAJECTORY_SCHEMA
+        assert payload["entries_total"] == 2
+        assert len(payload["points"]) == 2
+        point = payload["points"][0]
+        assert point["metrics"]["wall_seconds"] == 1.0
+        assert point["entry"] in {
+            e.path.name for e in store.entries("synthetic")
+        }
+
+    def test_max_points_window(self, tmp_path):
+        store = HistoryStore(tmp_path / "hist")
+        for i in range(5):
+            store.append(make_profile(good_metrics(),
+                                      created=1_000.0 + i))
+        payload = json.loads(write_trajectory_artifact(
+            store, "synthetic", tmp_path, max_points=2
+        ).read_text())
+        assert payload["entries_total"] == 5
+        assert [p["recorded_unix"] for p in payload["points"]] == [
+            1_003.0, 1_004.0
+        ]
+
+    def test_collect_history_merges_roots(self, tmp_path):
+        a, b = HistoryStore(tmp_path / "a"), HistoryStore(tmp_path / "b")
+        a.append(make_profile(good_metrics(), created=2_000.0))
+        b.append(make_profile(good_metrics(), created=1_000.0))
+        merged = collect_history([tmp_path / "a", tmp_path / "b"],
+                                 "synthetic")
+        assert [e.recorded_unix for e in merged] == [2_000.0, 1_000.0][::-1]
+
+
+class TestChooseRepeats:
+    def test_quiet_baseline_costs_minimum(self):
+        base = make_profile({"t": timing(1.0, [1.0, 1.0, 1.0])})
+        assert choose_repeats(base) == 3
+
+    def test_noisy_baseline_starts_higher(self):
+        # cv = 0.3 -> ceil((4 * 0.3 / 0.5)^2) = 6
+        base = make_profile({"t": timing(1.0, [0.7, 1.0, 1.3])})
+        assert choose_repeats(base) == 6
+
+    def test_very_noisy_baseline_clamps_to_max(self):
+        base = make_profile({"t": timing(1.0, [0.2, 1.0, 1.8])})
+        assert choose_repeats(base) == 12
+
+    def test_no_timing_samples_falls_back_to_min(self):
+        assert choose_repeats(make_profile({})) == 3
+
+
+class TestProfileOracle:
+    def _oracle(self, capture_fn, **kwargs):
+        return ProfileOracle(
+            make_profile(good_metrics()), capture_fn, **kwargs
+        )
+
+    def test_good_commit_judged_good(self):
+        oracle = self._oracle(lambda sha, k: make_profile(good_metrics()))
+        assert oracle.is_bad("1" * 40) is False
+        (step,) = oracle.steps
+        assert step.verdict == "good"
+        assert step.cached is False
+        assert step.repeats == oracle.initial_repeats
+
+    def test_bad_commit_judged_bad_with_blame(self):
+        oracle = self._oracle(lambda sha, k: make_profile(bad_metrics()))
+        assert oracle.is_bad("2" * 40) is True
+        (step,) = oracle.steps
+        assert step.verdict == "bad"
+        assert "phase:packing:mean_ms" in step.degraded
+
+    def test_inconclusive_verdict_escalates_repeats(self):
+        """Band exceeded but rank-insignificant at first: the oracle
+        doubles repeats instead of trusting the noise."""
+        calls = []
+
+        def capture(sha, repeats):
+            calls.append(repeats)
+            if repeats <= 3:
+                # value breaches the band, but samples are identical to
+                # the baseline's -> Mann-Whitney withholds confirmation
+                metrics = {
+                    "wall_seconds": timing(2.0, list(BASE_SAMPLES)),
+                    "phase:packing:mean_ms": timing(
+                        1.0, list(BASE_SAMPLES)
+                    ),
+                }
+                return make_profile(metrics)
+            return make_profile(bad_metrics())
+
+        oracle = self._oracle(capture)
+        assert oracle.is_bad("3" * 40) is True
+        assert calls == [3, 6]
+        (step,) = oracle.steps
+        assert step.escalations == 1
+        assert step.repeats == 6
+
+    def test_escalation_stops_at_max_repeats(self):
+        def always_inconclusive(sha, repeats):
+            metrics = {
+                "wall_seconds": timing(2.0, list(BASE_SAMPLES)),
+                "phase:packing:mean_ms": timing(1.0, list(BASE_SAMPLES)),
+            }
+            return make_profile(metrics)
+
+        oracle = self._oracle(always_inconclusive, max_repeats=12)
+        assert oracle.is_bad("4" * 40) is False  # never confirmed
+        (step,) = oracle.steps
+        assert step.repeats == 12
+        assert step.escalations == 2  # 3 -> 6 -> 12
+
+    def test_cache_hit_skips_capture(self):
+        def must_not_capture(sha, repeats):  # pragma: no cover
+            raise AssertionError("capture_fn called despite cache hit")
+
+        oracle = ProfileOracle(
+            make_profile(good_metrics()),
+            must_not_capture,
+            cache_lookup=lambda sha: make_profile(bad_metrics()),
+        )
+        assert oracle.is_bad("5" * 40) is True
+        (step,) = oracle.steps
+        assert step.cached is True
+        assert step.repeats == 0
+
+    def test_config_mismatch_raises(self):
+        oracle = self._oracle(
+            lambda sha, k: make_profile(good_metrics(),
+                                        fingerprint="fp-changed")
+        )
+        with pytest.raises(RuntimeError, match="fingerprint"):
+            oracle.is_bad("6" * 40)
+
+
+class TestBisectLinear:
+    def test_empty_range(self):
+        assert bisect_linear([], lambda sha: True) is None
+
+    @pytest.mark.parametrize("first_bad", [0, 1, 7, 14, 15])
+    def test_finds_first_bad_anywhere(self, first_bad):
+        commits = [f"{i:040d}" for i in range(16)]
+        calls = []
+
+        def is_bad(sha):
+            calls.append(sha)
+            return commits.index(sha) >= first_bad
+
+        assert bisect_linear(commits, is_bad) == commits[first_bad]
+        assert len(calls) <= math.ceil(math.log2(len(commits))) + 2
+
+    def test_end_to_end_scripted_regression(self):
+        """The acceptance bar: a seeded regression at a known commit is
+        localized by the detector-oracle in <= log2(range)+2 calls."""
+        commits = [f"{i:02d}" + "e" * 38 for i in range(20)]
+        culprit = 13
+        profiles = {
+            sha: make_profile(
+                good_metrics() if i < culprit else bad_metrics(),
+                sha=sha,
+            )
+            for i, sha in enumerate(commits)
+        }
+        oracle = ProfileOracle(
+            make_profile(good_metrics()),
+            lambda sha, repeats: profiles[sha],
+        )
+        found = bisect_linear(commits, oracle.is_bad)
+        assert found == commits[culprit]
+        assert len(oracle.steps) <= \
+            math.ceil(math.log2(len(commits))) + 2
+        # every consulted bad commit blames the planted phase
+        for step in oracle.steps:
+            if step.verdict == "bad":
+                assert "phase:packing:mean_ms" in step.degraded
+
+    def test_history_cache_feeds_oracle(self, tmp_path):
+        """A commit already profiled on this host-speed class is judged
+        from the store without re-capturing."""
+        store = HistoryStore(tmp_path)
+        cached_sha = "07" + "e" * 38
+        store.append(make_profile(bad_metrics(), sha=cached_sha))
+        captures = []
+
+        def capture(sha, repeats):
+            captures.append(sha)
+            return make_profile(good_metrics(), sha=sha)
+
+        oracle = ProfileOracle(
+            make_profile(good_metrics()),
+            capture,
+            cache_lookup=lambda sha: (
+                e.profile
+                if (e := store.for_sha("synthetic", sha)) is not None
+                else None
+            ),
+        )
+        assert oracle.is_bad(cached_sha) is True
+        assert captures == []
+        assert oracle.is_bad("08" + "e" * 38) is False
+        assert captures == ["08" + "e" * 38]

@@ -399,3 +399,117 @@ class TestWorkers:
         assert rc == 0
         lines = capsys.readouterr().out.strip().splitlines()
         assert len(lines) == 3  # header + 2 rows
+
+
+class TestBenchHistoryCLI:
+    @pytest.fixture(scope="class")
+    def history_dir(self, tmp_path_factory):
+        """Two captures of the smoke scenario appended to one store."""
+        root = tmp_path_factory.mktemp("bench-history")
+        for _ in range(2):
+            rc = main([
+                "bench", "run", "--scenarios", "smoke", "--repeats", "2",
+                "-o", str(root / "out"),
+                "--history", str(root / "hist"),
+                "--trajectory-dir", str(root),
+            ])
+            assert rc == 0
+        return root
+
+    def test_run_appends_history_entries(self, history_dir):
+        from repro.bench import HistoryStore
+
+        entries = HistoryStore(history_dir / "hist").entries("smoke")
+        assert len(entries) == 2
+        assert entries[0].recorded_unix <= entries[1].recorded_unix
+
+    def test_run_writes_trajectory_artifact(self, history_dir):
+        from repro.bench import TRAJECTORY_SCHEMA
+
+        payload = json.loads(
+            (history_dir / "BENCH_smoke.json").read_text()
+        )
+        assert payload["schema"] == TRAJECTORY_SCHEMA
+        assert payload["entries_total"] == 2
+        assert len(payload["points"]) == 2
+        assert "wall_seconds" in payload["points"][0]["metrics"]
+
+    def test_history_renders_trend(self, history_dir, capsys):
+        rc = main([
+            "bench", "history", "--scenario", "smoke",
+            "--history", str(history_dir / "hist"),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "wall_seconds" in out
+        assert "stamp" in out
+
+    def test_history_unknown_scenario_fails(self, history_dir, capsys):
+        rc = main([
+            "bench", "history", "--scenario", "bogus",
+            "--history", str(history_dir / "hist"),
+        ])
+        assert rc == 1
+        assert "no history entries" in capsys.readouterr().out
+
+    def test_diff_clean_pair_passes(self, history_dir, capsys):
+        rc = main([
+            "bench", "diff", "@1", "@0", "--scenario", "smoke",
+            "--history", str(history_dir / "hist"),
+        ])
+        assert rc == 0
+        assert "verdict" in capsys.readouterr().out
+
+    def test_diff_bad_ref_fails(self, history_dir, capsys):
+        rc = main([
+            "bench", "diff", "@9", "@0", "--scenario", "smoke",
+            "--history", str(history_dir / "hist"),
+        ])
+        assert rc == 1
+        assert "out of range" in capsys.readouterr().out
+
+    def test_diff_gates_planted_slowdown_unless_no_gate(
+        self, history_dir, tmp_path, capsys
+    ):
+        from repro.bench import HistoryStore
+
+        store = HistoryStore(history_dir / "hist")
+        slowed = json.loads(json.dumps(store.latest("smoke").profile))
+        for record in slowed["metrics"].values():
+            if record["kind"] == "timing" and record["direction"] == "lower":
+                record["value"] *= 3.0
+                record["samples"] = [s * 3.0 for s in record["samples"]]
+        gated_store = HistoryStore(tmp_path / "gated")
+        gated_store.append(store.entries("smoke")[0].profile)
+        gated_store.append(slowed, recorded_unix=2_000_000_000.0)
+        argv = [
+            "bench", "diff", "@1", "@0", "--scenario", "smoke",
+            "--history", str(tmp_path / "gated"),
+        ]
+        assert main(argv) == 1
+        assert "attribution" in capsys.readouterr().out
+        assert main(argv + ["--no-gate"]) == 0
+
+    def test_inspect_profile_phase_table(self, history_dir, capsys):
+        rc = main([
+            "inspect", "--profile",
+            str(history_dir / "out" / "BENCH_smoke.json"),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "tetris.schedule" in out
+        assert "self ms" in out
+
+    def test_inspect_profile_reads_history_entry(self, history_dir,
+                                                 capsys):
+        from repro.bench import HistoryStore
+
+        entry = HistoryStore(history_dir / "hist").latest("smoke")
+        rc = main(["inspect", "--profile", str(entry.path)])
+        assert rc == 0
+        assert "engine.scheduler_round" in capsys.readouterr().out
+
+    def test_inspect_requires_log_or_profile(self, capsys):
+        rc = main(["inspect"])
+        assert rc == 2
+        assert "--profile" in capsys.readouterr().out

@@ -225,3 +225,51 @@ class TestRouting:
             for t in threads:
                 t.join(timeout=10)
         assert results == [200] * 8
+
+
+class TestProfileEndpoint:
+    def test_no_profiler_yields_note_not_404(self):
+        with TelemetryServer(port=0) as server:
+            code, ctype, body = _get(server.url + "/debug/profile")
+        assert code == 200
+        assert ctype == "application/json"
+        payload = json.loads(body)
+        assert payload["enabled"] is False
+        assert payload["phases"] == {}
+        assert "not enabled" in payload["note"]
+
+    def test_wired_profile_fn_payload_passes_through(self):
+        snapshot = {
+            "enabled": True,
+            "phase": "replay",
+            "phases": {
+                "tetris.schedule": {
+                    "count": 3,
+                    "total_seconds": 0.006,
+                    "self_seconds": 0.006,
+                    "mean_ms": 2.0,
+                },
+            },
+        }
+        with TelemetryServer(port=0, profile_fn=lambda: snapshot) as server:
+            code, _, body = _get(server.url + "/debug/profile")
+        assert code == 200
+        payload = json.loads(body)
+        assert payload["enabled"] is True
+        assert payload["phases"]["tetris.schedule"]["count"] == 3
+
+    def test_profile_fn_error_is_500_not_crash(self):
+        def boom():
+            raise ValueError("profiler detached")
+
+        with TelemetryServer(port=0, profile_fn=boom) as server:
+            code, _, body = _get(server.url + "/debug/profile")
+            # the server thread must survive the failed request
+            assert _get(server.url + "/")[0] == 200
+        assert code == 500
+        assert "profiler detached" in json.loads(body)["error"]
+
+    def test_index_lists_profile_endpoint(self):
+        with TelemetryServer(port=0) as server:
+            _, _, body = _get(server.url + "/")
+        assert "/debug/profile" in json.loads(body)["endpoints"]

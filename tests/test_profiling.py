@@ -206,3 +206,91 @@ class TestMerge:
             assert got.count == ref.count
             assert got.mean == pytest.approx(ref.mean, rel=1e-12)
             assert got.stddev == pytest.approx(ref.stddev, rel=1e-9)
+
+
+class TestNesting:
+    def test_reentrant_same_label_records_once(self):
+        """Recursive entry of an open phase must not double-count wall
+        time: only the outermost frame records a sample."""
+        prof = Profiler()
+        with prof.time("round"):
+            with prof.time("round"):
+                with prof.time("round"):
+                    pass
+        assert prof.stats("round").count == 1
+
+    def test_reentrant_exit_restores_depth(self):
+        prof = Profiler()
+        with prof.time("round"):
+            with prof.time("round"):
+                pass
+            # inner exit must not close the outer frame
+            with prof.time("round"):
+                pass
+        assert prof.stats("round").count == 1
+        # fully closed: a fresh entry records a second sample
+        with prof.time("round"):
+            pass
+        assert prof.stats("round").count == 2
+
+    def test_reentrant_frame_survives_exception(self):
+        prof = Profiler()
+        with pytest.raises(ValueError):
+            with prof.time("round"):
+                with prof.time("round"):
+                    raise ValueError("boom")
+        assert prof.stats("round").count == 1
+        assert prof._open == {}
+        assert prof._frames == []
+
+    def test_self_time_excludes_nested_phase(self):
+        import time as _time
+
+        prof = Profiler()
+        with prof.time("outer"):
+            _time.sleep(0.01)
+            with prof.time("inner"):
+                _time.sleep(0.02)
+        outer, inner = prof.stats("outer"), prof.stats("inner")
+        # cumulative outer covers the inner phase...
+        assert outer.total >= inner.total
+        # ...but self time does not
+        assert prof.self_total("outer") == pytest.approx(
+            outer.total - inner.total
+        )
+        assert prof.self_total("inner") == pytest.approx(inner.total)
+
+    def test_self_time_defaults_to_duration_for_record(self):
+        prof = Profiler()
+        prof.record("flat", 0.5)
+        prof.record("flat", 0.25)
+        assert prof.self_total("flat") == pytest.approx(0.75)
+
+    def test_self_total_unknown_label_is_zero(self):
+        assert Profiler().self_total("nope") == 0.0
+
+    def test_as_dict_carries_self_total(self):
+        prof = Profiler()
+        with prof.time("outer"):
+            with prof.time("inner"):
+                pass
+        d = prof.as_dict()
+        assert d["outer"]["self_total"] <= d["outer"]["total"]
+        assert d["inner"]["self_total"] == pytest.approx(
+            d["inner"]["total"]
+        )
+
+    def test_merge_accumulates_self_totals(self):
+        a, b = Profiler(), Profiler()
+        a.record("phase", 1.0, self_seconds=0.4)
+        b.record("phase", 2.0, self_seconds=0.5)
+        a.merge(b)
+        assert a.stats("phase").total == pytest.approx(3.0)
+        assert a.self_total("phase") == pytest.approx(0.9)
+
+    def test_reset_clears_nesting_state(self):
+        prof = Profiler()
+        prof.record("x", 1.0, self_seconds=0.5)
+        prof.reset()
+        assert prof.self_total("x") == 0.0
+        assert prof._open == {} and prof._frames == []

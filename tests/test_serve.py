@@ -708,3 +708,70 @@ class TestHealthAndStatus:
         assert snap["placements"] == 0
         assert snap["wall_seconds"] == 0.0
         json.dumps(snap)
+
+
+class TestLiveProfile:
+    """The /debug/profile payload source (SchedulerService.profile_snapshot)."""
+
+    def _run_with_profiler(self, window_seconds=None):
+        from repro.profiling import Profiler
+
+        trace = _trace(num_jobs=6)
+        cluster, jobs, tracker = _build(trace)
+        engine = Engine(
+            cluster, TetrisScheduler(), [],
+            config=EngineConfig(seed=3),
+            profiler=Profiler(),
+        )
+        service = SchedulerService(
+            engine,
+            TraceReplaySource(jobs),
+            AdmissionController(AdmissionConfig(queue_cap=10_000)),
+            ServeConfig(max_batch=8, window_seconds=window_seconds),
+        )
+        asyncio.run(service.serve())
+        return service
+
+    def test_no_profiler_reports_disabled(self):
+        trace = _trace(num_jobs=4)
+        cluster, jobs, _ = _build(trace)
+        engine = Engine(cluster, TetrisScheduler(), [],
+                        config=EngineConfig(seed=3))
+        service = SchedulerService(
+            engine,
+            TraceReplaySource(jobs),
+            AdmissionController(AdmissionConfig(queue_cap=10_000)),
+            ServeConfig(max_batch=8),
+        )
+        snap = service.profile_snapshot()
+        assert snap["enabled"] is False
+        assert snap["phases"] == {}
+        assert "without a profiler" in snap["note"]
+
+    def test_phases_surface_with_self_time(self):
+        service = self._run_with_profiler(window_seconds=60.0)
+        snap = service.profile_snapshot()
+        assert snap["enabled"] is True
+        assert "engine.scheduler_round" in snap["phases"]
+        entry = snap["phases"]["engine.scheduler_round"]
+        assert entry["count"] > 0
+        assert 0.0 < entry["self_seconds"] <= entry["total_seconds"]
+        assert entry["mean_ms"] > 0.0
+        # the payload must be JSON-serializable as-is (it goes over HTTP)
+        json.dumps(snap)
+
+    def test_rolling_checkpoints_only_with_window(self):
+        without = self._run_with_profiler(window_seconds=None)
+        assert without.profile_snapshot()["checkpoints"] == 0
+        with_window = self._run_with_profiler(window_seconds=60.0)
+        assert with_window.profile_snapshot()["checkpoints"] > 0
+
+    def test_window_rates_appear_once_span_elapses(self):
+        service = self._run_with_profiler(window_seconds=60.0)
+        snap = service.profile_snapshot()
+        entry = snap["phases"]["engine.scheduler_round"]
+        window = entry.get("window")
+        if window is not None:  # needs a checkpoint older than "now"
+            assert window["rate_per_sec"] >= 0.0
+            assert window["busy_fraction"] >= 0.0
+            assert window["seconds"] > 0.0

@@ -37,7 +37,11 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.bench.detect import ComparisonResult, compare_profiles
+from repro.bench.detect import (
+    ComparisonResult,
+    _kernel_backend_of,
+    compare_profiles,
+)
 from repro.bench.profile import SCHEMA as PROFILE_SCHEMA
 from repro.bench.profile import dump_json
 
@@ -383,7 +387,14 @@ def trend_rows(
     header = ["captured", "git", "stamp"] + list(metrics)
     rows: List[List[str]] = []
     previous: Dict[str, float] = {}
+    previous_backend: Optional[str] = None
     for entry in entries:
+        backend = _kernel_backend_of(entry.profile)
+        if previous_backend is not None and backend != previous_backend:
+            # never show deltas across a kernel-backend switch: the
+            # timing change is the backend, not the commit
+            previous = {}
+        previous_backend = backend
         when = time.strftime(
             "%Y-%m-%d %H:%M", time.gmtime(entry.recorded_unix)
         )

@@ -366,6 +366,22 @@ SCENARIOS: Dict[str, Scenario] = {
             # no tracker: the phase timings isolate the scheduling core
             use_tracker=False,
         ),
+        TraceScenario(
+            name="cluster-xl",
+            description="the structure-of-arrays stress scale: 2000 "
+            "machines, 1600 jobs of bursty Facebook-style arrivals — "
+            "rounds where the per-machine prefilter and the flat state "
+            "plane are the difference between linear and quadratic work",
+            quick=False,
+            trace_config=FacebookTraceConfig(
+                num_jobs=1600,
+                arrival_horizon=3000,
+                max_map_tasks=200,
+                seed=17,
+            ),
+            num_machines=2000,
+            use_tracker=False,
+        ),
     )
 }
 

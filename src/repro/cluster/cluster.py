@@ -8,9 +8,11 @@ import numpy as np
 
 from repro.cluster.blockstore import BlockStore
 from repro.cluster.machine import Machine
+from repro.cluster.state import ClusterState
 from repro.cluster.topology import Topology
 from repro.resources import (
     DEFAULT_MODEL,
+    EPSILON,
     FB_MACHINE_CAPACITY,
     ResourceModel,
     ResourceVector,
@@ -62,8 +64,11 @@ class Cluster:
             machines_per_rack=machines_per_rack,
             oversubscription=oversubscription,
         )
+        #: the structure-of-arrays state plane; machines are row views
+        self.state = ClusterState.from_capacities(capacities)
         self.machines: List[Machine] = [
-            Machine(i, cap) for i, cap in enumerate(capacities)
+            Machine(i, cap, state=self.state, row=i)
+            for i, cap in enumerate(capacities)
         ]
         self.blockstore = BlockStore(
             self.topology,
@@ -100,6 +105,11 @@ class Cluster:
             total.add_inplace(m.allocated)
         return total
 
+    def free_clamped_matrix(self) -> np.ndarray:
+        """The ``(machines, dims)`` clamped free matrix (shared storage,
+        read-only for callers) — the packing hot path's view."""
+        return self.state.free_clamped_matrix()
+
     def machine_capacity(self) -> ResourceVector:
         """Reference machine capacity — the first machine's.
 
@@ -115,13 +125,18 @@ class Cluster:
         return all(m.capacity == reference for m in self.machines)
 
     def total_running_tasks(self) -> int:
-        return sum(m.num_running for m in self.machines)
+        return int(self.state.num_running.sum())
 
     def machines_with_free(
         self, demands: ResourceVector
     ) -> List[Machine]:
         """Machines that can fit ``demands`` on every dimension."""
-        return [m for m in self.machines if m.can_fit(demands)]
+        state = self.state
+        fits = np.all(
+            state.allocated + demands.data <= state.capacity + EPSILON,
+            axis=1,
+        )
+        return [self.machines[i] for i in np.flatnonzero(fits)]
 
     def __repr__(self) -> str:
         return (

@@ -6,12 +6,20 @@ placing is the scheduler's business: slot and DRF schedulers only check a
 subset of dimensions, so ``allocated`` can exceed capacity in the fluid
 dimensions — that is exactly the over-allocation pathology the paper
 describes, and the fluid simulator turns it into contention and slowdown.
+
+Since the structure-of-arrays refactor a machine is a thin view over one
+row of a :class:`~repro.cluster.state.ClusterState`: ``capacity``,
+``allocated`` and ``observed_usage`` are ``ResourceVector`` wrappers
+around matrix rows, so ``add_inplace``/``sub_inplace`` through the object
+API write directly into the shared matrices.  A machine constructed
+standalone (tests, examples) gets its own single-row state.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Optional, Set
 
+from repro.cluster.state import ClusterState
 from repro.resources import ResourceVector
 from repro.workload.task import Task
 
@@ -19,30 +27,49 @@ __all__ = ["Machine"]
 
 
 class Machine:
-    """One machine in the cluster."""
+    """One machine in the cluster — a view over a ``ClusterState`` row."""
 
     __slots__ = (
         "machine_id",
+        "state",
+        "row",
         "capacity",
         "allocated",
-        "running",
         "observed_usage",
+        "running",
         "_placed_demands",
         "_free_clamped",
     )
 
-    def __init__(self, machine_id: int, capacity: ResourceVector):
+    def __init__(
+        self,
+        machine_id: int,
+        capacity: ResourceVector,
+        state: Optional[ClusterState] = None,
+        row: Optional[int] = None,
+    ):
+        if state is None:
+            state = ClusterState(capacity.model, capacity.data[None, :].copy())
+            row = 0
         self.machine_id = machine_id
-        self.capacity = capacity.copy()
-        self.allocated = ResourceVector.zeros_like(capacity)
-        self.running: Set[Task] = set()
+        self.state = state
+        self.row = int(row)
+        # row views: no copy — in-place vector ops write through to the
+        # state matrices
+        self.capacity = ResourceVector(state.model, state.capacity[self.row])
+        self.allocated = ResourceVector(state.model, state.allocated[self.row])
         #: last usage sample reported by the resource tracker (includes
         #: non-task activity such as ingestion); starts at zero
-        self.observed_usage = ResourceVector.zeros_like(capacity)
+        self.observed_usage = ResourceVector(
+            state.model, state.observed[self.row]
+        )
+        self.running: Set[Task] = set()
         self._placed_demands: Dict[int, ResourceVector] = {}
-        #: memoized clamped free vector; dropped whenever ``allocated``
-        #: moves (place/remove are the only mutation points)
-        self._free_clamped: Optional[ResourceVector] = None
+        #: persistent wrapper over the state's clamped-free row; the row
+        #: is refreshed in place so the wrapper never goes stale
+        self._free_clamped = ResourceVector(
+            state.model, state._free_clamped[self.row]
+        )
 
     # -- placement ------------------------------------------------------------
     def place(self, task: Task, demands: Optional[ResourceVector] = None) -> None:
@@ -54,7 +81,8 @@ class Machine:
         self.running.add(task)
         self._placed_demands[task.task_id] = demands
         self.allocated.add_inplace(demands)
-        self._free_clamped = None
+        self.state.num_running[self.row] += 1
+        self.state.mark_dirty(self.row)
 
     def remove(self, task: Task) -> None:
         if task not in self.running:
@@ -62,7 +90,8 @@ class Machine:
         self.running.discard(task)
         demands = self._placed_demands.pop(task.task_id)
         self.allocated.sub_inplace(demands)
-        self._free_clamped = None
+        self.state.num_running[self.row] -= 1
+        self.state.mark_dirty(self.row)
 
     def placed_demands(self, task: Task) -> ResourceVector:
         return self._placed_demands[task.task_id]
@@ -76,19 +105,15 @@ class Machine:
     def free_clamped(self) -> ResourceVector:
         """A caller-owned copy of the clamped free vector (some callers
         subtract bookings from it in place)."""
-        return self._free_clamped_cached().copy()
+        self.state.free_clamped_row(self.row)
+        return self._free_clamped.copy()
 
     def free_clamped_view(self) -> ResourceVector:
-        """The memoized clamped free vector itself — shared and
+        """The maintained clamped free vector itself — shared and
         read-only.  For hot paths that only *read* headroom; callers
         must never mutate it."""
-        return self._free_clamped_cached()
-
-    def _free_clamped_cached(self) -> ResourceVector:
-        cached = self._free_clamped
-        if cached is None:
-            cached = self._free_clamped = self.free().clamp_nonnegative()
-        return cached
+        self.state.free_clamped_row(self.row)
+        return self._free_clamped
 
     def can_fit(self, demands: ResourceVector) -> bool:
         """Full-vector admission check (what Tetris enforces)."""

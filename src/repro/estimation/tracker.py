@@ -76,7 +76,10 @@ class ResourceTracker:
 
         Rigid dimensions come from the machines' true allocations; fluid
         dimensions from the flow table's achieved throughput — which is
-        what OS counters would show.
+        what OS counters would show.  The whole refresh is three matrix
+        assignments into the cluster state plane's ``observed`` matrix;
+        each machine's ``observed_usage`` vector is a view over its row,
+        so the per-machine objects see the report with no rebinding.
         """
         self.last_report_time = time
         if self._m_reports is not None:
@@ -85,13 +88,13 @@ class ResourceTracker:
         throughput = flows.slot_throughput()
         fluid_names = flows.fluid_dim_names()
         model = self.cluster.model
-        for machine in self.cluster.machines:
-            usage = ResourceVector.zeros_like(machine.capacity)
-            for name in model.rigid_names():
-                usage.set(name, machine.allocated.get(name))
-            for k, name in enumerate(fluid_names):
-                usage.set(name, float(throughput[machine.machine_id, k]))
-            machine.observed_usage = usage
+        state = self.cluster.state
+        observed = state.observed
+        observed[:] = 0.0
+        rigid = model.rigid_mask
+        observed[:, rigid] = state.allocated[:, rigid]
+        for k, name in enumerate(fluid_names):
+            observed[:, model.index[name]] = throughput[:, k]
 
     # -- scheduler-facing view ---------------------------------------------------
     def ramp_allowance(self, machine: "Machine", time: float) -> ResourceVector:

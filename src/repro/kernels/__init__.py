@@ -1,0 +1,203 @@
+"""Pluggable kernel backends for the packing hot path.
+
+The inner loops of the vectorized Tetris fill loop — the fit mask, the
+alignment dot, and the score combine — are small dense-array kernels.
+This package routes them through a registry so the same scheduler code
+can run on:
+
+- ``numpy`` (default): vectorized numpy expressions;
+- ``numba``: ``@njit``-compiled loops, auto-detected — selecting it
+  when numba is not importable raises, and :func:`available_backends`
+  reports only what is usable;
+- ``scalar``: pure-python reference loops, retained as the
+  bit-identical oracle.
+
+Every backend implements the same float semantics: elementwise
+compares with the shared ``EPSILON`` slack, and sum reductions in
+ascending-index order.  The resource models used here have at most a
+handful of dimensions, where numpy's pairwise summation degenerates to
+the same sequential order — which is what lets all three backends (and
+the scalar object-path scheduler) produce bit-identical scores.  The
+property suite in ``tests/test_soa_identity.py`` enforces this across
+seeds.
+
+Selection: ``get_backend(None)`` honours the ``REPRO_BACKEND``
+environment variable and falls back to ``numpy``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+__all__ = [
+    "KernelBackend",
+    "available_backends",
+    "get_backend",
+    "DEFAULT_BACKEND",
+]
+
+DEFAULT_BACKEND = "numpy"
+
+#: environment override consulted when no explicit backend is named
+ENV_VAR = "REPRO_BACKEND"
+
+
+class KernelBackend:
+    """One kernel implementation set.
+
+    Attributes
+    ----------
+    name:
+        Registry key (``scalar`` / ``numpy`` / ``numba``).
+    vectorized:
+        Whether the scheduler should run its batched fill loop (True)
+        or the scalar reference loop (False).
+    fit_rows:
+        ``(rows, dims) booked × (dims,) free -> (rows,) bool``: which
+        rows fit under ``free`` with ``eps`` slack on every dimension.
+    dot_rows:
+        ``(rows, dims) × (dims,) -> (rows,) float``: per-row dot
+        product reduced in ascending index order.
+    combine_scores:
+        ``w * align - srtf_w * remaining`` elementwise.
+    """
+
+    __slots__ = ("name", "vectorized", "fit_rows", "dot_rows", "combine_scores")
+
+    def __init__(
+        self,
+        name: str,
+        vectorized: bool,
+        fit_rows: Callable[[np.ndarray, np.ndarray, float], np.ndarray],
+        dot_rows: Callable[[np.ndarray, np.ndarray], np.ndarray],
+        combine_scores: Callable[
+            [np.ndarray, np.ndarray, float, float], np.ndarray
+        ],
+    ):
+        self.name = name
+        self.vectorized = vectorized
+        self.fit_rows = fit_rows
+        self.dot_rows = dot_rows
+        self.combine_scores = combine_scores
+
+    def __repr__(self) -> str:
+        return f"KernelBackend({self.name!r}, vectorized={self.vectorized})"
+
+
+# -- numpy (default) -------------------------------------------------------
+
+def _np_fit_rows(booked: np.ndarray, free: np.ndarray, eps: float) -> np.ndarray:
+    return (booked <= free + eps).all(axis=1)
+
+
+def _np_dot_rows(rows: np.ndarray, vec: np.ndarray) -> np.ndarray:
+    # elementwise product + axis sum (not BLAS dot): at <= 8 dims the
+    # axis reduction is sequential, matching the scalar oracle
+    return (rows * vec).sum(axis=1)
+
+
+def _np_combine(
+    align: np.ndarray, remaining: np.ndarray, w: float, srtf_w: float
+) -> np.ndarray:
+    return w * align - srtf_w * remaining
+
+
+# -- scalar reference ------------------------------------------------------
+
+def _sc_fit_rows(booked: np.ndarray, free: np.ndarray, eps: float) -> np.ndarray:
+    n, dims = booked.shape
+    out = np.empty(n, dtype=bool)
+    for i in range(n):
+        ok = True
+        for j in range(dims):
+            if not booked[i, j] <= free[j] + eps:
+                ok = False
+                break
+        out[i] = ok
+    return out
+
+
+def _sc_dot_rows(rows: np.ndarray, vec: np.ndarray) -> np.ndarray:
+    n, dims = rows.shape
+    out = np.empty(n)
+    for i in range(n):
+        acc = 0.0
+        for j in range(dims):
+            acc += rows[i, j] * vec[j]
+        out[i] = acc
+    return out
+
+
+def _sc_combine(
+    align: np.ndarray, remaining: np.ndarray, w: float, srtf_w: float
+) -> np.ndarray:
+    n = align.shape[0]
+    out = np.empty(n)
+    for i in range(n):
+        out[i] = w * align[i] - srtf_w * remaining[i]
+    return out
+
+
+_REGISTRY: Dict[str, KernelBackend] = {
+    "numpy": KernelBackend(
+        "numpy", True, _np_fit_rows, _np_dot_rows, _np_combine
+    ),
+    "scalar": KernelBackend(
+        "scalar", False, _sc_fit_rows, _sc_dot_rows, _sc_combine
+    ),
+}
+
+
+def _try_numba() -> Optional[KernelBackend]:
+    if "numba" in _REGISTRY:
+        return _REGISTRY["numba"]
+    try:
+        from repro.kernels import numba_backend
+    except ImportError:
+        return None
+    backend = KernelBackend(
+        "numba",
+        True,
+        numba_backend.fit_rows,
+        numba_backend.dot_rows,
+        numba_backend.combine_scores,
+    )
+    _REGISTRY["numba"] = backend
+    return backend
+
+
+def available_backends() -> List[str]:
+    """Backends usable in this process (numba only when importable)."""
+    names = ["scalar", "numpy"]
+    if _try_numba() is not None:
+        names.append("numba")
+    return names
+
+
+def get_backend(name: Optional[str] = None) -> KernelBackend:
+    """Resolve a backend by name, ``$REPRO_BACKEND``, or the default.
+
+    Raises ``ValueError`` for unknown names and for ``numba`` when the
+    package is not importable.
+    """
+    if name is None:
+        name = os.environ.get(ENV_VAR) or DEFAULT_BACKEND
+    name = name.lower()
+    if name == "numba":
+        backend = _try_numba()
+        if backend is None:
+            raise ValueError(
+                "kernel backend 'numba' requested but numba is not "
+                "installed (available: " + ", ".join(available_backends()) + ")"
+            )
+        return backend
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; "
+            f"available: {', '.join(available_backends())}"
+        ) from None

@@ -1,0 +1,55 @@
+"""Numba ``@njit`` kernels for the packing hot path.
+
+Importing this module requires numba; the registry in
+:mod:`repro.kernels` treats an ImportError as "backend unavailable".
+
+The loops mirror the scalar reference exactly — sequential
+ascending-index reductions, the same ``<= free + eps`` compare — so the
+compiled kernels stay bit-identical to both the scalar oracle and the
+numpy expressions (which degenerate to sequential summation at the
+small dimension counts used by the resource models here).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit
+
+__all__ = ["fit_rows", "dot_rows", "combine_scores"]
+
+
+@njit(cache=True)
+def fit_rows(booked: np.ndarray, free: np.ndarray, eps: float) -> np.ndarray:
+    n, dims = booked.shape
+    out = np.empty(n, dtype=np.bool_)
+    for i in range(n):
+        ok = True
+        for j in range(dims):
+            if not booked[i, j] <= free[j] + eps:
+                ok = False
+                break
+        out[i] = ok
+    return out
+
+
+@njit(cache=True)
+def dot_rows(rows: np.ndarray, vec: np.ndarray) -> np.ndarray:
+    n, dims = rows.shape
+    out = np.empty(n)
+    for i in range(n):
+        acc = 0.0
+        for j in range(dims):
+            acc += rows[i, j] * vec[j]
+        out[i] = acc
+    return out
+
+
+@njit(cache=True)
+def combine_scores(
+    align: np.ndarray, remaining: np.ndarray, w: float, srtf_w: float
+) -> np.ndarray:
+    n = align.shape[0]
+    out = np.empty(n)
+    for i in range(n):
+        out[i] = w * align[i] - srtf_w * remaining[i]
+    return out

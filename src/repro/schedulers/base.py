@@ -21,6 +21,8 @@ import abc
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, TYPE_CHECKING
 
+import numpy as np
+
 from repro.estimation.estimator import DemandEstimator, OracleEstimator
 from repro.resources import ResourceVector
 from repro.workload.job import Job, JobState
@@ -305,14 +307,17 @@ class Scheduler(abc.ABC):
         Heartbeats from lightly-loaded nodes effectively win the race for
         pending tasks in YARN-like systems, spreading load instead of
         piling tasks onto low-numbered machines.  Sorting by running-task
-        count reproduces that (deterministically).
+        count reproduces that (deterministically): the sort key is
+        (running-task count, machine id), read straight from the cluster
+        state plane's occupancy counters.
         """
+        counts = self.cluster.state.num_running
         if machine_ids is None:
-            machine_ids = range(self.cluster.num_machines)
-        return sorted(
-            machine_ids,
-            key=lambda m: (self.cluster.machine(m).num_running, m),
-        )
+            return np.argsort(counts, kind="stable").tolist()
+        ids = np.fromiter(machine_ids, dtype=np.intp)
+        if ids.size == 0:
+            return []
+        return ids[np.lexsort((ids, counts[ids]))].tolist()
 
     def machine_free(self, machine_id: int) -> ResourceVector:
         """The free vector this scheduler plans against.

@@ -107,6 +107,7 @@ class CandidateIndex:
         ] = {}
         #: machine_id -> capacity equivalence class (byte-equal vectors)
         self._machine_class: List[int] = []
+        self.single_capacity_class = False
         #: plain-int effectiveness counters, always maintained; the
         #: scheduler mirrors them into obs instruments via set_instruments
         self.stats: Dict[str, int] = {
@@ -145,6 +146,9 @@ class CandidateIndex:
         self._sig_of_task.clear()
         self._stage_sigs.clear()
         self._packs.clear()
+        #: single capacity class => packs (and therefore whole views for
+        #: machines with no locality interaction) are machine-independent
+        self.single_capacity_class = len(classes) <= 1
 
     def set_instruments(
         self, hits=None, misses=None, invalidations=None, groups=None
@@ -389,12 +393,85 @@ class CandidateIndex:
                 blocks.append((stage, remaining))
         return RoundTable(blocks, barrier_stages)
 
+    def shared_view(
+        self,
+        table: "RoundTable",
+        stage_index,
+        machine_id: int,
+        num_dims: int,
+    ) -> "MachineView":
+        """The round's cached machine-independent view, for machines with
+        *no* locality pool in any round stage on a single-capacity-class
+        cluster.
+
+        Such a machine's view content is fully machine-independent: its
+        locality slots are all empty, the queue-front representatives are
+        shared round state, and every pack resolves to the
+        ``(capacity class, empty local-input pattern)`` cache entry.  One
+        view therefore serves every such machine verbatim; it only goes
+        stale when a claim moves some stage's queue front
+        (``table.rep_gen``), and the caller re-syncs the generation after
+        a fill loop that kept the view fresh through its own refreshes.
+        The view owns dedicated scratch arrays so interleaved per-machine
+        view builds cannot clobber it.
+        """
+        view = table._shared_view
+        if view is not None and table._shared_gen == table.rep_gen:
+            view.machine_id = machine_id
+            return view
+        view = self.build_view(
+            table, stage_index, machine_id, num_dims, shared=True
+        )
+        table._shared_view = view
+        table._shared_gen = table.rep_gen
+        return view
+
+    def patched_view(
+        self,
+        table: "RoundTable",
+        stage_index,
+        machine_id: int,
+        num_dims: int,
+        special_sis: Sequence[int],
+        proxy_id: int,
+    ) -> "MachineView":
+        """A machine's view assembled as "shared view + per-stage patches".
+
+        ``machine_id`` has a locality pool only for the stages in
+        ``special_sis``; every other stage's slots (local slot empty,
+        queue-front rep with the empty local-input pack pattern) are
+        byte-identical to the shared no-locality view, so they are block
+        copied and only the special stages re-resolve their
+        representatives and packs for this machine.  ``proxy_id`` must be
+        a machine with no locality pool anywhere this round — the shared
+        view is (re)built through it so its content stays canonical.
+        """
+        base = self.shared_view(table, stage_index, proxy_id, num_dims)
+        view = MachineView(self, table, machine_id, num_dims)
+        np.copyto(view.booked_mat, base.booked_mat)
+        np.copyto(view.norm_mat, base.norm_mat)
+        np.copyto(view.remote, base.remote)
+        view.active[:] = base.active
+        view.tasks[:] = base.tasks
+        view.booked[:] = base.booked
+        stages = table.stages
+        for si in special_sis:
+            stage = stages[si]
+            local = stage_index.local_candidate(stage, machine_id)
+            other = table.any_rep_for(si, stage, stage_index)
+            if other is local:
+                other = None
+            view.set_slot(2 * si, local)
+            view.set_slot(2 * si + 1, other)
+        return view
+
     def build_view(
         self,
         table: "RoundTable",
         stage_index,
         machine_id: int,
         num_dims: int,
+        shared: bool = False,
     ) -> "MachineView":
         """One machine's candidate state for a fill loop: resolve each
         stage's representatives (the stage-queue front is cached on the
@@ -418,7 +495,13 @@ class CandidateIndex:
             if other is not None:
                 slot_tasks[2 * si + 1] = other
                 rows.append(2 * si + 1)
-        view = MachineView(self, table, machine_id, num_dims)
+        view = MachineView(
+            self,
+            table,
+            machine_id,
+            num_dims,
+            scratch=table.shared_scratch(num_dims) if shared else None,
+        )
         if len(rows) <= _BATCH_THRESHOLD:
             for i in rows:
                 view.set_slot(i, slot_tasks[i])
@@ -433,9 +516,9 @@ class CandidateIndex:
 class RoundTable:
     """Stage blocks in canonical order plus the per-row round constants.
 
-    ``remaining`` keeps the exact Python floats the scalar path would
-    collect for its candidate list; ``barrier`` is the per-row barrier
-    flag; ``stage_row`` maps a stage to its block's base row.  Views
+    ``remaining`` holds the per-row SRTF scores (the same doubles the
+    scalar path collects); ``barrier`` is the per-row barrier flag;
+    ``stage_row`` maps a stage to its block's base row.  Views
     reference these directly and never mutate them.
 
     Two further pieces of cross-machine state live here:
@@ -456,17 +539,27 @@ class RoundTable:
         "barrier",
         "stage_row",
         "num_rows",
+        "rep_gen",
         "_any_rep",
         "_scratch",
+        "_shared_view",
+        "_shared_gen",
+        "_shared_scratch",
     )
 
     def __init__(
         self, blocks: List[Tuple[Stage, float]], barrier_stages: Set[int]
     ) -> None:
         self.stages: List[Stage] = [stage for stage, _ in blocks]
-        self.remaining: List[float] = [
-            remaining for _, remaining in blocks for _ in (0, 1)
-        ]
+        # SRTF scores as a float64 array: the fill loop gathers the kept
+        # rows with one fancy index instead of a per-row list walk.  The
+        # values are the exact Python floats the scalar path collects —
+        # float64 round-trips them losslessly.
+        self.remaining: np.ndarray = np.fromiter(
+            (remaining for _, remaining in blocks for _ in (0, 1)),
+            dtype=np.float64,
+            count=2 * len(blocks),
+        )
         self.barrier = np.fromiter(
             (
                 stage.stage_id in barrier_stages
@@ -480,8 +573,15 @@ class RoundTable:
             stage.stage_id: 2 * si for si, (stage, _) in enumerate(blocks)
         }
         self.num_rows = 2 * len(blocks)
+        #: bumped whenever a claim drops a cached queue-front rep; the
+        #: shared no-locality view is valid only at the generation it was
+        #: built (or last refreshed) at
+        self.rep_gen = 0
         self._any_rep: List[object] = [_UNSET] * len(blocks)
         self._scratch: Optional[Tuple[np.ndarray, ...]] = None
+        self._shared_view: Optional["MachineView"] = None
+        self._shared_gen = -1
+        self._shared_scratch: Optional[Tuple[np.ndarray, ...]] = None
 
     def any_rep_for(self, si: int, stage: Stage, stage_index):
         """Stage ``si``'s queue-front representative, resolved at most
@@ -497,6 +597,7 @@ class RoundTable:
         base = self.stage_row.get(stage_id)
         if base is not None:
             self._any_rep[base >> 1] = _UNSET
+            self.rep_gen += 1
 
     def scratch(self, num_dims: int) -> Tuple[np.ndarray, ...]:
         """The shared (booked, norm, remote) arrays for this round's
@@ -504,6 +605,18 @@ class RoundTable:
         s = self._scratch
         if s is None:
             s = self._scratch = (
+                np.zeros((self.num_rows, num_dims)),
+                np.zeros((self.num_rows, num_dims)),
+                np.zeros(self.num_rows, dtype=bool),
+            )
+        return s
+
+    def shared_scratch(self, num_dims: int) -> Tuple[np.ndarray, ...]:
+        """Dedicated arrays for the shared no-locality view, so regular
+        per-machine view builds never clobber its rows."""
+        s = self._shared_scratch
+        if s is None:
+            s = self._shared_scratch = (
                 np.zeros((self.num_rows, num_dims)),
                 np.zeros((self.num_rows, num_dims)),
                 np.zeros(self.num_rows, dtype=bool),
@@ -541,6 +654,7 @@ class MachineView:
         table: RoundTable,
         machine_id: int,
         num_dims: int,
+        scratch: Optional[Tuple[np.ndarray, ...]] = None,
     ) -> None:
         n = table.num_rows
         self.index = index
@@ -552,7 +666,9 @@ class MachineView:
         # (views are strictly sequential within a round); stale rows are
         # never read because ``active`` is fresh and every activation
         # rewrites its row first
-        self.booked_mat, self.norm_mat, self.remote = table.scratch(num_dims)
+        self.booked_mat, self.norm_mat, self.remote = (
+            scratch if scratch is not None else table.scratch(num_dims)
+        )
         # round constants, shared (read-only) with every other view
         self.remaining = table.remaining
         self.barrier = table.barrier

@@ -63,15 +63,35 @@ class StageIndex:
         self._claimed.clear()
 
     def requeue(self, task: Task) -> None:
-        """Put a failed task back into its stage's candidate pools."""
+        """Put a failed task back at the *back* of its stage's pools.
+
+        The pools prune lazily (ineligible fronts are popped on lookup),
+        so at requeue time the task may or may not still sit at its old
+        position, depending on how far lookups happened to walk while it
+        ran.  Dropping any stale occurrence before appending makes the
+        task's comeback position canonical — candidate order after a
+        failure is then independent of lookup (visit) history, which is
+        what lets the round-level machine prefilter skip fruitless
+        visits without perturbing placements.  Failures are rare, so the
+        O(queue) removal is off any hot path.
+        """
         self._claimed.discard(task.task_id)
         entry = self._entries.get(task.stage.stage_id)
         if entry is None:
             return
+        try:
+            entry.queue.remove(task)
+        except ValueError:
+            pass
         entry.queue.append(task)
         for inp in task.inputs:
             for machine_id in inp.locations:
-                entry.local.setdefault(machine_id, deque()).append(task)
+                queue = entry.local.setdefault(machine_id, deque())
+                try:
+                    queue.remove(task)
+                except ValueError:
+                    pass
+                queue.append(task)
 
     def _eligible(self, task: Task) -> bool:
         return (
@@ -127,6 +147,15 @@ class StageIndex:
 
     def has_candidates(self, stage: Stage) -> bool:
         return self.any_candidate(stage) is not None
+
+    def local_machines(self, stage: Stage):
+        """Machine ids with a locality pool for ``stage`` — every machine
+        that holds (or ever held) an input replica of any of the stage's
+        tasks.  The key set is fixed at entry creation (requeues can only
+        re-add tasks whose locations already have pools), so callers may
+        cache derived structures per stage."""
+        entry = self._entries.get(stage.stage_id)
+        return entry.local.keys() if entry is not None else ()
 
     def indexed_stages(self, job: Job) -> List[Stage]:
         """This job's indexed stages that still hold eligible tasks."""

@@ -52,9 +52,11 @@ from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 import numpy as np
 
+from repro.kernels import get_backend
 from repro.resources import EPSILON, ResourceVector
 from repro.schedulers.alignment import (
     AlignmentScorer,
+    CosineAlignment,
     batch_capable,
     get_scorer,
 )
@@ -108,6 +110,11 @@ class TetrisConfig:
       identical to the scalar path; flip off to run the scalar
       reference oracle.  Scorers without a ``score_batch`` override
       fall back to the scalar path automatically;
+    - ``backend``: kernel backend for the batched fill loop
+      (``scalar`` / ``numpy`` / ``numba``, see :mod:`repro.kernels`).
+      ``None`` (default) honours ``$REPRO_BACKEND`` and falls back to
+      ``numpy`` — or to the scalar reference when ``vectorized`` is
+      off.  All backends produce bit-identical placements;
     - ``debug_invariants``: run the remote-grant ledger invariant check
       after every grant/release (test/debug aid; off in production).
     """
@@ -123,6 +130,7 @@ class TetrisConfig:
     starvation_timeout: Optional[float] = None
     progress_aware_srtf: bool = False
     vectorized: bool = True
+    backend: Optional[str] = None
     debug_invariants: bool = False
 
     def __post_init__(self) -> None:
@@ -202,11 +210,65 @@ class TetrisScheduler(Scheduler):
         #: within one ``schedule()`` round (None outside a round)
         self._round_table = None
         self._dims_mask: Optional[np.ndarray] = None
+        self._mask_all = True
         self._masked_names: Tuple[str, ...] = ()
+        #: kernel backend for the batched fill loop (repro.kernels).  An
+        #: explicit config.backend wins; otherwise ``vectorized=False``
+        #: maps to the scalar reference and the env/default resolution
+        #: applies.  The scalar backend runs the object-path oracle.
+        if self.config.backend is not None:
+            self.kernels = get_backend(self.config.backend)
+        elif not self.config.vectorized:
+            self.kernels = get_backend("scalar")
+        else:
+            self.kernels = get_backend(None)
         # scorers without a batch implementation run the scalar oracle
-        self._use_vectorized = self.config.vectorized and batch_capable(
+        self._use_vectorized = self.kernels.vectorized and batch_capable(
             self.scorer
         )
+        # cosine alignment IS the row-dot kernel; other scorers keep
+        # their own score_batch
+        self._dot_kernel = (
+            self.kernels.dot_rows
+            if type(self.scorer) is CosineAlignment
+            else None
+        )
+        #: per-stage machine-independent demand lower bounds feeding the
+        #: round-level machine prefilter (trace off, no tracker): a
+        #: machine whose free vector cannot cover any stage's lower
+        #: bound provably yields zero placements and is skipped
+        self._stage_lb: Dict[int, np.ndarray] = {}
+        #: tighter per-stage bounds for machines with no input replica
+        #: (all-remote placement pattern: netin kept, diskr/netout zero)
+        self._stage_lb_remote: Dict[int, np.ndarray] = {}
+        #: per-stage boolean machine masks: True where the stage has a
+        #: locality pool (an input replica), i.e. where only the weaker
+        #: bound is sound
+        self._stage_local: Dict[int, np.ndarray] = {}
+        self._min_capacity: Optional[np.ndarray] = None
+        self._i_netout: Optional[int] = None
+        self._i_diskr: Optional[int] = None
+        #: grant-independent remote-transfer plans:
+        #: task_id -> machine_id -> ((locations, rate), ...)
+        self._remote_plans: Dict[int, Dict[int, tuple]] = {}
+        #: per-round OR of the table stages' locality masks; machines
+        #: outside it (no locality pool anywhere, single capacity class)
+        #: share one cached machine-independent view per round, and
+        #: machines inside it clone that view and patch only their
+        #: special stages (resolved via the stacked per-stage matrix)
+        self._round_special: Optional[np.ndarray] = None
+        self._round_special_mat: Optional[np.ndarray] = None
+        #: a machine with no locality pool anywhere this round, through
+        #: which the shared view is (re)built; -1 when every machine has
+        #: one
+        self._round_proxy = -1
+        #: round-level machine prefilter opt-out.  Harnesses that replay
+        #: the same backlog with ``index.reset_claims()`` (the packing
+        #: benchmarks) revive claimed tasks, whose queue positions then
+        #: depend on lazy-pruning progress — i.e. on which machines were
+        #: visited — so they must visit every machine to stay
+        #: bit-comparable with their committed baselines.
+        self.prefilter_machines = True
         #: optional metric instruments (set by use_observability via
         #: _register_metrics); None keeps the hot paths branch-cheap
         self._m_cache_hits = None
@@ -258,6 +320,7 @@ class TetrisScheduler(Scheduler):
     def bind(self, cluster, estimator=None, tracker=None) -> None:
         super().bind(cluster, estimator=estimator, tracker=tracker)
         self._dims_mask = cluster.model.mask(self.config.considered_dims)
+        self._mask_all = bool(self._dims_mask.all())
         self.candidates.bind(
             self.estimated_demands,
             self.booked_demands,
@@ -269,6 +332,13 @@ class TetrisScheduler(Scheduler):
             for name, on in zip(cluster.model.names, self._dims_mask)
             if on
         )
+        self._min_capacity = cluster.state.capacity.min(axis=0)
+        self._i_netout = cluster.model.index.get("netout")
+        self._i_diskr = cluster.model.index.get("diskr")
+        self._stage_lb.clear()
+        self._stage_lb_remote.clear()
+        self._stage_local.clear()
+        self._remote_plans.clear()
 
     # -- SRTF bookkeeping -------------------------------------------------------
     def _task_work_term(self, task: Task) -> float:
@@ -312,13 +382,25 @@ class TetrisScheduler(Scheduler):
         self.index.add_stage(stage)
         self._stage_last_placement[stage.stage_id] = time
         # shuffle inputs were just pinned to source machines: the stage's
-        # signatures (computed from the old inputs) and their cached
-        # placement-adjusted vectors are stale
+        # signatures (computed from the old inputs), their cached
+        # placement-adjusted vectors, and any remote-transfer plans
+        # derived from the old locations are stale
         self.candidates.invalidate_stage(stage)
+        self._stage_lb.pop(stage.stage_id, None)
+        self._stage_lb_remote.pop(stage.stage_id, None)
+        self._stage_local.pop(stage.stage_id, None)
+        for task in stage.tasks:
+            self._remote_plans.pop(task.task_id, None)
 
     def on_task_failed(self, task: Task, time: float) -> None:
         super().on_task_failed(task, time)
         self._release_remote_grants(task.task_id)
+        # the retried task rejoins its stage's pools: recompute the
+        # stage's cached demand bounds and locality mask (cheap, and
+        # failures are rare)
+        self._stage_lb.pop(task.stage.stage_id, None)
+        self._stage_lb_remote.pop(task.stage.stage_id, None)
+        self._stage_local.pop(task.stage.stage_id, None)
         if self.config.debug_invariants:
             self.check_remote_ledger()
 
@@ -326,6 +408,7 @@ class TetrisScheduler(Scheduler):
         super().on_task_finished(task, time)
         self.index.forget(task)
         self._release_remote_grants(task.task_id)
+        self._remote_plans.pop(task.task_id, None)
         if self.config.debug_invariants:
             self.check_remote_ledger()
         if self.estimator.stable_estimates:
@@ -334,8 +417,13 @@ class TetrisScheduler(Scheduler):
             self.candidates.forget_task(task)
         else:
             # a completion can move every estimate (peer means, template
-            # history): drop the whole index, signatures included
+            # history): drop the whole index, signatures included, plus
+            # every derived cache (demand lower bounds, transfer plans)
             self.candidates.clear()
+            self._stage_lb.clear()
+            self._stage_lb_remote.clear()
+            self._stage_local.clear()
+            self._remote_plans.clear()
         term = self._task_work.pop(task.task_id, 0.0)
         job_id = task.job.job_id
         if job_id in self._job_work:
@@ -423,34 +511,66 @@ class TetrisScheduler(Scheduler):
             return locations[0]
         best = locations[0]
         best_headroom = -math.inf
+        i_netout, i_diskr = self._i_netout, self._i_diskr
+        state = self.cluster.state
+        granted = self._remote_granted
         for machine_id in locations:
-            free = self.cluster.machine(machine_id).free_clamped_view()
-            headroom = min(
-                free.get("netout"), free.get("diskr")
-            ) - self._remote_granted.get(machine_id, 0.0)
+            if i_netout is not None and i_diskr is not None:
+                # row scalars off the maintained free matrix: same
+                # storage free_clamped_view() refreshes, same floats
+                row = state.free_clamped_row(machine_id)
+                headroom = min(row[i_netout], row[i_diskr]) - granted.get(
+                    machine_id, 0.0
+                )
+            else:
+                free = self.cluster.machine(machine_id).free_clamped_view()
+                headroom = min(
+                    free.get("netout"), free.get("diskr")
+                ) - granted.get(machine_id, 0.0)
             if headroom > best_headroom:
                 best_headroom = headroom
                 best = machine_id
         return best
 
+    def _remote_transfer_plan(self, task: Task, machine_id: int) -> tuple:
+        """The grant-independent half of :meth:`_remote_requirements`:
+        ``(replica locations, transfer rate)`` per remote input.
+
+        For a fixed (task, machine) pair this depends only on the
+        demand estimate and the input pinning, both stable between the
+        invalidation points (stage shuffle resolution, unstable-
+        estimator flush), so it is memoized; only the *source choice*
+        moves with the grant ledger and stays dynamic.
+        """
+        plans = self._remote_plans.get(task.task_id)
+        if plans is None:
+            plans = self._remote_plans[task.task_id] = {}
+        plan = plans.get(machine_id)
+        if plan is None:
+            total_remote = task.remote_input_mb(machine_id)
+            if total_remote <= 0:
+                plan = ()
+            else:
+                est_netin = min(
+                    self.estimated_demands(task).get("netin"),
+                    self.cluster.machine_capacity().get("netin"),
+                )
+                plan = tuple(
+                    (inp.locations, est_netin * (inp.size_mb / total_remote))
+                    for inp in task.inputs
+                    if not inp.is_local_to(machine_id) and inp.locations
+                )
+            plans[machine_id] = plan
+        return plan
+
     def _remote_requirements(
         self, task: Task, machine_id: int
     ) -> List[Tuple[int, float]]:
         """(source machine, transfer rate) pairs for the task's remote reads."""
-        est_netin = min(
-            self.estimated_demands(task).get("netin"),
-            self.cluster.machine_capacity().get("netin"),
-        )
-        total_remote = task.remote_input_mb(machine_id)
-        if total_remote <= 0:
-            return []
-        out = []
-        for inp in task.inputs:
-            if inp.is_local_to(machine_id) or not inp.locations:
-                continue
-            source = self._pick_remote_source(inp.locations)
-            out.append((source, est_netin * (inp.size_mb / total_remote)))
-        return out
+        return [
+            (self._pick_remote_source(locations), rate)
+            for locations, rate in self._remote_transfer_plan(task, machine_id)
+        ]
 
     def _remote_sources_ok(self, task: Task, machine_id: int) -> bool:
         """Remote reads also need disk-read and NIC-out headroom at every
@@ -458,15 +578,28 @@ class TetrisScheduler(Scheduler):
         already been granted to other remote readers."""
         if not self.config.check_remote_resources:
             return True
-        for source_id, required in self._remote_requirements(task, machine_id):
-            source = self.cluster.machine(source_id)
-            source_free = source.free_clamped_view()
+        plan = self._remote_transfer_plan(task, machine_id)
+        if not plan:
+            return True
+        i_netout, i_diskr = self._i_netout, self._i_diskr
+        state = self.cluster.state
+        for locations, required in plan:
+            source_id = self._pick_remote_source(locations)
             granted = self._remote_granted.get(source_id, 0.0)
-            if (
-                source_free.get("netout") - granted + EPSILON < required
-                or source_free.get("diskr") - granted + EPSILON < required
-            ):
-                return False
+            if i_netout is not None and i_diskr is not None:
+                row = state.free_clamped_row(source_id)
+                if (
+                    row[i_netout] - granted + EPSILON < required
+                    or row[i_diskr] - granted + EPSILON < required
+                ):
+                    return False
+            else:
+                free = self.cluster.machine(source_id).free_clamped_view()
+                if (
+                    free.get("netout") - granted + EPSILON < required
+                    or free.get("diskr") - granted + EPSILON < required
+                ):
+                    return False
         return True
 
     def _grant_remote(self, task: Task, machine_id: int) -> None:
@@ -578,8 +711,42 @@ class TetrisScheduler(Scheduler):
                         lambda job: self._remaining_work(job, time),
                         barrier_stages,
                     )
+                visit = self.iter_machine_ids(machine_ids)
+                if (
+                    self._use_vectorized
+                    and self.candidates.single_capacity_class
+                    and self._round_table.stages
+                ):
+                    # machines with no locality pool in any round stage
+                    # share one machine-independent view (content-exact
+                    # reuse, no behavioral gate needed)
+                    masks = [
+                        self._stage_local_mask(s)
+                        for s in self._round_table.stages
+                    ]
+                    mat = np.stack(masks)
+                    special = mat.any(axis=0)
+                    self._round_special = special
+                    self._round_special_mat = mat
+                    nonspecial = np.flatnonzero(~special)
+                    self._round_proxy = (
+                        int(nonspecial[0]) if nonspecial.size else -1
+                    )
+                if (
+                    self.prefilter_machines
+                    and self._use_vectorized
+                    and self.trace is None
+                    and self.tracker is None
+                    and self.config.starvation_timeout is None
+                    and self.estimator.stable_estimates
+                ):
+                    # a machine whose free vector cannot cover any
+                    # stage's demand lower bound yields zero placements;
+                    # skipping it changes nothing (visits mutate state
+                    # only through placements)
+                    visit = self._prefilter_machines(visit)
                 try:
-                    for machine_id in self.iter_machine_ids(machine_ids):
+                    for machine_id in visit:
                         placements.extend(
                             self._fill_machine(
                                 machine_id, jobs, barrier_stages, time
@@ -587,10 +754,150 @@ class TetrisScheduler(Scheduler):
                         )
                 finally:
                     self._round_table = None
+                    self._round_special = None
+                    self._round_special_mat = None
+                    self._round_proxy = -1
                 self.candidates.sync_instruments()
         if prof is not None:
             prof.record("tetris.schedule", perf_counter() - start)
         return placements
+
+    # -- round-level machine prefilter ----------------------------------------
+    def _stage_lb_vec(self, stage: Stage) -> np.ndarray:
+        """A machine-independent elementwise lower bound on the booked
+        demand of *any* of ``stage``'s tasks on *any* machine.
+
+        Built from the per-dimension minimum of the stage's estimated
+        demands: fluid rates are additionally floored by the cluster's
+        per-dimension minimum capacity (booking caps them at the target
+        machine's capacity), placement-dependent dimensions (netin /
+        diskr / netout — zeroed by ``adjust_for_placement`` depending on
+        input locality) and unconsidered dimensions are set to zero.
+        Claims only shrink the candidate set, so the cached minimum over
+        the full task list stays a valid lower bound for the stage's
+        lifetime (estimates are stable when the prefilter is active).
+        """
+        lb = self._stage_lb.get(stage.stage_id)
+        if lb is None:
+            model = self.cluster.model
+            est = np.stack(
+                [self.estimated_demands(t).data for t in stage.tasks]
+            )
+            lb = est.min(axis=0)
+            np.minimum(
+                lb, self._min_capacity, out=lb, where=model.fluid_mask
+            )
+            for name in ("netin", "diskr", "netout"):
+                i = model.index.get(name)
+                if i is not None:
+                    lb[i] = 0.0
+            lb[~self._dims_mask] = 0.0
+            self._stage_lb[stage.stage_id] = lb
+        return lb
+
+    def _stage_lb_remote_vec(self, stage: Stage) -> np.ndarray:
+        """Tighter lower bound, valid only for machines holding *no*
+        input replica of any of the stage's tasks.
+
+        On such a machine every input is remote, so a booked vector has
+        ``diskr = netout = 0`` but keeps the full estimated ``netin``
+        whenever the task has any input at all (``adjust_for_placement``
+        zeroes netin only when nothing is remote).  Saturated NICs are
+        the dominant reason fills come up empty, so including netin here
+        skips most machines the locality-agnostic bound cannot.
+        """
+        lb = self._stage_lb_remote.get(stage.stage_id)
+        if lb is None:
+            model = self.cluster.model
+            est = np.stack(
+                [self.estimated_demands(t).data for t in stage.tasks]
+            )
+            i_netin = model.index.get("netin")
+            if i_netin is not None:
+                no_input = np.fromiter(
+                    (t.input_mb <= 0 for t in stage.tasks),
+                    dtype=bool,
+                    count=len(stage.tasks),
+                )
+                est[no_input, i_netin] = 0.0
+            lb = est.min(axis=0)
+            np.minimum(
+                lb, self._min_capacity, out=lb, where=model.fluid_mask
+            )
+            for name in ("diskr", "netout"):
+                i = model.index.get(name)
+                if i is not None:
+                    lb[i] = 0.0
+            lb[~self._dims_mask] = 0.0
+            self._stage_lb_remote[stage.stage_id] = lb
+        return lb
+
+    def _stage_local_mask(self, stage: Stage) -> np.ndarray:
+        """Boolean machine mask: True where ``stage`` has a locality
+        pool (the machine holds, or held, an input replica of one of
+        its tasks).  Exactly the machines where a booked vector can
+        deviate from the all-remote pattern, so only the weaker
+        :meth:`_stage_lb_vec` bound applies there.  The index's pool
+        key set is fixed at entry creation, so the mask is cacheable.
+        """
+        mask = self._stage_local.get(stage.stage_id)
+        if mask is None:
+            mask = np.zeros(
+                self.cluster.state.capacity.shape[0], dtype=bool
+            )
+            ids = list(self.index.local_machines(stage))
+            if ids:
+                mask[ids] = True
+            self._stage_local[stage.stage_id] = mask
+        return mask
+
+    def _prefilter_machines(self, order: List[int]) -> List[int]:
+        """Drop machines that provably cannot place any candidate.
+
+        Sound only as a necessary condition on the *fit* check: a
+        machine survives iff some round-table stage's demand lower
+        bound fits its free vector with the usual EPSILON slack.  A
+        visit to a machine with no fitting candidate mutates nothing,
+        so skipping it leaves placements (and all scheduler state)
+        bit-identical; relative order of the survivors is preserved, so
+        the greedy fill sequence is unchanged.  Callers gate this on
+        trace-off (skipped visits emit no decision events), no tracker
+        (the availability view must be the cluster's own free matrix)
+        and no reservations (a reserved machine must be visited even
+        when nothing fits).
+        """
+        table = self._round_table
+        if table is None or not table.stages or not order:
+            return order
+        stages = table.stages
+        lb = np.stack([self._stage_lb_vec(s) for s in stages])
+        free = self.cluster.state.free_clamped_matrix()
+        ids = np.fromiter(order, dtype=np.intp, count=len(order))
+        rows = free[ids] + EPSILON
+        # cheap cut: the pointwise min over all stages must fit
+        alive = np.flatnonzero((rows >= lb.min(axis=0)).all(axis=1))
+        if alive.size == 0:
+            return []
+        # per-(machine, stage) necessary conditions, pattern-aware: a
+        # machine without an input replica for a stage must additionally
+        # cover the stage's all-remote bound (netin included); machines
+        # with a replica only need the locality-agnostic bound
+        arows = rows[alive]
+        fit = (lb[None, :, :] <= arows[:, None, :]).all(2)
+        lb_remote = np.stack([self._stage_lb_remote_vec(s) for s in stages])
+        fit_remote = (lb_remote[None, :, :] <= arows[:, None, :]).all(2)
+        need_local = fit & ~fit_remote
+        if need_local.any():
+            special = np.stack(
+                [self._stage_local_mask(s) for s in stages]
+            )[:, ids[alive]].T
+            keep = (fit_remote | (need_local & special)).any(axis=1)
+        else:
+            keep = fit_remote.any(axis=1)
+        alive = alive[keep]
+        if alive.size == len(order):
+            return order
+        return [order[int(k)] for k in alive]
 
     # -- starvation prevention (Section 3.5 future work) ---------------------
     def _update_reservations(self, jobs: Sequence[Job], time: float) -> None:
@@ -935,6 +1242,8 @@ class TetrisScheduler(Scheduler):
         placements: List[Placement] = []
         capacity = self.cluster.machine(machine_id).capacity
         mask = self._dims_mask
+        mask_all = self._mask_all
+        kernels = self.kernels
         trace = self.trace
         table = self._round_table
         if table is None:  # direct call outside a schedule() round
@@ -944,26 +1253,61 @@ class TetrisScheduler(Scheduler):
                 lambda job: self._remaining_work(job, time),
                 barrier_stages,
             )
-        view = self.candidates.build_view(
-            table, self.index, machine_id, self.cluster.model.dims
-        )
+        shared = False
+        if self._round_special is not None and table is self._round_table:
+            if not self._round_special[machine_id]:
+                shared = True
+                view = self.candidates.shared_view(
+                    table, self.index, machine_id, self.cluster.model.dims
+                )
+            elif self._round_proxy >= 0:
+                sis = np.flatnonzero(
+                    self._round_special_mat[:, machine_id]
+                )
+                view = self.candidates.patched_view(
+                    table,
+                    self.index,
+                    machine_id,
+                    self.cluster.model.dims,
+                    sis,
+                    self._round_proxy,
+                )
+            else:
+                view = self.candidates.build_view(
+                    table, self.index, machine_id, self.cluster.model.dims
+                )
+        else:
+            view = self.candidates.build_view(
+                table, self.index, machine_id, self.cluster.model.dims
+            )
         while True:
             rows = view.active_rows()
             if rows.size == 0:
                 break
-            fits = (
-                view.booked_mat[rows][:, mask] <= free.data[mask] + EPSILON
-            ).all(axis=1)
-            keep = [
-                int(i)
-                for k, i in enumerate(rows)
-                if fits[k]
-                and (
-                    not view.remote[i]
-                    or self._remote_sources_ok(view.tasks[i], machine_id)
+            if mask_all:
+                fits = kernels.fit_rows(
+                    view.booked_mat[rows], free.data, EPSILON
                 )
-            ]
-            if not keep:
+            else:
+                fits = kernels.fit_rows(
+                    view.booked_mat[rows][:, mask],
+                    free.data[mask],
+                    EPSILON,
+                )
+            keep = rows[fits]
+            if keep.size:
+                remote_rows = np.flatnonzero(view.remote[keep])
+                if remote_rows.size:
+                    tasks = view.tasks
+                    ok = np.ones(keep.size, dtype=bool)
+                    for k in remote_rows:
+                        if not self._remote_sources_ok(
+                            tasks[keep[k]], machine_id
+                        ):
+                            ok[k] = False
+                    if not ok.all():
+                        keep = keep[ok]
+            if not keep.size:
                 if trace is not None:
                     entries = [
                         ("remote", view.tasks[i])
@@ -977,20 +1321,25 @@ class TetrisScheduler(Scheduler):
                 break
             demand_matrix = view.norm_mat[keep]
             free_norm = self._masked(free).normalized_by(capacity)
-            align = self.scorer.score_batch(demand_matrix, free_norm.data)
+            if self._dot_kernel is not None:
+                align = self._dot_kernel(demand_matrix, free_norm.data)
+            else:
+                align = self.scorer.score_batch(demand_matrix, free_norm.data)
             remote_flags = view.remote[keep]
             if remote_flags.any():
                 align = np.where(
                     remote_flags, align * (1.0 - cfg.remote_penalty), align
                 )
-            kept_remaining = [view.remaining[i] for i in keep]
-            epsilon = self._epsilon(align.tolist(), kept_remaining)
+            kept_remaining = view.remaining[keep]
+            epsilon = self._epsilon(
+                align.tolist(), kept_remaining.tolist()
+            )
             srtf_weight = cfg.srtf_multiplier * epsilon
-            scores = cfg.alignment_weight * align - srtf_weight * np.asarray(
-                kept_remaining
+            scores = kernels.combine_scores(
+                align, kept_remaining, cfg.alignment_weight, srtf_weight
             )
             if trace is not None:
-                pos = {i: k for k, i in enumerate(keep)}
+                pos = {int(i): k for k, i in enumerate(keep)}
                 entries = []
                 for k, i in enumerate(rows):
                     task = view.tasks[i]
@@ -1002,7 +1351,7 @@ class TetrisScheduler(Scheduler):
                                 task,
                                 None,
                                 float(align[kk]),
-                                kept_remaining[kk],
+                                float(kept_remaining[kk]),
                             ),
                             bool(remote_flags[kk]),
                         ))
@@ -1028,7 +1377,7 @@ class TetrisScheduler(Scheduler):
                     )
             else:
                 best_k = int(np.argmax(scores))
-            best_i = keep[best_k]
+            best_i = int(keep[best_k])
             best_task = view.tasks[best_i]
             score_info = None
             if trace is not None:
@@ -1043,10 +1392,10 @@ class TetrisScheduler(Scheduler):
                 best_score = float(scores[best_k])
                 score_info = {
                     "alignment": float(align[best_k]),
-                    "remaining_work": kept_remaining[best_k],
+                    "remaining_work": float(kept_remaining[best_k]),
                     "combined": best_score,
                     "epsilon": epsilon,
-                    "srtf_term": srtf_weight * kept_remaining[best_k],
+                    "srtf_term": srtf_weight * float(kept_remaining[best_k]),
                     "remote": bool(remote_flags[best_k]),
                     "pool": len(pool_positions),
                 }
@@ -1067,6 +1416,11 @@ class TetrisScheduler(Scheduler):
                 score_info=score_info,
             )
             view.refresh_stage(self.index, best_task.stage)
+        if shared:
+            # this loop's own claims were refreshed into the shared view
+            # as they happened, so it is current again at the new rep
+            # generation
+            table._shared_gen = table.rep_gen
         return placements
 
     def _remaining_work(self, job: Job, time: float) -> float:

@@ -33,11 +33,12 @@ from repro.estimation.estimator import DemandEstimator
 from repro.estimation.tracker import ResourceTracker
 from repro.metrics.collector import MetricsCollector
 from repro.schedulers.base import Placement, Scheduler
-from repro.sim.events import EventKind, EventQueue
+from repro.sim.events import ArrayEventQueue, EventKind
 from repro.sim.fluid import FluidConfig, FlowTable
 from repro.sim.runtime import build_flows
 from repro.workload.job import Job
 from repro.workload.stage import Stage
+from repro.workload.table import TaskTable
 from repro.workload.task import Task, TaskState
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -49,10 +50,41 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["Engine", "EngineConfig"]
 
 
+class _DisabledLog:
+    """Placeholder for a log disabled with a zero cap.
+
+    Reads behave like an empty log; ``append`` raises, which is the
+    regression guard for the zero-allocation round loop — the engine
+    must gate entry *construction* behind the cap, never build a tuple
+    just to discard it here.
+    """
+
+    __slots__ = ()
+    maxlen = 0
+
+    def append(self, entry: tuple) -> None:
+        raise RuntimeError(
+            "log is disabled (cap=0); the engine must not build entries"
+        )
+
+    def __iter__(self):
+        return iter(())
+
+    def __len__(self) -> int:
+        return 0
+
+
+_DISABLED_LOG = _DisabledLog()
+
+
 def _make_log(cap: Optional[int]) -> MutableSequence[tuple]:
     """An append-only log, bounded to the most recent ``cap`` entries
-    when a cap is configured."""
-    return deque(maxlen=cap) if cap is not None else []
+    when a cap is configured (cap 0 disables the log entirely)."""
+    if cap is None:
+        return []
+    if cap == 0:
+        return _DISABLED_LOG
+    return deque(maxlen=cap)
 
 
 @dataclass(frozen=True)
@@ -124,9 +156,12 @@ class Engine:
             [m.capacity.data for m in cluster.machines],
             fluid_config,
         )
-        self.events = EventQueue()
+        self.events = ArrayEventQueue()
         self.now = 0.0
         self.rng = np.random.default_rng(self.config.seed)
+        #: structure-of-arrays task plane: live tasks occupy stable
+        #: slots; state transitions write through from the Task objects
+        self.task_table = TaskTable(cluster.model)
         self._task_by_id: Dict[int, Task] = {}
         self._outstanding_flows: Dict[int, int] = {}
         self._activity_by_id: Dict[int, "ClusterActivity"] = {}
@@ -146,6 +181,8 @@ class Engine:
         self.placement_log: MutableSequence[tuple] = _make_log(
             self.config.max_placement_log
         )
+        self._log_placements = self.config.max_placement_log != 0
+        self._log_rounds = self.config.max_round_log != 0
         #: total placements applied, independent of any log cap
         self.num_placements = 0
         #: every scheduling round as (time, machines visited, placements,
@@ -264,7 +301,9 @@ class Engine:
                 f"{job.arrival_time} but the clock is already at {self.now}"
             )
         self.jobs.append(job)
-        self._task_by_id.update((t.task_id, t) for t in job.all_tasks())
+        for t in job.all_tasks():
+            self._task_by_id[t.task_id] = t
+            self.task_table.register(t)
         self._unfinished_jobs += 1
         self.events.push(job.arrival_time, EventKind.JOB_ARRIVAL, job)
 
@@ -324,9 +363,9 @@ class Engine:
     # -- setup ------------------------------------------------------------------
     def _prime_events(self) -> None:
         for job in self.jobs:
-            self._task_by_id.update(
-                (t.task_id, t) for t in job.all_tasks()
-            )
+            for t in job.all_tasks():
+                self._task_by_id[t.task_id] = t
+                self.task_table.register(t)
             self.events.push(job.arrival_time, EventKind.JOB_ARRIVAL, job)
         for activity in self.activities:
             self.events.push(
@@ -448,6 +487,7 @@ class Engine:
             self._dirty.add(machine.machine_id)
             return
         task.mark_finished(self.now)
+        self.task_table.release(task)
         self.collector.task_finished(task.duration)
         if self._m_tasks_finished is not None:
             self._m_tasks_finished.inc()
@@ -517,9 +557,10 @@ class Engine:
         else:
             placements = self.scheduler.schedule(self.now, machine_ids)
         wall = perf_counter() - start
-        self.round_log.append(
-            (self.now, len(machine_ids), len(placements), wall)
-        )
+        if self._log_rounds:
+            self.round_log.append(
+                (self.now, len(machine_ids), len(placements), wall)
+            )
         if self.trace is not None:
             self.trace.emit(
                 "round",
@@ -542,9 +583,10 @@ class Engine:
         machine.place(task, placement.booked)
         task.mark_running(placement.machine_id, self.now)
         self.num_placements += 1
-        self.placement_log.append(
-            (task, placement.machine_id, self.now, placement.booked)
-        )
+        if self._log_placements:
+            self.placement_log.append(
+                (task, placement.machine_id, self.now, placement.booked)
+            )
         if self.trace is not None:
             self.trace.emit(
                 "task_start",

@@ -109,6 +109,8 @@ class Task:
         "finish_time",
         "duration_hint",
         "attempts",
+        "_table",
+        "_slot",
     )
 
     def __init__(
@@ -133,6 +135,10 @@ class Task:
         self.duration_hint = duration_hint
         #: failed execution attempts so far (failure injection)
         self.attempts = 0
+        #: structure-of-arrays attachment (set by TaskTable.register);
+        #: state transitions write through to the table's parallel arrays
+        self._table = None
+        self._slot: Optional[int] = None
 
     # -- size helpers -------------------------------------------------------
     @property
@@ -192,6 +198,8 @@ class Task:
             self.state = TaskState.RUNNABLE
             if self.stage is not None:
                 self.stage._num_runnable += 1
+            if self._table is not None:
+                self._table.note_state(self._slot, self.state)
 
     def mark_running(self, machine_id: int, time: float) -> None:
         if self.state is not TaskState.RUNNABLE:
@@ -201,6 +209,9 @@ class Task:
         self.start_time = time
         if self.stage is not None:
             self.stage._num_runnable -= 1
+        if self._table is not None:
+            self._table.note_state(self._slot, self.state)
+            self._table.note_machine(self._slot, machine_id)
 
     def mark_finished(self, time: float) -> None:
         if self.state is not TaskState.RUNNING:
@@ -209,6 +220,8 @@ class Task:
         self.finish_time = time
         if self.stage is not None:
             self.stage._num_finished += 1
+        if self._table is not None:
+            self._table.note_state(self._slot, self.state)
 
     def mark_failed(self, time: float) -> None:
         """The attempt died; the task goes back to the runnable pool.
@@ -225,6 +238,9 @@ class Task:
         self.attempts += 1
         if self.stage is not None:
             self.stage._num_runnable += 1
+        if self._table is not None:
+            self._table.note_state(self._slot, self.state)
+            self._table.note_machine(self._slot, None)
 
     @property
     def duration(self) -> Optional[float]:

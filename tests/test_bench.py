@@ -196,6 +196,41 @@ class TestCapture:
         with pytest.raises(ValueError):
             capture("smoke", repeats=0)
 
+    def test_kernel_backend_stamped(self, smoke_profile):
+        # no explicit selection: the resolved default is stamped
+        assert smoke_profile["meta"]["kernel_backend"] == "numpy"
+
+    def test_explicit_kernel_backend_stamped_and_env_restored(
+        self, monkeypatch
+    ):
+        import os
+
+        from repro.kernels import ENV_VAR
+
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        p = capture(TINY_PACKING, repeats=1, kernel_backend="scalar")
+        assert p["meta"]["kernel_backend"] == "scalar"
+        assert ENV_VAR not in os.environ  # restored after the capture
+
+    def test_unknown_kernel_backend_fails_fast(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            capture(TINY_PACKING, repeats=1, kernel_backend="cuda")
+
+    def test_compare_never_crosses_kernel_backends(self, smoke_profile):
+        """A scalar capture must not gate against a numpy baseline: the
+        timing delta would be the backend, not the commit."""
+        other = capture("smoke", repeats=2, kernel_backend="scalar")
+        result = compare_profiles(smoke_profile, other)
+        assert result.config_mismatch
+        assert any("kernel backend" in n for n in result.notes)
+        # legacy profiles without the stamp read as the numpy default
+        legacy = dict(smoke_profile)
+        legacy["meta"] = {
+            k: v for k, v in smoke_profile["meta"].items()
+            if k != "kernel_backend"
+        }
+        assert compare_profiles(legacy, smoke_profile).ok
+
 
 class TestSerialization:
     def test_round_trip(self, tmp_path):

@@ -169,6 +169,36 @@ class TestBoundedLogs:
         )
         assert finish(jobs_a) == finish(jobs_b)
 
+    def test_zero_caps_disable_entry_construction(self):
+        """With cap 0, the engine must gate log-entry *construction*
+        behind the cap — the disabled-log sentinel raises on any append,
+        so a full run is itself the regression guard for the
+        zero-allocation round loop."""
+        from repro.sim.engine import _DisabledLog
+
+        jobs = [make_simple_job(num_tasks=8, arrival_time=float(i))
+                for i in range(3)]
+        engine, _ = run_jobs(jobs, max_placement_log=0, max_round_log=0)
+        assert all(j.is_finished for j in jobs)
+        assert isinstance(engine.placement_log, _DisabledLog)
+        assert isinstance(engine.round_log, _DisabledLog)
+        assert len(engine.placement_log) == 0
+        assert len(engine.round_log) == 0
+        assert list(engine.placement_log) == []
+        # any code path that did build an entry would have blown up here
+        with pytest.raises(RuntimeError, match="disabled"):
+            engine.round_log.append((0.0, 0, 0, 0.0))
+
+    def test_zero_capped_run_simulates_identically(self):
+        jobs_a = [make_simple_job(num_tasks=6)]
+        run_jobs(jobs_a)
+        jobs_b = [make_simple_job(num_tasks=6)]
+        run_jobs(jobs_b, max_placement_log=0, max_round_log=0)
+        finish = lambda jobs: sorted(
+            t.finish_time for j in jobs for t in j.all_tasks()
+        )
+        assert finish(jobs_a) == finish(jobs_b)
+
 
 class TestStuckDetection:
     def test_unplaceable_task_raises(self):

@@ -1,0 +1,406 @@
+"""The structure-of-arrays core's identity bar.
+
+Property tests pinning the tentpole's central invariant: every kernel
+backend (``scalar`` / ``numpy`` / ``numba`` when importable) and every
+SoA fast path produces *bit-identical* decisions to the pure-python
+scalar oracle —
+
+- kernel primitives (fit mask, alignment dot, score combine) agree
+  elementwise with the scalar reference on arbitrary inputs;
+- end-to-end placements and decision-event streams match across
+  backends on generated workloads, with and without a tracker;
+- the sparse fluid rate updates equal the dense ``reference_rates``
+  oracle exactly;
+- ``TaskTable`` recycles slots, so the arrays track the live population;
+- the batched ``fill_packed`` view write is coherent with the
+  per-slot ``set_slot`` path (placements identical either way).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.cluster import Cluster
+from repro.kernels import DEFAULT_BACKEND, available_backends, get_backend
+from repro.obs.trace import DecisionTrace
+from repro.resources import DEFAULT_MODEL, EPSILON
+from repro.schedulers.tetris import TetrisConfig, TetrisScheduler
+from repro.sim.engine import Engine, EngineConfig
+from repro.sim.fluid import FluidConfig, FlowSpec, FlowTable
+from repro.workload.table import TaskTable
+from repro.workload.task import Task, TaskWork
+from repro.workload.trace import materialize_trace
+from repro.workload.tracegen import WorkloadSuiteConfig, generate_workload_suite
+
+from conftest import make_simple_job
+
+BACKENDS = available_backends()
+HAS_NUMBA = "numba" in BACKENDS
+
+finite = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+
+
+def _workload(seed, num_jobs=6, horizon=120.0):
+    return generate_workload_suite(
+        WorkloadSuiteConfig(
+            num_jobs=num_jobs,
+            task_scale=0.04,
+            arrival_horizon=horizon,
+            seed=seed,
+        )
+    )
+
+
+def _run(trace, config, seed=0, num_machines=4, use_tracker=False,
+         decision_trace=None):
+    from repro.estimation.tracker import ResourceTracker
+
+    cluster = Cluster(num_machines, seed=seed)
+    jobs = materialize_trace(trace, cluster, seed=seed)
+    tracker = ResourceTracker(cluster) if use_tracker else None
+    engine = Engine(
+        cluster,
+        TetrisScheduler(config),
+        jobs,
+        tracker=tracker,
+        config=EngineConfig(seed=seed),
+        decision_trace=decision_trace,
+    )
+    engine.run()
+    return [
+        (task.job.name, task.stage.name, task.index, machine_id, time)
+        for (task, machine_id, time, _booked) in engine.placement_log
+    ]
+
+
+# -- kernel primitives ------------------------------------------------------
+
+class TestKernelPrimitiveIdentity:
+    """Every registered backend computes the three hot kernels with the
+    exact float semantics of the scalar reference."""
+
+    @given(
+        st.integers(1, 7).flatmap(
+            lambda d: st.tuples(
+                st.lists(
+                    st.lists(finite, min_size=d, max_size=d),
+                    min_size=1,
+                    max_size=24,
+                ),
+                st.lists(finite, min_size=d, max_size=d),
+            )
+        )
+    )
+    @settings(deadline=None)
+    def test_fit_and_dot_bitwise(self, data):
+        rows_list, vec_list = data
+        rows = np.array(rows_list, dtype=float)
+        vec = np.array(vec_list, dtype=float)
+        oracle = get_backend("scalar")
+        want_fit = oracle.fit_rows(rows, vec, EPSILON)
+        want_dot = oracle.dot_rows(rows, vec)
+        for name in BACKENDS:
+            backend = get_backend(name)
+            got_fit = backend.fit_rows(rows, vec, EPSILON)
+            got_dot = backend.dot_rows(rows, vec)
+            assert np.array_equal(got_fit, want_fit), name
+            # bitwise: same products reduced in the same order
+            assert np.array_equal(got_dot, want_dot), name
+
+    @given(
+        st.lists(finite, min_size=1, max_size=24),
+        st.lists(finite, min_size=1, max_size=24),
+        finite,
+        finite,
+    )
+    @settings(deadline=None)
+    def test_combine_scores_bitwise(self, align, remaining, w, srtf_w):
+        n = min(len(align), len(remaining))
+        a = np.array(align[:n])
+        r = np.array(remaining[:n])
+        oracle = get_backend("scalar")
+        want = oracle.combine_scores(a, r, w, srtf_w)
+        for name in BACKENDS:
+            got = get_backend(name).combine_scores(a, r, w, srtf_w)
+            assert np.array_equal(got, want), name
+
+
+# -- backend registry -------------------------------------------------------
+
+class TestBackendRegistry:
+    def test_default_is_numpy(self):
+        assert DEFAULT_BACKEND == "numpy"
+        assert get_backend(None).name == "numpy"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "scalar")
+        assert get_backend(None).name == "scalar"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            get_backend("cuda")
+
+    def test_scalar_is_not_vectorized(self):
+        assert not get_backend("scalar").vectorized
+        assert get_backend("numpy").vectorized
+
+    @pytest.mark.skipif(HAS_NUMBA, reason="numba installed here")
+    def test_numba_absent_raises_cleanly(self):
+        """Requesting numba without the package is a clean ValueError
+        naming the usable alternatives — not an ImportError mid-round."""
+        with pytest.raises(ValueError, match="numba"):
+            get_backend("numba")
+        assert available_backends() == ["scalar", "numpy"]
+
+    @pytest.mark.skipif(not HAS_NUMBA, reason="numba not installed")
+    def test_numba_backend_resolves(self):
+        assert get_backend("numba").name == "numba"
+
+
+# -- end-to-end placement / trace identity ---------------------------------
+
+class TestBackendPlacementIdentity:
+    """Scheduling through any backend lands every task on the same
+    machine at the same instant as the scalar object-path oracle."""
+
+    @given(st.integers(0, 10_000))
+    @settings(deadline=None, max_examples=5)
+    def test_placements_match_oracle(self, seed):
+        trace = _workload(seed=seed % 997)
+        oracle = _run(trace, TetrisConfig(vectorized=False), seed=seed % 31)
+        assert len(oracle) > 0
+        for name in BACKENDS:
+            if name == "scalar":
+                continue
+            got = _run(
+                trace,
+                TetrisConfig(vectorized=True, backend=name),
+                seed=seed % 31,
+            )
+            assert got == oracle, name
+
+    @given(st.integers(0, 10_000))
+    @settings(deadline=None, max_examples=3)
+    def test_placements_match_with_tracker(self, seed):
+        trace = _workload(seed=seed % 991)
+        oracle = _run(
+            trace, TetrisConfig(vectorized=False), use_tracker=True
+        )
+        assert len(oracle) > 0
+        for name in BACKENDS:
+            if name == "scalar":
+                continue
+            got = _run(
+                trace,
+                TetrisConfig(vectorized=True, backend=name),
+                use_tracker=True,
+            )
+            assert got == oracle, name
+
+    @pytest.mark.parametrize(
+        "name", [n for n in BACKENDS if n != "scalar"]
+    )
+    def test_decision_stream_matches_oracle(self, name):
+        """With a trace attached, the backend emits the *same decision
+        events* — every candidate considered, every score, every
+        decline — as the scalar reference."""
+        trace = _workload(seed=23)
+        with DecisionTrace() as ref_sink:
+            _run(trace, TetrisConfig(vectorized=False),
+                 decision_trace=ref_sink)
+            want = ref_sink.events()
+        with DecisionTrace() as got_sink:
+            _run(trace, TetrisConfig(vectorized=True, backend=name),
+                 decision_trace=got_sink)
+            got = got_sink.events()
+        assert len(want) > 0
+        assert got == want
+
+    def test_scalar_backend_runs_reference_loop(self):
+        cluster = Cluster(2, seed=0)
+        sched = TetrisScheduler(TetrisConfig(backend="scalar"))
+        sched.bind(cluster)
+        assert not sched._use_vectorized
+
+
+# -- fluid rates ------------------------------------------------------------
+
+class TestFluidRateIdentity:
+    def _table(self, num_machines=3):
+        caps = [
+            DEFAULT_MODEL.vector(
+                cpu=16, mem=48, diskr=200, diskw=200, netin=125, netout=125
+            ).data
+            for _ in range(num_machines)
+        ]
+        return FlowTable(
+            DEFAULT_MODEL, caps, FluidConfig(contention_sigma=0.25)
+        )
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=1.0, max_value=500.0, allow_nan=False),
+                st.floats(min_value=1.0, max_value=300.0, allow_nan=False),
+                st.integers(0, 2),
+                st.sampled_from(["diskr", "diskw", "netin", "netout"]),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(deadline=None, max_examples=30)
+    def test_sparse_rates_equal_reference_bitwise(self, specs):
+        """After any mix of adds, removes and advances, the sparse
+        per-flow rates equal the dense oracle recomputation exactly."""
+        table = self._table()
+        live = []
+        for i, (work, rate, machine, dim) in enumerate(specs):
+            fid = table.add_flow(
+                FlowSpec(
+                    work=work,
+                    nominal_rate=rate,
+                    slots=((machine, dim),),
+                )
+            )
+            live.append(fid)
+            if i % 3 == 2 and live:
+                table.remove_flow(live.pop(0))
+            if i % 4 == 3:
+                dt = table.time_to_next_completion()
+                if dt != float("inf"):
+                    done = set(table.advance(dt))
+                    live = [f for f in live if f not in done]
+            table._recompute_rates()  # flush the dirty-slot set
+            oracle = table.reference_rates()
+            for fid in live:
+                assert table._rate[fid] == oracle[fid]
+
+
+# -- task table slot reuse --------------------------------------------------
+
+class TestTaskTableSlotReuse:
+    def _task(self):
+        return Task(DEFAULT_MODEL.vector(cpu=1, mem=1), TaskWork(10))
+
+    def test_released_slot_is_recycled(self):
+        table = TaskTable(DEFAULT_MODEL, capacity=2)
+        a, b = self._task(), self._task()
+        slot_a = table.register(a)
+        slot_b = table.register(b)
+        assert {slot_a, slot_b} == {0, 1}
+        table.release(a)
+        assert table.num_live == 1
+        assert table.task_at(slot_a) is None
+        c = self._task()
+        assert table.register(c) == slot_a  # freed slot comes back first
+        assert table.task_at(slot_a) is c
+        assert table.demands[slot_a] == pytest.approx(c.demands.data)
+        assert table.num_live == 2
+        assert table.capacity == 2  # no growth while slots recycle
+
+    def test_register_is_idempotent(self):
+        table = TaskTable(DEFAULT_MODEL, capacity=2)
+        task = self._task()
+        assert table.register(task) == table.register(task)
+        assert table.num_live == 1
+
+    def test_growth_preserves_rows(self):
+        table = TaskTable(DEFAULT_MODEL, capacity=1)
+        tasks = [self._task() for _ in range(5)]
+        slots = [table.register(t) for t in tasks]
+        assert len(set(slots)) == 5
+        for task, slot in zip(tasks, slots):
+            assert table.task_at(slot) is task
+            assert np.array_equal(table.demands[slot], task.demands.data)
+
+    def test_engine_recycles_slots_across_waves(self):
+        """Streamed jobs with disjoint lifetimes share slots: the table
+        stays sized to the live population, not the stream total."""
+        cluster = Cluster(4, machines_per_rack=2, seed=1)
+        first = make_simple_job(num_tasks=8, cpu_work=4.0,
+                                arrival_time=0.0)
+        engine = Engine(cluster, TetrisScheduler(), [first],
+                        config=EngineConfig(seed=1))
+        engine.open_stream()
+        jobs = [first]
+        for i in range(1, 12):
+            # drain wave i-1 completely before committing wave i, so its
+            # released slots are free for reuse at registration time
+            engine.run_until(100.0 * i - 50.0)
+            job = make_simple_job(num_tasks=8, cpu_work=4.0,
+                                  arrival_time=100.0 * i)
+            engine.add_job(job)
+            jobs.append(job)
+        engine.close_stream()
+        while not engine._finished():
+            engine.run_until(float("inf"))
+        engine.finalize()
+        assert all(j.is_finished for j in jobs)
+        assert engine.task_table.num_live == 0  # all released
+        # 96 tasks flowed through, but only one wave was ever live
+        assert engine.task_table.capacity == 64  # initial, never grown
+
+
+# -- fill_packed coherence --------------------------------------------------
+
+class TestFillPackedCoherence:
+    """The batched two-assignment view write and the per-slot write are
+    interchangeable: forcing either path end-to-end yields bit-identical
+    placements (the batch threshold is a pure perf knob)."""
+
+    def _placements(self, threshold):
+        import repro.schedulers.candidates as cand
+
+        trace = _workload(seed=37, num_jobs=10)
+        old = cand._BATCH_THRESHOLD
+        cand._BATCH_THRESHOLD = threshold
+        try:
+            return _run(trace, TetrisConfig(vectorized=True), seed=2,
+                        num_machines=6)
+        finally:
+            cand._BATCH_THRESHOLD = old
+
+    def test_batched_and_per_slot_paths_identical(self):
+        always_packed = self._placements(0)       # fill_packed everywhere
+        never_packed = self._placements(10**9)    # set_slot everywhere
+        assert len(always_packed) > 0
+        assert always_packed == never_packed
+
+    def test_fill_packed_writes_match_set_slot_writes(self):
+        """Direct array coherence: intercept every built view and rebuild
+        it through the opposite path; the slot arrays must agree
+        row-for-row."""
+        import repro.schedulers.candidates as cand
+
+        checked = {"views": 0, "batched": 0}
+        orig = cand.CandidateIndex.build_view
+
+        def checking(self, table, stage_index, machine_id, num_dims,
+                     shared=False):
+            view = orig(self, table, stage_index, machine_id, num_dims,
+                        shared)
+            rows = view.active_rows()
+            if rows.size == 0:
+                return view
+            checked["views"] += 1
+            if rows.size > cand._BATCH_THRESHOLD:
+                checked["batched"] += 1
+            # rebuild the active rows through the scalar pack lookup
+            for i in rows:
+                task = view.tasks[i]
+                booked, norm, remote = self.pack(task, machine_id)
+                assert np.array_equal(view.booked_mat[i], booked.data)
+                assert np.array_equal(view.norm_mat[i], norm)
+                assert bool(view.remote[i]) == bool(remote)
+            return view
+
+        cand.CandidateIndex.build_view = checking
+        try:
+            trace = _workload(seed=41, num_jobs=10)
+            placements = _run(trace, TetrisConfig(vectorized=True),
+                              seed=3, num_machines=6)
+        finally:
+            cand.CandidateIndex.build_view = orig
+        assert len(placements) > 0
+        assert checked["views"] > 0

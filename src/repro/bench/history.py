@@ -40,6 +40,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from repro.bench.detect import (
     ComparisonResult,
     _kernel_backend_of,
+    _shards_of,
     compare_profiles,
 )
 from repro.bench.profile import SCHEMA as PROFILE_SCHEMA
@@ -387,14 +388,15 @@ def trend_rows(
     header = ["captured", "git", "stamp"] + list(metrics)
     rows: List[List[str]] = []
     previous: Dict[str, float] = {}
-    previous_backend: Optional[str] = None
+    previous_mode: Optional[tuple] = None
     for entry in entries:
-        backend = _kernel_backend_of(entry.profile)
-        if previous_backend is not None and backend != previous_backend:
-            # never show deltas across a kernel-backend switch: the
-            # timing change is the backend, not the commit
+        mode = (_kernel_backend_of(entry.profile), _shards_of(entry.profile))
+        if previous_mode is not None and mode != previous_mode:
+            # never show deltas across a kernel-backend or shard-count
+            # switch: the timing change is the execution mode, not the
+            # commit
             previous = {}
-        previous_backend = backend
+        previous_mode = mode
         when = time.strftime(
             "%Y-%m-%d %H:%M", time.gmtime(entry.recorded_unix)
         )

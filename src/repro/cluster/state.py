@@ -55,6 +55,7 @@ class ClusterState:
         "_free_clamped",
         "_free_dirty",
         "_any_dirty",
+        "alloc_gen",
     )
 
     def __init__(self, model: ResourceModel, capacities: np.ndarray):
@@ -76,6 +77,11 @@ class ClusterState:
         self._free_clamped = np.maximum(capacities - self.allocated, 0.0)
         self._free_dirty = np.zeros(num, dtype=bool)
         self._any_dirty = False
+        #: monotone allocation version: bumped on every allocation
+        #: change (all mutations funnel through ``mark_dirty``), so
+        #: derived caches can validate with one integer compare instead
+        #: of re-reading free rows
+        self.alloc_gen = 0
 
     @classmethod
     def from_capacities(
@@ -93,6 +99,7 @@ class ClusterState:
         """Flag a machine's free row stale after an allocation change."""
         self._free_dirty[row] = True
         self._any_dirty = True
+        self.alloc_gen += 1
 
     def _refresh(self) -> None:
         rows = np.flatnonzero(self._free_dirty)

@@ -8,14 +8,25 @@ of completion order.  Two implementations:
   caught per item (failure isolation has the same semantics as the
   process backend), so a grid with one bad cell still yields every other
   cell.
-- :class:`ProcessPoolBackend` — one worker process per in-flight item,
-  at most ``workers`` alive at once.  Each item gets its own process and
-  pipe, so a hung run can be *killed* (``timeout`` seconds, enforced
-  with ``Process.terminate``) without poisoning a shared pool, and a
-  worker that dies without reporting (OOM kill, segfault, ``os._exit``)
-  is retried up to ``retries`` times.  Deterministic Python exceptions
-  are **not** retried — they would fail identically — and are returned
-  as failed outcomes with the worker's traceback.
+- :class:`ProcessPoolBackend` — a **persistent** pool of long-lived
+  worker processes, reused across successive :meth:`map` calls (the
+  scheduler-federation round loop dispatches one item per shard per
+  round, so per-call pool construction would dominate).  Workers are
+  spawned lazily, live until :meth:`close`, and each holds one duplex
+  pipe; a hung item can still be *killed* (``timeout`` seconds, enforced
+  with ``Process.terminate`` — the worker is replaced by a fresh one),
+  and a worker that dies without reporting (OOM kill, segfault,
+  ``os._exit``) is replaced and the item retried up to ``retries``
+  times.  Deterministic Python exceptions are **not** retried — they
+  would fail identically — and are returned as failed outcomes with the
+  worker's traceback.
+
+With ``sticky=True`` item ``i`` is always routed to worker slot
+``i % workers``: callers that keep per-item state inside the worker
+(shard mirrors) get a stable item→process mapping across calls.  A
+replaced worker keeps its *slot*, so the mapping survives crashes — the
+process behind it is fresh, which stateful callers must detect
+themselves (the federation's delta protocol re-syncs on epoch mismatch).
 
 Worker counts resolve ``workers`` argument → ``REPRO_WORKERS`` env var →
 1, so CI and users can set a fleet-wide default without threading an
@@ -32,7 +43,7 @@ from collections import deque
 from dataclasses import dataclass
 from multiprocessing.connection import wait as _mp_wait
 from time import perf_counter
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 __all__ = [
     "TaskOutcome",
@@ -130,24 +141,43 @@ class SerialBackend:
                 progress(len(outcomes), len(items), outcome)
         return outcomes
 
+    def close(self) -> None:
+        """Nothing to release; provided for backend-interface symmetry."""
 
-def _child_main(fn, item, conn) -> None:
-    """Worker entry: run one item, report (status, ...) over the pipe."""
-    start = perf_counter()
+
+def _pool_worker_main(conn) -> None:
+    """Worker entry: serve (fn, item) requests until told to stop.
+
+    Each request is answered with ``("ok", value, None, wall)`` or
+    ``("error", message, traceback, wall)``.  ``None`` is the shutdown
+    sentinel; a closed pipe (parent gone) also ends the loop.
+    """
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        if msg is None:
+            break
+        fn, item = msg
+        start = perf_counter()
+        try:
+            payload = ("ok", fn(item), None, perf_counter() - start)
+        except BaseException as exc:  # report, never crash silently
+            payload = (
+                "error",
+                f"{type(exc).__name__}: {exc}",
+                traceback.format_exc(),
+                perf_counter() - start,
+            )
+        try:
+            conn.send(payload)
+        except (BrokenPipeError, OSError):  # pragma: no cover - parent gone
+            break
     try:
-        value = fn(item)
-        payload = ("ok", value, None, perf_counter() - start)
-    except BaseException as exc:  # report, never crash silently
-        payload = (
-            "error",
-            f"{type(exc).__name__}: {exc}",
-            traceback.format_exc(),
-            perf_counter() - start,
-        )
-    try:
-        conn.send(payload)
-    finally:
         conn.close()
+    except OSError:  # pragma: no cover
+        pass
 
 
 @dataclass
@@ -155,17 +185,41 @@ class _Attempt:
     index: int
     item: object
     attempts: int = 0
+    #: consecutive hand-off failures (worker died before accepting the
+    #: item) — not charged as attempts, but bounded so a pool whose
+    #: workers die at startup cannot spin forever
+    dispatch_failures: int = 0
+
+
+class _Worker:
+    """Parent-side handle for one pool slot's live process."""
+
+    __slots__ = ("slot", "proc", "conn", "attempt", "deadline", "started")
+
+    def __init__(self, slot: int, proc, conn):
+        self.slot = slot
+        self.proc = proc
+        self.conn = conn
+        #: in-flight attempt (None when idle)
+        self.attempt: Optional[_Attempt] = None
+        self.deadline: Optional[float] = None
+        self.started: float = 0.0
 
 
 class ProcessPoolBackend:
-    """Bounded fleet of single-shot worker processes.
+    """Persistent pool of long-lived worker processes.
 
     ``timeout`` is per attempt (seconds of wall clock before the worker
-    is terminated); ``retries`` bounds how many *additional* attempts a
-    timed-out or silently-dead worker gets, so total attempts are at
-    most ``retries + 1``.  ``start_method`` selects the multiprocessing
-    context (platform default when ``None``; items and ``fn`` must be
-    picklable under ``spawn``).
+    is terminated and replaced); ``retries`` bounds how many
+    *additional* attempts a timed-out or silently-dead worker's item
+    gets, so total attempts are at most ``retries + 1``.
+    ``start_method`` selects the multiprocessing context (platform
+    default when ``None``; items and ``fn`` must be picklable under
+    ``spawn``).  ``sticky`` pins item ``i`` to worker slot
+    ``i % workers`` across calls.
+
+    The pool is usable as a context manager; otherwise call
+    :meth:`close` (or rely on daemonized workers dying with the parent).
     """
 
     name = "process"
@@ -177,6 +231,7 @@ class ProcessPoolBackend:
         retries: int = 1,
         start_method: Optional[str] = None,
         poll_interval: float = 0.05,
+        sticky: bool = False,
     ) -> None:
         self.workers = resolve_workers(workers)
         if timeout is not None and timeout <= 0:
@@ -186,22 +241,102 @@ class ProcessPoolBackend:
         self.timeout = timeout
         self.retries = retries
         self.poll_interval = poll_interval
+        self.sticky = sticky
         self._ctx = (
             mp.get_context(start_method) if start_method else mp.get_context()
         )
+        #: one slot per worker; None until first used (lazy spawn)
+        self._slots: List[Optional[_Worker]] = [None] * self.workers
+        self._closed = False
 
+    # -- worker lifecycle ---------------------------------------------------
+    def _spawn(self, slot: int) -> _Worker:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_pool_worker_main, args=(child_conn,), daemon=True
+        )
+        proc.start()
+        child_conn.close()
+        worker = _Worker(slot, proc, parent_conn)
+        self._slots[slot] = worker
+        return worker
+
+    def _worker_for(self, slot: int) -> _Worker:
+        worker = self._slots[slot]
+        if worker is None or not worker.proc.is_alive():
+            if worker is not None:
+                self._discard(worker)
+            worker = self._spawn(slot)
+        return worker
+
+    def _discard(self, worker: _Worker) -> None:
+        """Tear down a dead/poisoned worker; its slot respawns on demand."""
+        try:
+            worker.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        worker.proc.terminate()
+        worker.proc.join(1.0)
+        if worker.proc.is_alive():  # pragma: no cover - stubborn child
+            worker.proc.kill()
+            worker.proc.join(1.0)
+        if self._slots[worker.slot] is worker:
+            self._slots[worker.slot] = None
+
+    def worker_pids(self) -> List[Optional[int]]:
+        """Live worker PIDs by slot (None for never-spawned slots) —
+        lets callers (and the PID-stability regression test) observe
+        pool persistence without reaching into internals."""
+        return [
+            w.proc.pid if w is not None and w.proc.is_alive() else None
+            for w in self._slots
+        ]
+
+    def close(self) -> None:
+        """Shut the pool down: ask workers to exit, then make sure."""
+        self._closed = True
+        for worker in self._slots:
+            if worker is None:
+                continue
+            try:
+                worker.conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+            self._discard(worker)
+
+    def __enter__(self) -> "ProcessPoolBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            if not self._closed:
+                self.close()
+        except Exception:
+            pass
+
+    # -- the map loop -------------------------------------------------------
     def map(
         self,
         fn: Callable[[object], object],
         items: Sequence[object],
         progress: Optional[ProgressCallback] = None,
     ) -> List[TaskOutcome]:
+        if self._closed:
+            raise RuntimeError("backend is closed")
         items = list(items)
         total = len(items)
         results: List[Optional[TaskOutcome]] = [None] * total
-        pending = deque(_Attempt(i, item) for i, item in enumerate(items))
-        #: parent pipe end -> (process, attempt, deadline or None)
-        live: Dict[object, tuple] = {}
+        #: per-slot dispatch queues: sticky routing pins item i to slot
+        #: i % workers; the non-sticky path keeps one shared queue
+        if self.sticky:
+            queues = [deque() for _ in range(self.workers)]
+            for i, item in enumerate(items):
+                queues[i % self.workers].append(_Attempt(i, item))
+        else:
+            queues = [deque(_Attempt(i, item) for i, item in enumerate(items))]
         done = 0
 
         def finish(outcome: TaskOutcome) -> None:
@@ -212,7 +347,7 @@ class ProcessPoolBackend:
                 progress(done, total, outcome)
 
         def retry_or_fail(
-            attempt: _Attempt, error: str, elapsed: float
+            attempt: _Attempt, queue, error: str, elapsed: float
         ) -> None:
             """Requeue a dead/expired attempt, or fail it for good.
 
@@ -223,7 +358,7 @@ class ProcessPoolBackend:
             timeout is configured at all).
             """
             if attempt.attempts <= self.retries:
-                pending.append(attempt)
+                queue.appendleft(attempt)
             else:
                 finish(TaskOutcome(
                     attempt.index, False, error=error,
@@ -231,20 +366,61 @@ class ProcessPoolBackend:
                     wall_seconds=elapsed,
                 ))
 
-        def settle(conn, proc, attempt: _Attempt, started: float) -> None:
-            """Consume a reported payload (or EOF) from a worker."""
+        def queue_of(attempt: _Attempt):
+            if self.sticky:
+                return queues[attempt.index % self.workers]
+            return queues[0]
+
+        def dispatch(slot: int, attempt: _Attempt) -> bool:
+            """Hand one attempt to a slot's worker.
+
+            Returns True when the attempt was *consumed* (accepted by a
+            worker, or failed for good).  A worker that died between
+            calls is not the item's fault, so the hand-off failure is
+            not charged as an attempt — but repeated failures are
+            bounded, so an environment whose workers die at startup
+            fails the item instead of spinning forever.
+            """
+            worker = self._worker_for(slot)
             try:
-                payload = conn.recv()
+                worker.conn.send((fn, attempt.item))
+            except (BrokenPipeError, OSError):
+                self._discard(worker)
+                attempt.dispatch_failures += 1
+                if attempt.dispatch_failures > self.retries:
+                    finish(TaskOutcome(
+                        attempt.index, False,
+                        error="worker died before accepting the item",
+                        attempts=max(attempt.attempts, 1),
+                    ))
+                    return True
+                return False
+            attempt.dispatch_failures = 0
+            attempt.attempts += 1
+            worker.attempt = attempt
+            worker.started = time.monotonic()
+            worker.deadline = (
+                None if self.timeout is None
+                else worker.started + self.timeout
+            )
+            return True
+
+        def settle(worker: _Worker) -> None:
+            """Consume a reported payload (or EOF) from a busy worker."""
+            attempt = worker.attempt
+            worker.attempt = None
+            try:
+                payload = worker.conn.recv()
             except (EOFError, OSError):
                 payload = None
-            conn.close()
-            proc.join()
             if payload is None:
+                exitcode = worker.proc.exitcode
+                self._discard(worker)
                 retry_or_fail(
-                    attempt,
-                    f"worker exited with code {proc.exitcode} "
+                    attempt, queue_of(attempt),
+                    f"worker exited with code {exitcode} "
                     "before returning a result",
-                    time.monotonic() - started,
+                    time.monotonic() - worker.started,
                 )
             elif payload[0] == "ok":
                 finish(TaskOutcome(
@@ -260,59 +436,76 @@ class ProcessPoolBackend:
                     wall_seconds=payload[3],
                 ))
 
+        def expire(worker: _Worker) -> None:
+            attempt = worker.attempt
+            if worker.conn.poll():
+                # the result arrived between the wait and the deadline
+                # check: it beat the clock, take it — otherwise a
+                # finished run would be reported as timed out (or, once
+                # terminated, as a silent worker death)
+                settle(worker)
+                return
+            worker.attempt = None
+            self._discard(worker)
+            retry_or_fail(
+                attempt, queue_of(attempt),
+                f"timed out after {self.timeout}s "
+                f"(attempt {attempt.attempts})",
+                time.monotonic() - worker.started,
+            )
+
         try:
-            while pending or live:
-                while pending and len(live) < self.workers:
-                    attempt = pending.popleft()
-                    attempt.attempts += 1
-                    parent_conn, child_conn = self._ctx.Pipe(duplex=False)
-                    proc = self._ctx.Process(
-                        target=_child_main,
-                        args=(fn, attempt.item, child_conn),
-                        daemon=True,
-                    )
-                    proc.start()
-                    child_conn.close()
-                    started = time.monotonic()
-                    deadline = (
-                        None if self.timeout is None
-                        else started + self.timeout
-                    )
-                    live[parent_conn] = (proc, attempt, deadline, started)
-                for conn in _mp_wait(list(live), timeout=self.poll_interval):
-                    proc, attempt, _, started = live.pop(conn)
-                    settle(conn, proc, attempt, started)
+            while done < total:
+                # fill idle slots from their queues
+                if self.sticky:
+                    for slot in range(self.workers):
+                        queue = queues[slot]
+                        while queue:
+                            worker = self._slots[slot]
+                            if worker is not None and worker.attempt is not None:
+                                break
+                            if dispatch(slot, queue[0]):
+                                queue.popleft()
+                else:
+                    queue = queues[0]
+                    while queue:
+                        slot = next(
+                            (
+                                s
+                                for s in range(self.workers)
+                                if self._slots[s] is None
+                                or self._slots[s].attempt is None
+                            ),
+                            None,
+                        )
+                        if slot is None:
+                            break
+                        if dispatch(slot, queue[0]):
+                            queue.popleft()
+                busy = {
+                    w.conn: w
+                    for w in self._slots
+                    if w is not None and w.attempt is not None
+                }
+                if not busy:
+                    if done < total:
+                        continue  # a dispatch failed; loop respawns
+                    break
+                for conn in _mp_wait(list(busy), timeout=self.poll_interval):
+                    worker = busy[conn]
+                    if worker.attempt is not None:
+                        settle(worker)
                 now = time.monotonic()
-                expired = [
-                    conn for conn, (_, _, deadline, _) in live.items()
-                    if deadline is not None and now > deadline
-                ]
-                for conn in expired:
-                    proc, attempt, _, started = live.pop(conn)
-                    if conn.poll():
-                        # the result arrived between the wait and the
-                        # deadline check: it beat the clock, take it —
-                        # otherwise a finished run would be reported as
-                        # timed out (or, once terminated, as a silent
-                        # worker death)
-                        settle(conn, proc, attempt, started)
-                        continue
-                    proc.terminate()
-                    proc.join(1.0)
-                    if proc.is_alive():  # pragma: no cover - stubborn child
-                        proc.kill()
-                        proc.join(1.0)
-                    conn.close()
-                    retry_or_fail(
-                        attempt,
-                        f"timed out after {self.timeout}s "
-                        f"(attempt {attempt.attempts})",
-                        time.monotonic() - started,
-                    )
-        finally:
-            # never leak workers, even if the parent is interrupted
-            for conn, (proc, _, _, _) in live.items():
-                proc.terminate()
-                proc.join(1.0)
-                conn.close()
+                for worker in list(busy.values()):
+                    if (
+                        worker.attempt is not None
+                        and worker.deadline is not None
+                        and now > worker.deadline
+                    ):
+                        expire(worker)
+        except BaseException:
+            # interrupted mid-flight: in-flight workers hold unknown
+            # state, so tear the whole pool down rather than leak them
+            self.close()
+            raise
         return results  # type: ignore[return-value]

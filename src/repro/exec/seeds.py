@@ -12,6 +12,16 @@ seed hashes ``(base, child_index)`` through SeedSequence's entropy
 mixer, giving streams that are independent by construction and stable —
 ``spawn_seeds(base, n)`` is a prefix of ``spawn_seeds(base, m)`` for
 ``n <= m``, so growing a sweep never changes the runs already done.
+
+The same prefix property is what makes **resharding** safe for the
+scheduler federation (:mod:`repro.federation`): shard ``i`` of an
+``n``-shard deployment draws its per-shard stream from
+``spawn_seeds(base, n)[i]``, and because the first ``n`` children are
+identical for every ``m >= n``, growing the shard count never silently
+reseeds the shards that already exist — shard ``i`` keeps its stream
+under any future ``--shards N`` with ``N > i``.  This is
+property-tested in ``tests/test_exec.py``
+(``test_prefix_stable_under_growing_shard_counts``).
 """
 
 from __future__ import annotations

@@ -1,0 +1,41 @@
+"""Sharded scheduler federation with optimistic conflict resolution.
+
+Partitions the machine plane across N scheduler shards, each running
+the full Tetris scorer over its slice of the cluster, with Omega-style
+optimistic concurrency: shards propose placement transactions, a round
+sequencer validates and commits them against the authoritative cluster
+state, and conflicting proposals are retried with bounded backoff.
+
+See ``docs/federation.md`` for the design and the standing invariants
+(``--shards 1`` is bit-identical to the centralized scheduler; N-shard
+runs are deterministic for a fixed seed/shard-count/partitioner).
+"""
+
+from repro.federation.federated import (
+    SHARD_BACKENDS,
+    FederatedScheduler,
+    FederationConfig,
+)
+from repro.federation.partition import (
+    DEFAULT_PARTITIONER,
+    machine_to_shard,
+    partition_machines,
+    partitioner_names,
+    route_stage,
+    stable_stage_hash,
+)
+from repro.federation.sequencer import CONFLICT_KINDS, RoundSequencer
+
+__all__ = [
+    "FederationConfig",
+    "FederatedScheduler",
+    "SHARD_BACKENDS",
+    "RoundSequencer",
+    "CONFLICT_KINDS",
+    "partition_machines",
+    "partitioner_names",
+    "machine_to_shard",
+    "route_stage",
+    "stable_stage_hash",
+    "DEFAULT_PARTITIONER",
+]

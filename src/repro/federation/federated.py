@@ -1,0 +1,793 @@
+"""Sharded scheduler federation with optimistic conflict resolution.
+
+The machine plane is partitioned across ``num_shards`` scheduler shards
+(:mod:`repro.federation.partition`), each running the full Tetris scorer
+over its row-slice of the :class:`~repro.cluster.state.ClusterState`.
+Stages are routed to the shard owning most of their input replicas
+(:func:`repro.federation.partition.route_stage`), so a shard's fill
+loops scan a fraction of the cluster-wide stage set — the source of the
+federation's round-throughput win on large clusters.
+
+Concurrency is Omega-style optimistic (Schwarzkopf et al., EuroSys'13):
+shards propose placement transactions computed against a shared-state
+snapshot, and a :class:`~repro.federation.sequencer.RoundSequencer`
+validates each against the authoritative state in deterministic shard
+order before committing.  Conflicting proposals are rolled back and
+retried in a bounded number of passes; still-conflicting proposals abort
+for the round (the task is simply a candidate again next round).
+Conflict, retry and abort counts are exported through ``repro.obs``.
+
+Two execution modes, selected by ``FederationConfig.backend``:
+
+- ``inline`` — all shards in this process, planning against the live
+  cluster state.  Machines are disjoint per shard, so capacity replay is
+  unnecessary; only ``duplicate`` (floating stages) and ``remote``
+  (cross-shard remote-read bandwidth) conflicts can occur.
+- ``process`` — each shard is a long-lived worker process holding a
+  *mirror* of the run (:mod:`repro.federation.worker`), kept in sync by
+  a delta-encoded event log.  Workers propose against their mirror (a
+  snapshot that trails the authoritative state only by this round's own
+  commits), and the parent validates with full capacity replay.  The
+  worker pool is a sticky :class:`repro.exec.ProcessPoolBackend`
+  (shard *i* always lands on slot *i*); a respawned worker is detected
+  by a sequence mismatch and re-synced from the full delta history.
+
+Starvation safety: a stage with runnable tasks that places nothing for
+``spill_after`` simulated seconds is *promoted to floating* — indexed by
+every shard — so work that cannot fit its home shard spills to the rest
+of the cluster (at the price of possible duplicate conflicts).
+
+Standing invariant: ``num_shards == 1`` delegates straight to the inner
+scheduler — placements and decision traces are bit-identical to the
+centralized run (property-tested in ``tests/test_federation.py``), and
+N-shard runs are deterministic for a fixed (seed, N, partitioner).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Set, Tuple, TYPE_CHECKING
+
+import numpy as np
+
+from repro.federation.partition import (
+    DEFAULT_PARTITIONER,
+    machine_to_shard,
+    partition_machines,
+    route_stage,
+)
+from repro.federation.sequencer import CONFLICT_KINDS, RoundSequencer
+from repro.resources import EPSILON, ResourceVector
+from repro.schedulers.base import Placement, Scheduler
+from repro.schedulers.fairness_policy import DRFFairnessPolicy
+from repro.schedulers.stage_index import StageIndex
+from repro.schedulers.tetris import GrantLedger, TetrisScheduler
+from repro.workload.task import Task
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.registry import Registry
+    from repro.workload.stage import Stage
+
+__all__ = ["FederationConfig", "FederatedScheduler", "SHARD_BACKENDS"]
+
+SHARD_BACKENDS = ("inline", "process")
+
+#: distinguishes runs sharing a worker pool slot: a mirror built for an
+#: earlier run must never answer for a later one
+_epochs = itertools.count()
+
+
+@dataclass(frozen=True)
+class FederationConfig:
+    """Knobs of the sharded federation.
+
+    - ``num_shards``: scheduler shards the machine plane splits into
+      (1 = centralized pass-through);
+    - ``partitioner``: machine partitioner name
+      (:func:`repro.federation.partition.partitioner_names`);
+    - ``backend``: ``inline`` (in-process shards) or ``process``
+      (distributed shards over a persistent worker pool);
+    - ``max_retry_passes``: bounded backoff — how many extra validation
+      passes a rejected proposal may get before aborting for the round;
+    - ``spill_after``: simulated seconds a stage may sit with runnable
+      tasks and no placement before it is promoted to floating (indexed
+      by every shard); ``None`` disables spilling;
+    - ``base_seed``: seed for the (non-decision) resync backoff jitter.
+    """
+
+    num_shards: int = 1
+    partitioner: str = DEFAULT_PARTITIONER
+    backend: str = "inline"
+    max_retry_passes: int = 2
+    spill_after: Optional[float] = 15.0
+    base_seed: int = 0
+    resync_retries: int = 3
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1: {self.num_shards}")
+        if self.backend not in SHARD_BACKENDS:
+            raise ValueError(
+                f"unknown shard backend {self.backend!r}; "
+                f"choose from {list(SHARD_BACKENDS)}"
+            )
+        if self.max_retry_passes < 0:
+            raise ValueError("max_retry_passes must be non-negative")
+        if self.spill_after is not None and self.spill_after <= 0:
+            raise ValueError("spill_after must be positive or None")
+
+
+class FederatedScheduler(Scheduler):
+    """Facade presenting N scheduler shards as one engine-facing scheduler.
+
+    Wraps a :class:`TetrisScheduler` template.  With one shard it is a
+    pure pass-through; with more it partitions machines, routes stages,
+    gathers shard proposals and sequences them through a
+    :class:`RoundSequencer` each round.
+    """
+
+    name = "tetris"
+
+    def __init__(
+        self,
+        inner: Scheduler,
+        config: Optional[FederationConfig] = None,
+    ) -> None:
+        super().__init__()
+        if not isinstance(inner, TetrisScheduler):
+            raise ValueError(
+                "the federation shards the Tetris scorer; got "
+                f"{type(inner).__name__} (run without --shards or switch "
+                "to the tetris scheduler)"
+            )
+        self.fed_config = config if config is not None else FederationConfig()
+        self.name = inner.name
+        self.template = inner
+        n = self.fed_config.num_shards
+        self.process_mode = self.fed_config.backend == "process" and n > 1
+        if self.process_mode:
+            if type(inner) is not TetrisScheduler:
+                raise ValueError(
+                    "distributed shards rebuild a plain TetrisScheduler "
+                    f"inside each worker; got {type(inner).__name__} "
+                    "(use --shard-backend inline)"
+                )
+            if inner.group_of is not None or type(
+                inner.fairness_policy
+            ) is not DRFFairnessPolicy:
+                raise ValueError(
+                    "distributed shards support only the default DRF "
+                    "fairness policy without job groups (the policy must "
+                    "be reconstructible inside a worker process)"
+                )
+        #: machine plane partition (filled at bind)
+        self.shards: List[List[int]] = []
+        self._machine_shard: Dict[int, int] = {}
+        #: stage routing cache + floating (all-shard) promotions
+        self._stage_route: Dict[int, int] = {}
+        self._floating: Set[int] = set()
+        #: per-stage [stage, last-progress-time] feeding spill promotion
+        self._stage_progress: Dict[int, list] = {}
+        #: in-process shard schedulers (empty in process mode)
+        self.inners: List[TetrisScheduler] = []
+        if not self.process_mode:
+            if n == 1:
+                self.inners = [inner]
+            else:
+                for shard in range(n):
+                    # type(inner), not TetrisScheduler: the srtf-only /
+                    # packing-only ablations shard with their own scoring
+                    kwargs = dict(
+                        config=inner.config,
+                        fairness_policy=inner.fairness_policy,
+                    )
+                    if inner.group_of is not None:
+                        kwargs["group_of"] = inner.group_of
+                    clone = type(inner)(**kwargs)
+                    clone.index = StageIndex(
+                        stage_filter=self._shard_filter(shard)
+                    )
+                    self.inners.append(clone)
+                # one shared remote-grant ledger: inline shards run
+                # sequentially in this process, so letting shard k+1
+                # plan against the grants shard k just made mirrors the
+                # centralized serialized fill instead of optimistically
+                # thrashing on source-machine headroom (the sequencer's
+                # global check remains the safety net, and stays
+                # authoritative for process shards, whose mirrors
+                # genuinely race).  _remote_by_task stays per-shard, so
+                # each inner releases exactly the grants it recorded.
+                self._shared_remote = GrantLedger()
+                for clone in self.inners:
+                    clone._remote_granted = self._shared_remote
+        #: process-mode state -------------------------------------------------
+        self._workload: Optional[tuple] = None  # (trace, ExperimentConfig)
+        self._pool = None
+        self._epoch: Optional[str] = None
+        #: append-only event log mirrored into the workers, and the
+        #: per-shard cursor of how much each has confirmed applying
+        self._delta_log: List[tuple] = []
+        self._sent_upto: List[int] = [0] * n
+        #: stable-name lookup for worker proposals / deltas
+        self._task_by_key: Dict[tuple, Task] = {}
+        self._stage_by_key: Dict[tuple, "Stage"] = {}
+        #: parent-side global remote-grant ledger (the workers each hold
+        #: only their own shard's slice)
+        self._proc_remote: Dict[int, float] = {}
+        self._proc_remote_by_task: Dict[int, List[Tuple[int, float]]] = {}
+        #: optional timing sink, forwarded to every in-process shard
+        self._profiler = None
+        #: optional metric instruments (None keeps hot paths cheap)
+        self._m_shards = self._m_proposals = self._m_commits = None
+        self._m_retries = self._m_aborts = self._m_spills = None
+        self._m_commit_seconds = None
+        self._m_conflicts: Dict[str, object] = {}
+
+    # -- observability ---------------------------------------------------------
+    @property
+    def profiler(self):
+        return self._profiler
+
+    @profiler.setter
+    def profiler(self, value) -> None:
+        self._profiler = value
+        for inner in self.inners:
+            inner.profiler = value
+
+    @property
+    def prefilter_machines(self) -> bool:
+        return all(inner.prefilter_machines for inner in self.inners)
+
+    @prefilter_machines.setter
+    def prefilter_machines(self, value: bool) -> None:
+        for inner in self.inners:
+            inner.prefilter_machines = value
+
+    def use_observability(self, trace=None, metrics=None) -> None:
+        super().use_observability(trace=trace, metrics=metrics)
+        for inner in self.inners:
+            inner.use_observability(trace=trace, metrics=metrics)
+
+    def _register_metrics(self, registry: "Registry") -> None:
+        self._m_shards = registry.gauge(
+            "repro_federation_shards",
+            "Scheduler shards the machine plane is partitioned across",
+        )
+        self._m_shards.set(self.fed_config.num_shards)
+        self._m_proposals = registry.counter(
+            "repro_federation_proposals_total",
+            "Placement transactions offered to the sequencer",
+        )
+        self._m_commits = registry.counter(
+            "repro_federation_commits_total",
+            "Proposals validated and committed by the sequencer",
+        )
+        conflicts = registry.counter(
+            "repro_federation_conflicts_total",
+            "Proposals rejected by the sequencer, by conflict kind",
+            labelnames=("kind",),
+        )
+        self._m_conflicts = {
+            kind: conflicts.labels(kind=kind) for kind in CONFLICT_KINDS
+        }
+        self._m_retries = registry.counter(
+            "repro_federation_retries_total",
+            "Rejected proposals granted another validation pass",
+        )
+        self._m_aborts = registry.counter(
+            "repro_federation_aborts_total",
+            "Proposals still conflicting when the retry passes ran out",
+        )
+        self._m_spills = registry.counter(
+            "repro_federation_spills_total",
+            "Starved stages promoted to floating (indexed by every shard)",
+        )
+        from repro.obs.registry import LATENCY_BUCKETS
+
+        self._m_commit_seconds = registry.histogram(
+            "repro_federation_commit_seconds",
+            "Wall-clock seconds validating and committing one round's "
+            "shard proposals",
+            buckets=LATENCY_BUCKETS,
+        )
+
+    # -- stage routing ---------------------------------------------------------
+    def _route(self, stage: "Stage") -> int:
+        """The stage's home shard (cached; computed post input
+        resolution, i.e. at first index admission)."""
+        shard = self._stage_route.get(stage.stage_id)
+        if shard is None:
+            shard = route_stage(
+                stage, self._machine_shard, self.fed_config.num_shards
+            )
+            self._stage_route[stage.stage_id] = shard
+        return shard
+
+    def _shard_filter(self, shard_id: int):
+        def allow(stage: "Stage") -> bool:
+            return (
+                stage.stage_id in self._floating
+                or self._route(stage) == shard_id
+            )
+
+        return allow
+
+    # -- wiring ----------------------------------------------------------------
+    def provide_workload(self, trace, config) -> None:
+        """Hand the federation the run's workload spec — what distributed
+        shard workers materialize their mirrors from.  Required before
+        the first ``schedule()`` in process mode; a no-op otherwise."""
+        self._workload = (tuple(trace), config)
+
+    def bind(self, cluster, estimator=None, tracker=None) -> None:
+        if self.process_mode and tracker is not None:
+            raise ValueError(
+                "distributed shards do not support the resource tracker "
+                "(its availability view lives in the parent only); use "
+                "--shard-backend inline or drop the tracker"
+            )
+        super().bind(cluster, estimator=estimator, tracker=tracker)
+        cfg = self.fed_config
+        self.shards = partition_machines(
+            cluster, cfg.num_shards, cfg.partitioner
+        )
+        self._machine_shard = machine_to_shard(self.shards)
+        if self._m_shards is not None:
+            self._m_shards.set(cfg.num_shards)
+        for inner in self.inners:
+            inner.bind(cluster, estimator=self.estimator, tracker=tracker)
+
+    def close(self) -> None:
+        """Shut down the distributed worker pool (no-op inline)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    # -- workload callbacks ----------------------------------------------------
+    def prewarm_job(self, job) -> None:
+        for inner in self.inners:
+            inner.prewarm_job(job)
+
+    def on_job_arrival(self, job, time: float) -> None:
+        super().on_job_arrival(job, time)
+        if self.process_mode:
+            for stage in job.dag:
+                self._stage_by_key[(job.name, stage.name)] = stage
+                for task in stage.tasks:
+                    self._task_by_key[
+                        (job.name, stage.name, task.index)
+                    ] = task
+            self._delta_log.append(("arrive", job.name, time))
+        for inner in self.inners:
+            inner.on_job_arrival(job, time)
+        if self._sharded():
+            for stage in job.dag:
+                if stage.is_released():
+                    self._stage_progress[stage.stage_id] = [stage, time]
+
+    def on_task_started(self, task, machine_id, booked) -> None:
+        # process mode: the matching "start" delta was appended at commit
+        # time (so retry passes within the round already carried it)
+        super().on_task_started(task, machine_id, booked)
+        for inner in self.inners:
+            inner.on_task_started(task, machine_id, booked)
+
+    def on_task_finished(self, task, time: float) -> None:
+        super().on_task_finished(task, time)
+        for inner in self.inners:
+            inner.on_task_finished(task, time)
+        if self.process_mode:
+            self._release_proc_grants(task.task_id)
+            self._delta_log.append(("finish", self._key(task), time))
+        if self._sharded() and task.stage.is_finished():
+            stage_id = task.stage.stage_id
+            self._stage_progress.pop(stage_id, None)
+            self._floating.discard(stage_id)
+            self._stage_route.pop(stage_id, None)
+
+    def on_task_failed(self, task, time: float) -> None:
+        super().on_task_failed(task, time)
+        for inner in self.inners:
+            inner.on_task_failed(task, time)
+        if self.process_mode:
+            self._release_proc_grants(task.task_id)
+            self._delta_log.append(("fail", self._key(task), time))
+        if self._sharded():
+            # the retried task waits again; restart its stage's clock
+            self._stage_progress.setdefault(
+                task.stage.stage_id, [task.stage, time]
+            )
+
+    def on_stage_released(self, stage, time: float) -> None:
+        super().on_stage_released(stage, time)
+        for inner in self.inners:
+            inner.on_stage_released(stage, time)
+        if self.process_mode:
+            # inputs are resolved by now (the engine pins shuffle reads
+            # before releasing); ship them so mirrors route identically
+            payload = tuple(
+                tuple(
+                    (inp.size_mb, tuple(inp.locations))
+                    for inp in task.inputs
+                )
+                for task in stage.tasks
+            )
+            self._delta_log.append(
+                ("release", stage.job.name, stage.name, payload, time)
+            )
+        if self._sharded():
+            self._stage_progress[stage.stage_id] = [stage, time]
+
+    def mark_all_machines_dirty(self) -> None:
+        super().mark_all_machines_dirty()
+        for inner in self.inners:
+            inner.mark_all_machines_dirty()
+
+    def _sharded(self) -> bool:
+        return self.fed_config.num_shards > 1
+
+    def _key(self, task: Task) -> tuple:
+        return (task.job.name, task.stage.name, task.index)
+
+    # -- spill promotion -------------------------------------------------------
+    def _promote_starved(self, time: float) -> None:
+        spill = self.fed_config.spill_after
+        if spill is None:
+            return
+        for stage_id, entry in list(self._stage_progress.items()):
+            stage, last = entry
+            if stage.is_finished():
+                del self._stage_progress[stage_id]
+                continue
+            if stage_id in self._floating:
+                continue
+            if stage.num_runnable == 0:
+                entry[1] = time  # nothing waiting; don't run the clock
+                continue
+            if time - last > spill:
+                self._floating.add(stage_id)
+                for inner in self.inners:
+                    inner.index.add_stage(stage)
+                if self.process_mode:
+                    self._delta_log.append(
+                        ("float", stage.job.name, stage.name)
+                    )
+                if self._m_spills is not None:
+                    self._m_spills.inc()
+                if self.trace is not None:
+                    self.trace.emit(
+                        "federation_spill",
+                        time=time,
+                        job=stage.job.name,
+                        stage=stage.name,
+                        home_shard=self._route(stage),
+                        waited=time - last,
+                    )
+
+    # -- the decision loop -----------------------------------------------------
+    def schedule(
+        self, time: float, machine_ids: Optional[List[int]] = None
+    ) -> List[Placement]:
+        if not self.process_mode and len(self.inners) == 1:
+            # centralized pass-through: bit-identical to the bare scheduler
+            return self.inners[0].schedule(time, machine_ids)
+        self._promote_starved(time)
+        n = self.fed_config.num_shards
+        ids = self.consume_dirty_machines(machine_ids)
+        if ids is None:
+            per_shard: List[List[int]] = [list(s) for s in self.shards]
+        else:
+            per_shard = [[] for _ in range(n)]
+            for machine_id in ids:
+                shard = self._machine_shard.get(machine_id)
+                if shard is not None:
+                    per_shard[shard].append(machine_id)
+        if self.process_mode:
+            return self._schedule_process(time, per_shard)
+        return self._schedule_inline(time, per_shard)
+
+    def _note_conflict(self, task: Task, machine_id, kind, pass_no, time):
+        counter = self._m_conflicts.get(kind)
+        if counter is not None:
+            counter.inc()
+        if self.trace is not None:
+            self.trace.emit(
+                "federation_conflict",
+                time=time,
+                job=task.job.name,
+                stage=task.stage.name,
+                task=task.index,
+                machine=machine_id,
+                kind=kind,
+                retry_pass=pass_no,
+            )
+
+    def _note_commit(self, task: Task, time: float) -> None:
+        if self._m_commits is not None:
+            self._m_commits.inc()
+        entry = self._stage_progress.get(task.stage.stage_id)
+        if entry is not None:
+            entry[1] = time
+
+    # -- inline sharding -------------------------------------------------------
+    def _schedule_inline(
+        self, time: float, per_shard: List[List[int]]
+    ) -> List[Placement]:
+        cfg = self.fed_config
+        # pre-round snapshot of the shared remote ledger (the inners all
+        # alias one dict, so this is already the global sum)
+        base_remote: Dict[int, float] = dict(self._shared_remote)
+        # the candidate job list and barrier set depend only on global
+        # job state, which is identical across inline shards and frozen
+        # for the duration of the round (placements commit after it) —
+        # compute both once and inject, instead of paying the full
+        # job-list scan + fairness sort per active shard per pass
+        shared_jobs = self.inners[0].candidate_jobs()
+        shared_barriers = (
+            self.inners[0]._barrier_stages(shared_jobs)
+            if shared_jobs
+            else set()
+        )
+        for inner in self.inners:
+            inner._round_jobs = shared_jobs
+            inner._round_barriers = shared_barriers
+        try:
+            return self._schedule_inline_round(
+                time, per_shard, cfg, base_remote
+            )
+        finally:
+            for inner in self.inners:
+                inner._round_jobs = None
+                inner._round_barriers = None
+
+    def _schedule_inline_round(
+        self,
+        time: float,
+        per_shard: List[List[int]],
+        cfg: FederationConfig,
+        base_remote: Dict[int, float],
+    ) -> List[Placement]:
+        # propose: machines are disjoint per shard and planned against
+        # the live state, so no capacity replay is needed at validation
+        proposals: List[List[Placement]] = []
+        for shard, inner in enumerate(self.inners):
+            if per_shard[shard]:
+                proposals.append(inner.schedule(time, per_shard[shard]))
+            else:
+                proposals.append([])
+        seq = RoundSequencer(self.cluster, base_remote=base_remote)
+        commit_start = perf_counter()
+        for pass_no in range(cfg.max_retry_passes + 1):
+            newly = len(seq.committed)
+            rejected: List[List[Tuple[Placement, str]]] = [
+                [] for _ in self.inners
+            ]
+            for shard, inner in enumerate(self.inners):
+                for p in proposals[shard]:
+                    if self._m_proposals is not None:
+                        self._m_proposals.inc()
+                    grants = inner._remote_by_task.get(p.task.task_id, ())
+                    kind = seq.offer(p.task, p.machine_id, p.booked, grants)
+                    if kind is None:
+                        self._note_commit(p.task, time)
+                    else:
+                        rejected[shard].append((p, kind))
+            # roll back rejects first (requeue discards any claim), THEN
+            # re-claim this pass's commits in every shard — a floating
+            # task another shard just won must not be re-proposable
+            for shard, inner in enumerate(self.inners):
+                for p, kind in rejected[shard]:
+                    inner._release_remote_grants(p.task.task_id)
+                    inner.index.requeue(p.task)
+                    self._note_conflict(
+                        p.task, p.machine_id, kind, pass_no, time
+                    )
+            for p in seq.committed[newly:]:
+                for inner in self.inners:
+                    inner.index.claim(p.task)
+            total_rejects = sum(len(r) for r in rejected)
+            if total_rejects == 0:
+                break
+            if pass_no == cfg.max_retry_passes:
+                if self._m_aborts is not None:
+                    self._m_aborts.inc(total_rejects)
+                break
+            if self._m_retries is not None:
+                self._m_retries.inc(total_rejects)
+            # retry: re-plan only the machines whose proposals bounced,
+            # against free vectors net of this round's pending commits
+            for shard, inner in enumerate(self.inners):
+                if not rejected[shard]:
+                    proposals[shard] = []
+                    continue
+                pending = sorted({p.machine_id for p, _ in rejected[shard]})
+                inner._free_adjust = seq.committed_free
+                try:
+                    proposals[shard] = inner.schedule(time, pending)
+                finally:
+                    inner._free_adjust = None
+        if self._m_commit_seconds is not None:
+            self._m_commit_seconds.observe(perf_counter() - commit_start)
+        return seq.committed
+
+    # -- distributed sharding --------------------------------------------------
+    def _release_proc_grants(self, task_id: int) -> None:
+        for source_id, rate in self._proc_remote_by_task.pop(task_id, ()):
+            left = self._proc_remote.get(source_id, 0.0) - rate
+            if left <= EPSILON:
+                self._proc_remote.pop(source_id, None)
+            else:
+                self._proc_remote[source_id] = left
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            from repro.exec.backends import ProcessPoolBackend
+
+            if self._workload is None:
+                raise RuntimeError(
+                    "process-mode federation needs the workload spec to "
+                    "sync shard mirrors; call provide_workload(trace, "
+                    "config) before the first schedule()"
+                )
+            self._pool = ProcessPoolBackend(
+                workers=self.fed_config.num_shards,
+                sticky=True,
+                retries=self.fed_config.resync_retries,
+            )
+            self._epoch = f"{os.getpid()}-{next(_epochs)}"
+        return self._pool
+
+    def _dispatch_round(
+        self, time: float, pending: List[List[int]]
+    ) -> List[list]:
+        """One propose round against the worker pool.
+
+        Sends every shard its delta tail plus the machines to plan, and
+        returns per-shard proposal lists.  A worker answering with a
+        sequence/epoch mismatch (fresh process behind a sticky slot) is
+        re-sent the full history with an init payload; retries are
+        bounded.  Shards already answered get explicit no-op requests so
+        the sticky item→slot mapping stays aligned.
+        """
+        from repro.federation.worker import federation_shard_round
+
+        n = self.fed_config.num_shards
+        pool = self._ensure_pool()
+        trace, run_cfg = self._workload
+        results: List[Optional[list]] = [None] * n
+        need_init: Set[int] = set()
+        base_len = len(self._delta_log)
+        for attempt in range(self.fed_config.resync_retries + 1):
+            requests = []
+            for shard in range(n):
+                if results[shard] is not None:
+                    requests.append({"noop": True, "shard": shard})
+                    continue
+                init_payload = None
+                from_seq = self._sent_upto[shard]
+                if shard in need_init:
+                    from_seq = 0
+                    init_payload = {
+                        "shards": self.shards,
+                        "trace": trace,
+                        "config": run_cfg,
+                        "tetris": self.template.config,
+                    }
+                requests.append({
+                    "epoch": self._epoch,
+                    "shard": shard,
+                    "time": time,
+                    "machines": pending[shard],
+                    "from_seq": from_seq,
+                    "deltas": self._delta_log[from_seq:base_len],
+                    "init": init_payload,
+                })
+            outcomes = pool.map(federation_shard_round, requests)
+            unresolved: Set[int] = set()
+            for shard in range(n):
+                if results[shard] is not None:
+                    continue
+                outcome = outcomes[shard]
+                if not outcome.ok:
+                    unresolved.add(shard)
+                    need_init.add(shard)
+                    continue
+                status = outcome.value[0]
+                if status == "resync":
+                    unresolved.add(shard)
+                    need_init.add(shard)
+                    continue
+                results[shard] = outcome.value[2]
+                self._sent_upto[shard] = base_len
+            if not unresolved:
+                return results  # type: ignore[return-value]
+        failed = sorted(s for s in range(n) if results[s] is None)
+        raise RuntimeError(
+            f"federation shards {failed} failed to answer after "
+            f"{self.fed_config.resync_retries + 1} attempts"
+        )
+
+    def _schedule_process(
+        self, time: float, per_shard: List[List[int]]
+    ) -> List[Placement]:
+        cfg = self.fed_config
+        model = self.cluster.model
+        seq = RoundSequencer(
+            self.cluster,
+            base_remote=dict(self._proc_remote),
+            replay_fit=True,
+        )
+        commit_seconds = 0.0
+        pending = per_shard
+        for pass_no in range(cfg.max_retry_passes + 1):
+            results = self._dispatch_round(time, pending)
+            commit_start = perf_counter()
+            rejected: List[List[Tuple[Task, int, str]]] = [
+                [] for _ in range(cfg.num_shards)
+            ]
+            for shard in range(cfg.num_shards):
+                for key, machine_id, booked_bytes, grants in results[shard]:
+                    task = self._task_by_key[tuple(key)]
+                    booked = ResourceVector(
+                        model,
+                        np.frombuffer(
+                            booked_bytes, dtype=np.float64
+                        ).copy(),
+                    )
+                    if self._m_proposals is not None:
+                        self._m_proposals.inc()
+                    kind = seq.offer(task, machine_id, booked, grants)
+                    if kind is None:
+                        self._note_commit(task, time)
+                        # commit-time start delta: retry passes (and the
+                        # next round) replay it into every mirror before
+                        # they plan again, so workers never need a
+                        # pending-commit free adjustment
+                        self._delta_log.append(
+                            ("start", self._key(task), machine_id,
+                             booked_bytes, time)
+                        )
+                        if grants:
+                            self._proc_remote_by_task[task.task_id] = [
+                                (int(s), float(r)) for s, r in grants
+                            ]
+                            for source_id, rate in grants:
+                                self._proc_remote[int(source_id)] = (
+                                    self._proc_remote.get(int(source_id), 0.0)
+                                    + float(rate)
+                                )
+                    else:
+                        # the reject delta rolls the proposer's mirror
+                        # back (grants released, task requeued)
+                        self._delta_log.append(("reject", self._key(task)))
+                        rejected[shard].append((task, machine_id, kind))
+                        self._note_conflict(
+                            task, machine_id, kind, pass_no, time
+                        )
+            commit_seconds += perf_counter() - commit_start
+            total_rejects = sum(len(r) for r in rejected)
+            if total_rejects == 0:
+                break
+            if pass_no == cfg.max_retry_passes:
+                if self._m_aborts is not None:
+                    self._m_aborts.inc(total_rejects)
+                break
+            if self._m_retries is not None:
+                self._m_retries.inc(total_rejects)
+            pending = [
+                sorted({machine_id for _, machine_id, _ in rejects})
+                for rejects in rejected
+            ]
+        if self._m_commit_seconds is not None:
+            self._m_commit_seconds.observe(commit_seconds)
+        return seq.committed
+
+    def __repr__(self) -> str:
+        cfg = self.fed_config
+        return (
+            f"FederatedScheduler(shards={cfg.num_shards}, "
+            f"backend={cfg.backend!r}, partitioner={cfg.partitioner!r})"
+        )

@@ -1,0 +1,232 @@
+"""The federation acceptance gate: speedup x fidelity, in one verdict.
+
+Sharding is only worth its complexity if it (a) makes scheduler rounds
+substantially faster at scale and (b) barely moves the packing outcomes
+the paper cares about.  This module checks both at once, comparing a
+*sharded* bench capture (``BENCH_cluster-xl-sharded.json``) against the
+committed *centralized* baseline of the same workload
+(``BENCH_cluster-xl.json``):
+
+- **speedup** — the ``phase:engine.scheduler_round:mean_ms`` ratio must
+  be at least ``--min-speedup`` (default 2x).  The baseline's timing is
+  first rescaled by the host-calibration ratio, exactly as
+  :mod:`repro.bench.detect` does, so a baseline captured on a faster or
+  slower machine gates fairly;
+- **fidelity** — makespan and mean JCT may be at most
+  ``--fidelity-tolerance`` percent worse than centralized (better is
+  always fine), the same rule :meth:`FidelityReport.within` applies in
+  ``repro compare --fidelity``.
+
+The two profiles must describe the *same* workload: identical scenario
+parameters once the shard fields are stripped.  CI's federation-smoke
+job runs ``python -m repro.federation.gate`` after capturing the
+sharded profile; exit status 0 means both gates hold.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import replace as dc_replace
+from typing import Dict, List, Optional
+
+__all__ = ["GATE_METRIC", "gate_profiles", "main"]
+
+#: the throughput metric the speedup gate reads
+GATE_METRIC = "phase:engine.scheduler_round:mean_ms"
+
+DEFAULT_BASELINE = "benchmarks/baselines/BENCH_cluster-xl.json"
+DEFAULT_CANDIDATE = "bench-out/BENCH_cluster-xl-sharded.json"
+
+
+def _metric_value(profile: Dict, name: str) -> Optional[float]:
+    record = (profile.get("metrics") or {}).get(name)
+    if not isinstance(record, dict):
+        return None
+    value = record.get("value")
+    return float(value) if isinstance(value, (int, float)) else None
+
+
+def _workload_params(profile: Dict) -> Dict[str, object]:
+    """The capture's scenario parameters with the shard fields stripped.
+
+    Reconstructed from the scenario registry plus the profile's shard
+    stamp, then cross-checked against the stored config fingerprint so
+    a drifted scenario definition cannot silently pass the gate.
+    """
+    from repro.bench.detect import _shards_of
+    from repro.bench.scenarios import get_scenario
+
+    scenario = get_scenario(str(profile.get("scenario")))
+    shards = _shards_of(profile)
+    if getattr(scenario, "shards", 1) != shards:
+        scenario = dc_replace(scenario, shards=shards)
+    stored = (profile.get("meta") or {}).get("config_fingerprint")
+    if stored != scenario.config_fingerprint():
+        raise ValueError(
+            f"profile {profile.get('scenario')!r} does not match the "
+            "current scenario definition (config fingerprint "
+            f"{stored} != {scenario.config_fingerprint()}); re-capture it"
+        )
+    params = scenario.params()
+    params.pop("shards", None)
+    params.pop("shard_backend", None)
+    return params
+
+
+def gate_profiles(
+    baseline: Dict,
+    candidate: Dict,
+    min_speedup: float = 2.0,
+    fidelity_tolerance: float = 5.0,
+) -> "GateResult":
+    """Apply both gates; raises ValueError on non-comparable profiles."""
+    from repro.bench.detect import _calibration_ratio, _shards_of
+    from repro.metrics.fidelity import _delta_pct
+
+    base_shards = _shards_of(baseline)
+    cand_shards = _shards_of(candidate)
+    if base_shards != 1:
+        raise ValueError(
+            f"baseline profile is sharded ({base_shards} shards); the "
+            "gate compares against a centralized reference"
+        )
+    if cand_shards <= 1:
+        raise ValueError(
+            "candidate profile is centralized; capture it with a "
+            "sharded scenario (e.g. cluster-xl-sharded)"
+        )
+    if _workload_params(baseline) != _workload_params(candidate):
+        raise ValueError(
+            "profiles describe different workloads "
+            f"({baseline.get('scenario')!r} vs {candidate.get('scenario')!r} "
+            "differ beyond their shard fields); the speedup ratio would "
+            "be meaningless"
+        )
+
+    base_ms = _metric_value(baseline, GATE_METRIC)
+    cand_ms = _metric_value(candidate, GATE_METRIC)
+    if base_ms is None or cand_ms is None:
+        raise ValueError(f"both profiles must carry {GATE_METRIC}")
+    # rescale the baseline's timing to the candidate's host speed (the
+    # ratio is current/baseline of the pure-python calibration spin)
+    cal_ratio, cal_note = _calibration_ratio(baseline, candidate)
+    speedup = (base_ms * cal_ratio) / cand_ms if cand_ms > 0 else float("inf")
+
+    deltas = {}
+    for name in ("makespan", "mean_jct"):
+        ref = _metric_value(baseline, name)
+        cand = _metric_value(candidate, name)
+        if ref is None or cand is None:
+            raise ValueError(f"both profiles must carry {name}")
+        deltas[name] = _delta_pct(ref, cand)
+
+    return GateResult(
+        shards=cand_shards,
+        baseline_ms=base_ms,
+        baseline_ms_rescaled=base_ms * cal_ratio,
+        candidate_ms=cand_ms,
+        speedup=speedup,
+        min_speedup=min_speedup,
+        fidelity_deltas=deltas,
+        fidelity_tolerance=fidelity_tolerance,
+        notes=[cal_note] if cal_note else [],
+    )
+
+
+class GateResult:
+    def __init__(
+        self,
+        shards: int,
+        baseline_ms: float,
+        baseline_ms_rescaled: float,
+        candidate_ms: float,
+        speedup: float,
+        min_speedup: float,
+        fidelity_deltas: Dict[str, float],
+        fidelity_tolerance: float,
+        notes: List[str],
+    ) -> None:
+        self.shards = shards
+        self.baseline_ms = baseline_ms
+        self.baseline_ms_rescaled = baseline_ms_rescaled
+        self.candidate_ms = candidate_ms
+        self.speedup = speedup
+        self.min_speedup = min_speedup
+        self.fidelity_deltas = fidelity_deltas
+        self.fidelity_tolerance = fidelity_tolerance
+        self.notes = notes
+
+    @property
+    def speedup_ok(self) -> bool:
+        return self.speedup >= self.min_speedup
+
+    @property
+    def fidelity_ok(self) -> bool:
+        return all(
+            delta <= self.fidelity_tolerance
+            for delta in self.fidelity_deltas.values()
+        )
+
+    @property
+    def ok(self) -> bool:
+        return self.speedup_ok and self.fidelity_ok
+
+    def render(self) -> str:
+        lines = [f"federation gate ({self.shards} shards vs centralized):"]
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        lines.append(
+            f"  scheduler round: {self.baseline_ms:.3f}ms centralized "
+            f"(rescaled {self.baseline_ms_rescaled:.3f}ms) -> "
+            f"{self.candidate_ms:.3f}ms sharded = {self.speedup:.2f}x "
+            f"(need >= {self.min_speedup:.2f}x) "
+            f"{'OK' if self.speedup_ok else 'FAIL'}"
+        )
+        for name, delta in sorted(self.fidelity_deltas.items()):
+            ok = delta <= self.fidelity_tolerance
+            lines.append(
+                f"  {name:<15} {delta:+.2f}% "
+                f"(tolerance {self.fidelity_tolerance:.1f}%) "
+                f"{'OK' if ok else 'FAIL'}"
+            )
+        lines.append(f"  verdict: {'PASS' if self.ok else 'FAIL'}")
+        return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    from repro.bench.profile import load_profile
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.federation.gate",
+        description="gate a sharded bench capture against the committed "
+        "centralized baseline: scheduler-round speedup and packing "
+        "fidelity in one verdict",
+    )
+    parser.add_argument(
+        "--baseline", default=DEFAULT_BASELINE,
+        help="centralized profile (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--candidate", default=DEFAULT_CANDIDATE,
+        help="sharded profile (default: %(default)s)",
+    )
+    parser.add_argument("--min-speedup", type=float, default=2.0)
+    parser.add_argument("--fidelity-tolerance", type=float, default=5.0,
+                        metavar="PCT")
+    args = parser.parse_args(argv)
+    try:
+        result = gate_profiles(
+            load_profile(args.baseline),
+            load_profile(args.candidate),
+            min_speedup=args.min_speedup,
+            fidelity_tolerance=args.fidelity_tolerance,
+        )
+    except (OSError, ValueError) as exc:
+        print(f"federation gate: {exc}")
+        return 2
+    print(result.render())
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,153 @@
+"""Machine-plane partitioners for the scheduler federation.
+
+A partitioner splits a cluster's machine ids across ``num_shards``
+scheduler shards.  Two invariants every partitioner must keep (both
+hypothesis-tested in ``tests/test_federation_partition.py``):
+
+- **coverage**: every machine lands in exactly one shard;
+- **determinism across processes**: the assignment is a pure function
+  of ``(machine ids, topology, num_shards)`` — no ``hash()`` (randomized
+  per process via ``PYTHONHASHSEED``), no wall clock, no RNG — so the
+  in-process shards, the sequencer, and distributed shard workers all
+  derive the identical machine→shard map independently.
+
+Two families ship:
+
+- ``contiguous`` — balanced contiguous id-slices.  The simplest layout;
+  ignores the network topology.
+- ``rack`` — rack-aligned (the default): whole racks are dealt to
+  shards round-robin, so a shard owns complete racks and rack-local
+  placement decisions never straddle a shard boundary.  This is the
+  locality-group-preserving decomposition of Shafiee & Ghaderi: tasks
+  whose inputs share a rack stay schedulable by one shard without
+  cross-shard coordination.  Racks wider than ``ceil(machines/shards)``
+  are still kept whole — balance is best-effort, locality is not.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Sequence
+
+from repro.cluster.cluster import Cluster
+
+__all__ = [
+    "partition_machines",
+    "partitioner_names",
+    "machine_to_shard",
+    "route_stage",
+    "stable_stage_hash",
+    "DEFAULT_PARTITIONER",
+]
+
+DEFAULT_PARTITIONER = "rack"
+
+
+def _contiguous(cluster: Cluster, num_shards: int) -> List[List[int]]:
+    """Balanced contiguous slices of the machine-id range."""
+    ids = list(range(cluster.num_machines))
+    n = len(ids)
+    base, extra = divmod(n, num_shards)
+    shards: List[List[int]] = []
+    start = 0
+    for shard in range(num_shards):
+        size = base + (1 if shard < extra else 0)
+        shards.append(ids[start:start + size])
+        start += size
+    return shards
+
+
+def _rack_aligned(cluster: Cluster, num_shards: int) -> List[List[int]]:
+    """Whole racks dealt round-robin to shards, smallest-load first.
+
+    Racks are visited in rack-id order and each goes to the shard with
+    the fewest machines so far (ties broken by shard id) — a
+    deterministic longest-processing-time-style balance that never
+    splits a rack.  With fewer racks than shards the trailing shards
+    own no machines, which the federation treats as empty-but-valid.
+    """
+    topo = cluster.topology
+    shards: List[List[int]] = [[] for _ in range(num_shards)]
+    for rack_id in range(topo.num_racks):
+        members = sorted(topo.rack_members(rack_id))
+        target = min(range(num_shards), key=lambda s: (len(shards[s]), s))
+        shards[target].extend(members)
+    return [sorted(shard) for shard in shards]
+
+
+_PARTITIONERS = {
+    "contiguous": _contiguous,
+    "rack": _rack_aligned,
+}
+
+
+def partitioner_names() -> List[str]:
+    return sorted(_PARTITIONERS)
+
+
+def partition_machines(
+    cluster: Cluster, num_shards: int, partitioner: str = DEFAULT_PARTITIONER
+) -> List[List[int]]:
+    """Split the cluster's machines into ``num_shards`` disjoint,
+    exhaustive, sorted shard slices."""
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    try:
+        fn = _PARTITIONERS[partitioner]
+    except KeyError:
+        raise KeyError(
+            f"unknown partitioner {partitioner!r}; "
+            f"choose from {partitioner_names()}"
+        ) from None
+    shards = fn(cluster, num_shards)
+    return [sorted(shard) for shard in shards]
+
+
+def machine_to_shard(shards: Sequence[Sequence[int]]) -> Dict[int, int]:
+    """Invert a shard assignment into a machine_id -> shard_id map."""
+    out: Dict[int, int] = {}
+    for shard_id, members in enumerate(shards):
+        for machine_id in members:
+            out[machine_id] = shard_id
+    return out
+
+
+def route_stage(
+    stage, machine_shard: Dict[int, int], num_shards: int
+) -> int:
+    """The home shard of one stage — a pure function of the stage's
+    identity and input locations, shared by the in-process federation
+    and the distributed shard workers so both sides route identically.
+
+    Stages with input replicas go to the shard owning the most replica
+    machines (ties to the smallest shard id), so the home shard can
+    honour input locality without cross-shard reads.  Stages with no
+    locality preference (first-wave maps on empty clusters don't exist
+    here, but unresolved/unpinned inputs do) spread by
+    :func:`stable_stage_hash` — never ``hash()``, which Python
+    randomizes per process.
+    """
+    counts: Dict[int, int] = {}
+    for task in stage.tasks:
+        for inp in task.inputs:
+            for machine_id in inp.locations:
+                shard = machine_shard.get(machine_id)
+                if shard is not None:
+                    counts[shard] = counts.get(shard, 0) + 1
+    if counts:
+        return max(counts, key=lambda s: (counts[s], -s))
+    return stable_stage_hash(stage.job.name, stage.name) % num_shards
+
+
+def stable_stage_hash(job_name: str, stage_name: str) -> int:
+    """A process-stable 64-bit hash of a stage's identity.
+
+    Used to route stages with no input locality to a shard.  Built on
+    sha256, **not** ``hash()``: Python randomizes string hashing per
+    process, which would route the same stage to different shards in
+    the sequencer and in a distributed shard worker.
+    """
+    digest = hashlib.sha256(
+        f"{job_name}/{stage_name}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big")

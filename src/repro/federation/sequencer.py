@@ -1,0 +1,120 @@
+"""Round-scoped transaction sequencing for the scheduler federation.
+
+Omega-style optimistic concurrency: shards propose placement
+transactions computed against a shared-state snapshot, and a single
+sequencer validates each proposal against the authoritative
+``ClusterState`` — in deterministic shard order — before it commits.
+Three conflict kinds can reject a proposal:
+
+- ``duplicate`` — the task was already committed this round by another
+  shard (possible once a stage floats across shards) or is no longer
+  runnable;
+- ``capacity`` — the booked vector no longer fits the machine once the
+  round's earlier commits are charged (only possible when proposals
+  were computed against a stale snapshot, i.e. distributed shards);
+- ``remote`` — the proposal's remote-read bandwidth grants, combined
+  with every other shard's outstanding grants, oversubscribe a source
+  machine's disk-read/NIC-out headroom (Section 3.2's check, enforced
+  globally — each shard can only check its own ledger).
+
+A rejected proposal is rolled back by the proposer (grants released,
+task requeued) and retried in a bounded number of follow-up passes; a
+proposal still conflicting when the passes run out is aborted for the
+round and naturally becomes a candidate again next round.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.resources import EPSILON, ResourceVector
+from repro.schedulers.base import Placement
+from repro.workload.task import Task, TaskState
+
+__all__ = ["RoundSequencer", "CONFLICT_KINDS"]
+
+CONFLICT_KINDS = ("duplicate", "capacity", "remote")
+
+
+class RoundSequencer:
+    """Validates and commits one round's shard proposals.
+
+    ``base_remote`` is the pre-round remote-grant ledger summed across
+    every shard (running tasks only); the sequencer layers this round's
+    committed grants on top.  ``replay_fit`` turns on the capacity
+    replay — needed only when proposals were computed against a stale
+    snapshot (process shards); in-process shards plan against the live
+    state and their per-machine fills are already sequential.
+    """
+
+    def __init__(
+        self,
+        cluster,
+        base_remote: Optional[Dict[int, float]] = None,
+        replay_fit: bool = False,
+    ) -> None:
+        self.cluster = cluster
+        self.replay_fit = replay_fit
+        self._i_netout = cluster.model.index.get("netout")
+        self._i_diskr = cluster.model.index.get("diskr")
+        #: remote-read rate charged per source machine: pre-round ledger
+        #: plus this round's committed grants
+        self.remote_total: Dict[int, float] = dict(base_remote or {})
+        self.committed: List[Placement] = []
+        self.committed_tasks: Set[int] = set()
+        #: per-machine sum of this round's committed bookings — the
+        #: free-vector adjustment retry passes plan against
+        self.committed_free: Dict[int, ResourceVector] = {}
+
+    # -- helpers ------------------------------------------------------------
+    def _headroom(self, source_id: int) -> float:
+        """min(netout, diskr) free at a source machine right now."""
+        if self._i_netout is not None and self._i_diskr is not None:
+            row = self.cluster.state.free_clamped_row(source_id)
+            return min(row[self._i_netout], row[self._i_diskr])
+        free = self.cluster.machine(source_id).free_clamped_view()
+        return min(free.get("netout"), free.get("diskr"))
+
+    def _machine_free_after_commits(self, machine_id: int) -> ResourceVector:
+        free = self.cluster.machine(machine_id).free_clamped()
+        pending = self.committed_free.get(machine_id)
+        if pending is not None:
+            free = (free - pending).clamp_nonnegative()
+        return free
+
+    # -- the validation/commit step ----------------------------------------
+    def offer(
+        self,
+        task: Task,
+        machine_id: int,
+        booked: ResourceVector,
+        grants: Sequence[Tuple[int, float]] = (),
+    ) -> Optional[str]:
+        """Validate one proposal; commit it and return None, or return
+        the conflict kind that rejected it (state untouched on reject).
+        """
+        if task.task_id in self.committed_tasks:
+            return "duplicate"
+        if task.state is not TaskState.RUNNABLE:
+            return "duplicate"
+        if self.replay_fit:
+            free = self._machine_free_after_commits(machine_id)
+            if not booked.fits_in(free):
+                return "capacity"
+        for source_id, rate in grants:
+            charged = self.remote_total.get(source_id, 0.0)
+            if charged + rate > self._headroom(source_id) + EPSILON:
+                return "remote"
+        # commit
+        self.committed_tasks.add(task.task_id)
+        self.committed.append(Placement(task, machine_id, booked))
+        pending = self.committed_free.get(machine_id)
+        if pending is None:
+            self.committed_free[machine_id] = booked.copy()
+        else:
+            pending.add_inplace(booked)
+        for source_id, rate in grants:
+            self.remote_total[source_id] = (
+                self.remote_total.get(source_id, 0.0) + rate
+            )
+        return None

@@ -1,0 +1,211 @@
+"""Distributed shard worker: a delta-synced mirror of the parent run.
+
+Each worker process hosts one scheduler shard for the ``process``
+federation backend.  Rather than shipping the whole cluster/workload
+state every round, the parent sends an *init* payload once (the trace,
+the experiment config, the machine partition) and then only the
+delta-encoded event log tail each round.  The worker materializes its
+own private copy of the run — cluster, jobs, estimator, a
+:class:`~repro.schedulers.tetris.TetrisScheduler` with a shard-filtered
+:class:`~repro.schedulers.stage_index.StageIndex` — and replays the
+deltas to keep that mirror bit-for-bit in step with the authoritative
+engine state (the apply orders below copy ``repro.sim.engine``'s event
+handlers exactly).
+
+Deltas are keyed by **stable names** ``(job.name, stage.name,
+task.index)``; the in-process ``task_id``/``stage_id``/``job_id``
+counters are process-global and differ between parent and worker.
+
+Sequencing: every request carries ``(epoch, from_seq)``.  A mismatch —
+a fresh worker process behind a sticky pool slot, or a stale mirror
+from an earlier run — answers ``("resync", shard)`` and the parent
+re-sends the full history with the init payload.  Mirrors are pure
+functions of ``(init payload, delta history)``, so a resynced worker
+reconverges to the identical state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.federation.partition import machine_to_shard, route_stage
+from repro.resources import ResourceVector
+from repro.schedulers.stage_index import StageIndex
+from repro.schedulers.tetris import TetrisScheduler
+from repro.workload.task import TaskInput
+from repro.workload.trace import materialize_trace
+
+__all__ = ["federation_shard_round"]
+
+#: shard_id -> live mirror in this worker process (one per sticky slot,
+#: but a worker keeps whatever shards it has been asked to host)
+_MIRRORS: Dict[int, "_ShardMirror"] = {}
+
+
+class _ShardMirror:
+    """One shard's private replica of the run, fed by the delta log."""
+
+    def __init__(self, epoch: str, shard: int, init: dict) -> None:
+        self.epoch = epoch
+        self.shard = shard
+        self.seq = 0
+        run_cfg = init["config"]
+        self.cluster = run_cfg.make_cluster()
+        jobs = materialize_trace(
+            init["trace"], self.cluster, seed=run_cfg.seed
+        )
+        self.jobs = {job.name: job for job in jobs}
+        self.stages = {
+            (job.name, stage.name): stage
+            for job in jobs
+            for stage in job.dag
+        }
+        self.tasks = {
+            (job.name, stage.name, task.index): task
+            for job in jobs
+            for stage in job.dag
+            for task in stage.tasks
+        }
+        shards = init["shards"]
+        self.machine_shard = machine_to_shard(shards)
+        self.num_shards = len(shards)
+        self.floating: Set[int] = set()
+        self._routes: Dict[int, int] = {}
+        scheduler = TetrisScheduler(config=init["tetris"])
+        scheduler.index = StageIndex(stage_filter=self._allow)
+        estimator = (
+            run_cfg.estimator_factory()
+            if run_cfg.estimator_factory is not None
+            else None
+        )
+        scheduler.bind(self.cluster, estimator=estimator)
+        self.scheduler = scheduler
+        self.estimator = scheduler.estimator
+
+    def _allow(self, stage) -> bool:
+        stage_id = stage.stage_id
+        if stage_id in self.floating:
+            return True
+        shard = self._routes.get(stage_id)
+        if shard is None:
+            shard = route_stage(stage, self.machine_shard, self.num_shards)
+            self._routes[stage_id] = shard
+        return shard == self.shard
+
+    def _vector(self, raw: bytes) -> ResourceVector:
+        return ResourceVector(
+            self.cluster.model,
+            np.frombuffer(raw, dtype=np.float64).copy(),
+        )
+
+    # -- delta replay (orders copied from repro.sim.engine) -----------------
+    def apply(self, deltas) -> None:
+        scheduler = self.scheduler
+        for delta in deltas:
+            kind = delta[0]
+            if kind == "start":
+                _, key, machine_id, booked_bytes, time = delta
+                task = self.tasks[tuple(key)]
+                booked = self._vector(booked_bytes)
+                self.cluster.machine(machine_id).place(task, booked)
+                task.mark_running(machine_id, time)
+                scheduler.on_task_started(task, machine_id, booked)
+            elif kind == "finish":
+                _, key, time = delta
+                task = self.tasks[tuple(key)]
+                self.cluster.machine(task.machine_id).remove(task)
+                task.mark_finished(time)
+                self.estimator.record_completion(task)
+                # barrier bookkeeping only: newly released stages arrive
+                # as their own "release" deltas, inputs pre-resolved
+                task.job.note_task_finished()
+                scheduler.on_task_finished(task, time)
+                if task.job.is_finished and task.job.finish_time is None:
+                    task.job.mark_finished(time)
+            elif kind == "fail":
+                _, key, time = delta
+                task = self.tasks[tuple(key)]
+                self.cluster.machine(task.machine_id).remove(task)
+                # engine order: the scheduler sees the task still RUNNING
+                scheduler.on_task_failed(task, time)
+                task.mark_failed(time)
+            elif kind == "release":
+                _, job_name, stage_name, payload, time = delta
+                stage = self.stages[(job_name, stage_name)]
+                for task, inputs in zip(stage.tasks, payload):
+                    task.inputs = [
+                        TaskInput(size_mb, tuple(locations))
+                        for size_mb, locations in inputs
+                    ]
+                scheduler.on_stage_released(stage, time)
+            elif kind == "arrive":
+                _, job_name, time = delta
+                job = self.jobs[job_name]
+                job.arrive()
+                job.note_task_finished()
+                if job.is_finished:
+                    job.mark_finished(time)
+                else:
+                    scheduler.on_job_arrival(job, time)
+            elif kind == "float":
+                _, job_name, stage_name = delta
+                stage = self.stages[(job_name, stage_name)]
+                self.floating.add(stage.stage_id)
+                scheduler.index.add_stage(stage)
+            elif kind == "reject":
+                _, key = delta
+                task = self.tasks[tuple(key)]
+                scheduler._release_remote_grants(task.task_id)
+                scheduler.index.requeue(task)
+            else:  # pragma: no cover - protocol versioning guard
+                raise ValueError(f"unknown delta kind {kind!r}")
+        self.seq += len(deltas)
+
+    # -- one propose step ---------------------------------------------------
+    def propose(self, time: float, machine_ids) -> list:
+        if not machine_ids:
+            return []
+        placements = self.scheduler.schedule(time, list(machine_ids))
+        out = []
+        for p in placements:
+            task = p.task
+            key = (task.job.name, task.stage.name, task.index)
+            grants = [
+                (int(source_id), float(rate))
+                for source_id, rate in self.scheduler._remote_by_task.get(
+                    task.task_id, ()
+                )
+            ]
+            out.append(
+                (key, int(p.machine_id), p.booked.data.tobytes(), grants)
+            )
+        return out
+
+
+def federation_shard_round(request: dict) -> tuple:
+    """Serve one parent round-trip (runs inside a pool worker).
+
+    Returns ``("ok", shard, proposals, seq)`` or ``("resync", shard)``
+    when the mirror cannot apply the request's delta tail (wrong epoch
+    or a sequence gap — e.g. this process replaced a crashed worker).
+    """
+    shard = request["shard"]
+    if request.get("noop"):
+        return ("ok", shard, [], None)
+    epoch = request["epoch"]
+    mirror = _MIRRORS.get(shard)
+    init = request.get("init")
+    if init is not None and request["from_seq"] == 0:
+        mirror = _ShardMirror(epoch, shard, init)
+        _MIRRORS[shard] = mirror
+    if (
+        mirror is None
+        or mirror.epoch != epoch
+        or mirror.seq != request["from_seq"]
+    ):
+        return ("resync", shard)
+    mirror.apply(request["deltas"])
+    proposals = mirror.propose(request["time"], request["machines"])
+    return ("ok", shard, proposals, mirror.seq)

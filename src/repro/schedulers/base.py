@@ -96,6 +96,13 @@ class Scheduler(abc.ABC):
         #: optional decision-event sink (repro.obs.trace.DecisionTrace);
         #: like the profiler, None means tracing costs nothing
         self.trace: Optional["DecisionTrace"] = None
+        #: transient free-vector adjustments: machine_id -> demands
+        #: committed against the machine but not yet applied to it.  The
+        #: federation sequencer sets this during conflict-retry passes,
+        #: where a shard re-plans against machines whose committed
+        #: placements the engine has not applied yet; None (always, for
+        #: centralized schedulers) costs one falsy check per lookup.
+        self._free_adjust: Optional[Dict[int, ResourceVector]] = None
 
     # -- observability -----------------------------------------------------------
     def use_observability(
@@ -324,12 +331,19 @@ class Scheduler(abc.ABC):
 
         With a tracker bound, its report (which folds in observed usage
         from mis-estimates and non-job activity) replaces the naive
-        booked-allocation view.
+        booked-allocation view.  Pending commit adjustments (federation
+        retry passes) are subtracted last, whichever view applies.
         """
         machine = self.cluster.machine(machine_id)
         if self.tracker is not None:
-            return self.tracker.available(machine)
-        return machine.free_clamped()
+            free = self.tracker.available(machine)
+        else:
+            free = machine.free_clamped()
+        if self._free_adjust:
+            pending = self._free_adjust.get(machine_id)
+            if pending is not None:
+                free = (free - pending).clamp_nonnegative()
+        return free
 
     def dominant_share(self, job: Job) -> float:
         """The job's DRF dominant share of the whole cluster."""

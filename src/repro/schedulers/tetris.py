@@ -72,7 +72,25 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.registry import Registry
     from repro.profiling import Profiler
 
-__all__ = ["TetrisConfig", "TetrisScheduler"]
+__all__ = ["TetrisConfig", "TetrisScheduler", "GrantLedger"]
+
+
+class GrantLedger(dict):
+    """The remote-grant ledger: ``machine_id -> granted MB/s``, plus a
+    monotone version stamp.
+
+    ``gen`` is bumped by every mutation so remote-headroom verdicts can
+    be memoized and validated with one integer compare.  The federation
+    aliases one ledger across its inline shards; carrying the stamp on
+    the ledger object itself keeps every aliasing scheduler's caches
+    coherent without cross-wiring the schedulers.
+    """
+
+    __slots__ = ("gen",)
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.gen = 0
 
 
 @dataclass(frozen=True)
@@ -192,8 +210,14 @@ class TetrisScheduler(Scheduler):
         #: Tetris checks that remote reads have headroom at *every* machine
         #: holding task input (Section 3.2); that check is only meaningful
         #: if the scheduler remembers what it has already granted.
-        self._remote_granted: Dict[int, float] = {}
+        self._remote_granted: GrantLedger = GrantLedger()
         self._remote_by_task: Dict[int, List[Tuple[int, float]]] = {}
+        #: memoized remote-headroom verdicts: task_id -> (plan, (alloc
+        #: generation, ledger generation), verdict).  A hit requires the
+        #: same plan content and both generations unchanged — source
+        #: free rows move only with allocations, grants only with the
+        #: ledger, so the verdict provably cannot have changed.
+        self._remote_ok_cache: Dict[int, tuple] = {}
         #: starvation prevention: per-stage last placement time and the
         #: current machine reservations (machine_id -> Stage), both keyed
         #: by the stable ``stage_id`` (object ids can be recycled by the
@@ -258,6 +282,15 @@ class TetrisScheduler(Scheduler):
         #: special stages (resolved via the stacked per-stage matrix)
         self._round_special: Optional[np.ndarray] = None
         self._round_special_mat: Optional[np.ndarray] = None
+        #: round-shared inputs injected by the shard federation: the
+        #: candidate job list and barrier-stage set are identical across
+        #: inline shards (all shards see every job and the same global
+        #: state), so the facade computes them once per round and each
+        #: shard's ``schedule()`` skips the full-job-list scan + sort.
+        #: ``None`` (the default, and always outside a federated round)
+        #: means compute locally — bit-identical either way.
+        self._round_jobs: Optional[List[Job]] = None
+        self._round_barriers: Optional[set] = None
         #: a machine with no locality pool anywhere this round, through
         #: which the shared view is (re)built; -1 when every machine has
         #: one
@@ -339,6 +372,7 @@ class TetrisScheduler(Scheduler):
         self._stage_lb_remote.clear()
         self._stage_local.clear()
         self._remote_plans.clear()
+        self._remote_ok_cache.clear()
 
     # -- SRTF bookkeeping -------------------------------------------------------
     def _task_work_term(self, task: Task) -> float:
@@ -391,6 +425,7 @@ class TetrisScheduler(Scheduler):
         self._stage_local.pop(stage.stage_id, None)
         for task in stage.tasks:
             self._remote_plans.pop(task.task_id, None)
+            self._remote_ok_cache.pop(task.task_id, None)
 
     def on_task_failed(self, task: Task, time: float) -> None:
         super().on_task_failed(task, time)
@@ -409,6 +444,7 @@ class TetrisScheduler(Scheduler):
         self.index.forget(task)
         self._release_remote_grants(task.task_id)
         self._remote_plans.pop(task.task_id, None)
+        self._remote_ok_cache.pop(task.task_id, None)
         if self.config.debug_invariants:
             self.check_remote_ledger()
         if self.estimator.stable_estimates:
@@ -424,6 +460,7 @@ class TetrisScheduler(Scheduler):
             self._stage_lb_remote.clear()
             self._stage_local.clear()
             self._remote_plans.clear()
+            self._remote_ok_cache.clear()
         term = self._task_work.pop(task.task_id, 0.0)
         job_id = task.job.job_id
         if job_id in self._job_work:
@@ -551,15 +588,31 @@ class TetrisScheduler(Scheduler):
             if total_remote <= 0:
                 plan = ()
             else:
-                est_netin = min(
-                    self.estimated_demands(task).get("netin"),
-                    self.cluster.machine_capacity().get("netin"),
+                # a machine holding no replica of any input sees the
+                # all-remote plan, which is machine-independent (the
+                # netin estimate is capped at the uniform machine
+                # capacity): intern it under a shared key so every such
+                # machine returns the *same* tuple and downstream
+                # verdict caches hit on identity
+                generic = not any(
+                    inp.is_local_to(machine_id) for inp in task.inputs
                 )
-                plan = tuple(
-                    (inp.locations, est_netin * (inp.size_mb / total_remote))
-                    for inp in task.inputs
-                    if not inp.is_local_to(machine_id) and inp.locations
-                )
+                plan = plans.get("*") if generic else None
+                if plan is None:
+                    est_netin = min(
+                        self.estimated_demands(task).get("netin"),
+                        self.cluster.machine_capacity().get("netin"),
+                    )
+                    plan = tuple(
+                        (
+                            inp.locations,
+                            est_netin * (inp.size_mb / total_remote),
+                        )
+                        for inp in task.inputs
+                        if not inp.is_local_to(machine_id) and inp.locations
+                    )
+                    if generic:
+                        plans["*"] = plan
             plans[machine_id] = plan
         return plan
 
@@ -575,7 +628,19 @@ class TetrisScheduler(Scheduler):
     def _remote_sources_ok(self, task: Task, machine_id: int) -> bool:
         """Remote reads also need disk-read and NIC-out headroom at every
         machine holding the task's input (Section 3.2), net of what has
-        already been granted to other remote readers."""
+        already been granted to other remote readers.
+
+        A replica passes iff ``min(netout, diskr) - granted + ε >=
+        required``, and :meth:`_pick_remote_source` picks the replica
+        maximizing exactly that headroom — so *the picked source passes
+        iff any replica passes*, and one fused max-headroom scan per
+        input replaces the argmax pass plus the re-check of the winner.
+        The verdict is memoized per task under the (allocation, grant-
+        ledger) generation pair: plans with no input local to the target
+        are machine-independent, so one computed verdict serves every
+        no-replica machine visited this round until a placement or grant
+        moves a source.
+        """
         if not self.config.check_remote_resources:
             return True
         plan = self._remote_transfer_plan(task, machine_id)
@@ -583,29 +648,47 @@ class TetrisScheduler(Scheduler):
             return True
         i_netout, i_diskr = self._i_netout, self._i_diskr
         state = self.cluster.state
+        granted = self._remote_granted
+        gen = (state.alloc_gen, granted.gen)
+        hit = self._remote_ok_cache.get(task.task_id)
+        if hit is not None and hit[1] == gen and (
+            hit[0] is plan or hit[0] == plan
+        ):
+            return hit[2]
+        ok = True
         for locations, required in plan:
-            source_id = self._pick_remote_source(locations)
-            granted = self._remote_granted.get(source_id, 0.0)
             if i_netout is not None and i_diskr is not None:
-                row = state.free_clamped_row(source_id)
-                if (
-                    row[i_netout] - granted + EPSILON < required
-                    or row[i_diskr] - granted + EPSILON < required
-                ):
-                    return False
+                best = -math.inf
+                for source_id in locations:
+                    row = state.free_clamped_row(source_id)
+                    headroom = row[i_netout]
+                    d = row[i_diskr]
+                    if d < headroom:
+                        headroom = d
+                    headroom -= granted.get(source_id, 0.0)
+                    if headroom > best:
+                        best = headroom
+                if best + EPSILON < required:
+                    ok = False
+                    break
             else:
+                source_id = self._pick_remote_source(locations)
+                g = granted.get(source_id, 0.0)
                 free = self.cluster.machine(source_id).free_clamped_view()
                 if (
-                    free.get("netout") - granted + EPSILON < required
-                    or free.get("diskr") - granted + EPSILON < required
+                    free.get("netout") - g + EPSILON < required
+                    or free.get("diskr") - g + EPSILON < required
                 ):
-                    return False
-        return True
+                    ok = False
+                    break
+        self._remote_ok_cache[task.task_id] = (plan, gen, ok)
+        return ok
 
     def _grant_remote(self, task: Task, machine_id: int) -> None:
         grants = self._remote_requirements(task, machine_id)
         if grants:
             self._remote_by_task[task.task_id] = grants
+            self._remote_granted.gen += 1
             for source_id, rate in grants:
                 self._remote_granted[source_id] = (
                     self._remote_granted.get(source_id, 0.0) + rate
@@ -623,7 +706,10 @@ class TetrisScheduler(Scheduler):
         or negative); anything at or below EPSILON is treated as zero and
         the entry dropped, so a drained workload leaves an empty ledger.
         """
-        for machine_id, rate in self._remote_by_task.pop(task_id, ()):
+        grants = self._remote_by_task.pop(task_id, ())
+        if grants:
+            self._remote_granted.gen += 1
+        for machine_id, rate in grants:
             left = self._remote_granted.get(machine_id, 0.0) - rate
             if left <= EPSILON:
                 self._remote_granted.pop(machine_id, None)
@@ -682,7 +768,11 @@ class TetrisScheduler(Scheduler):
         prof = self.profiler
         start = perf_counter() if prof is not None else 0.0
         placements: List[Placement] = []
-        jobs = self.candidate_jobs()
+        jobs = (
+            self._round_jobs
+            if self._round_jobs is not None
+            else self.candidate_jobs()
+        )
         if jobs:
             if self.trace is not None:
                 runnable = self.runnable_jobs()
@@ -700,7 +790,11 @@ class TetrisScheduler(Scheduler):
             if machine_ids is None or machine_ids:
                 if self.config.starvation_timeout is not None:
                     self._update_reservations(jobs, time)
-                barrier_stages = self._barrier_stages(jobs)
+                barrier_stages = (
+                    self._round_barriers
+                    if self._round_barriers is not None
+                    else self._barrier_stages(jobs)
+                )
                 if self._use_vectorized:
                     # the stage blocks, SRTF scores and barrier flags are
                     # identical on every machine this round — build them
@@ -745,8 +839,39 @@ class TetrisScheduler(Scheduler):
                     # skipping it changes nothing (visits mutate state
                     # only through placements)
                     visit = self._prefilter_machines(visit)
+                # exact-fit skip: machines on the shared (no-locality)
+                # view whose free vector fits no active row place
+                # nothing and mutate nothing, so their visits can be
+                # dropped wholesale.  Same gates as the prefilter, plus
+                # no live reservations (a reserved machine must be
+                # visited even when nothing fits).
+                skip_special = None
+                skip_any = None
+                skip_gen = None
+                if (
+                    self.prefilter_machines
+                    and self._round_special is not None
+                    and self._round_proxy >= 0
+                    and self.trace is None
+                    and self.tracker is None
+                    and not self._reservations
+                ):
+                    skip_special = self._round_special
                 try:
                     for machine_id in visit:
+                        if (
+                            skip_special is not None
+                            and not skip_special[machine_id]
+                        ):
+                            gen = (
+                                self._round_table.rep_gen,
+                                self._remote_granted.gen,
+                            )
+                            if skip_gen != gen:
+                                skip_any = self._round_placeable()
+                                skip_gen = gen
+                            if not skip_any[machine_id]:
+                                continue
                         placements.extend(
                             self._fill_machine(
                                 machine_id, jobs, barrier_stages, time
@@ -898,6 +1023,64 @@ class TetrisScheduler(Scheduler):
         if alive.size == len(order):
             return order
         return [order[int(k)] for k in alive]
+
+    def _round_placeable(self) -> np.ndarray:
+        """Per-machine exact first-iteration placeability verdicts for
+        the shared (no-locality) view at the current rep generation.
+
+        ``placeable[m]`` is True iff some active shared-view row both
+        fits machine ``m``'s clamped free vector — the same ``booked <=
+        free + EPSILON`` comparisons the fill loop's first iteration
+        runs, as one broadcast over the whole free matrix — and passes
+        the remote-headroom check.  A machine with no locality pool
+        holds no input replica of any round stage, so every remote row's
+        transfer plan resolves to the interned machine-independent
+        generic plan: its verdict is the same for all such machines and
+        one check (through the verdict cache) covers them all.
+
+        A False entry means the visit's first ``keep`` set drains to
+        empty, so the fill loop breaks having placed nothing and mutated
+        nothing: skipping the visit is bit-identical.  Pending
+        federation-retry adjustments only shrink the free vector, so a
+        False verdict stays False under them.
+
+        Valid only for machines with no locality pool this round (their
+        view content is exactly the shared view) and only at the
+        (rep, grant-ledger) generation it was computed at — a placement
+        changes one stage's rows and may grant remote headroom, and the
+        caller recomputes.
+        """
+        table = self._round_table
+        view = self.candidates.shared_view(
+            table, self.index, self._round_proxy, self.cluster.model.dims
+        )
+        rows = view.active_rows()
+        state = self.cluster.state
+        if rows.size == 0:
+            return np.zeros(state.num_machines, dtype=bool)
+        remote = view.remote
+        if remote[rows].any():
+            tasks = view.tasks
+            proxy = self._round_proxy
+            ok = np.fromiter(
+                (
+                    not remote[r] or self._remote_sources_ok(tasks[r], proxy)
+                    for r in rows
+                ),
+                dtype=bool,
+                count=rows.size,
+            )
+            rows = rows[ok]
+            if rows.size == 0:
+                return np.zeros(state.num_machines, dtype=bool)
+        booked = view.booked_mat[rows]
+        free = state.free_clamped_matrix()
+        if not self._mask_all:
+            mask = self._dims_mask
+            booked = booked[:, mask]
+            free = free[:, mask]
+        fit = booked[:, None, :] <= (free + EPSILON)[None, :, :]
+        return fit.all(axis=2).any(axis=0)
 
     # -- starvation prevention (Section 3.5 future work) ---------------------
     def _update_reservations(self, jobs: Sequence[Job], time: float) -> None:
@@ -1299,13 +1482,17 @@ class TetrisScheduler(Scheduler):
                 remote_rows = np.flatnonzero(view.remote[keep])
                 if remote_rows.size:
                     tasks = view.tasks
-                    ok = np.ones(keep.size, dtype=bool)
+                    bad = None
                     for k in remote_rows:
                         if not self._remote_sources_ok(
                             tasks[keep[k]], machine_id
                         ):
-                            ok[k] = False
-                    if not ok.all():
+                            if bad is None:
+                                bad = []
+                            bad.append(k)
+                    if bad is not None:
+                        ok = np.ones(keep.size, dtype=bool)
+                        ok[bad] = False
                         keep = keep[ok]
             if not keep.size:
                 if trace is not None:

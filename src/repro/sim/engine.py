@@ -574,6 +574,17 @@ class Engine:
             self._m_round_placements.observe(len(placements))
             self._m_queue_depth.set(len(self.events))
             self._m_sim_time.set(self.now)
+        self._commit_placements(placements)
+
+    def _commit_placements(self, placements: List[Placement]) -> None:
+        """Apply a round's (already-sequenced) placements to the cluster.
+
+        The round loop's commit phase: ``schedule()`` proposes, this
+        applies.  Under the federation, the placements arriving here
+        have already survived the sequencer's conflict validation; for
+        a centralized scheduler the propose/commit split is the same —
+        schedulers never mutate machines inside ``schedule()``.
+        """
         for placement in placements:
             self._start_task(placement)
 

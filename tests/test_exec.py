@@ -9,6 +9,7 @@ import pickle
 import time
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.exec import (
     ExecutionError,
@@ -80,6 +81,16 @@ def _double(x):
     return x * 2
 
 
+def _getpid(_item):
+    return os.getpid()
+
+
+def _crash_on_zero(item):
+    if item == 0:
+        os._exit(23)
+    return os.getpid()
+
+
 # ---------------------------------------------------------------------------
 # seeds
 # ---------------------------------------------------------------------------
@@ -101,6 +112,19 @@ class TestSpawnSeeds:
     def test_negative_n_rejected(self):
         with pytest.raises(ValueError):
             spawn_seeds(0, -1)
+
+    @given(
+        base=st.integers(min_value=0, max_value=2**31 - 1),
+        n=st.integers(min_value=0, max_value=24),
+        extra=st.integers(min_value=0, max_value=24),
+    )
+    @settings(deadline=None, max_examples=50)
+    def test_prefix_stable_under_growing_shard_counts(self, base, n, extra):
+        """Resharding a federation from n to n+extra shards must never
+        reseed shards 0..n-1: their seeds are a stable prefix."""
+        small = spawn_seeds(base, n)
+        large = spawn_seeds(base, n + extra)
+        assert large[:n] == small
 
 
 # ---------------------------------------------------------------------------
@@ -196,6 +220,50 @@ class TestBackendMap:
             ProcessPoolBackend(workers=2, timeout=0)
         with pytest.raises(ValueError):
             ProcessPoolBackend(workers=2, retries=-1)
+
+
+# ---------------------------------------------------------------------------
+# pool persistence: workers are reused across fan-outs
+# ---------------------------------------------------------------------------
+
+class TestPersistentPool:
+    def test_worker_pids_stable_across_fanouts(self):
+        with ProcessPoolBackend(workers=2, sticky=True) as backend:
+            first = [o.value for o in backend.map(_getpid, range(4))]
+            second = [o.value for o in backend.map(_getpid, range(4))]
+        # sticky routing pins item i to slot i % workers, so the same
+        # item index must land on the same (still-alive) process in two
+        # consecutive fan-outs — i.e. the pool was not rebuilt per call
+        assert first == second
+        assert len(set(first)) == 2
+
+    def test_nonsticky_pool_is_also_persistent(self):
+        with ProcessPoolBackend(workers=2) as backend:
+            first = {o.value for o in backend.map(_getpid, range(6))}
+            pids = {pid for pid in backend.worker_pids() if pid is not None}
+            second = {o.value for o in backend.map(_getpid, range(6))}
+        assert first <= pids
+        assert second <= pids
+
+    def test_crashed_worker_is_replaced_in_place(self):
+        with ProcessPoolBackend(workers=2, retries=1, sticky=True) as backend:
+            before = backend.map(_getpid, range(2))
+            # item 0 crashes its slot's worker once; slot 1 is untouched
+            outs = backend.map(_crash_on_zero, range(2))
+            assert not outs[0].ok and outs[0].attempts == 2
+            assert outs[1].ok and outs[1].value == before[1].value
+            # the replaced slot serves later fan-outs with a fresh process
+            after = backend.map(_getpid, range(2))
+            assert after[0].ok and after[0].value != before[0].value
+            assert after[1].value == before[1].value
+
+    def test_closed_backend_rejects_map(self):
+        backend = ProcessPoolBackend(workers=2)
+        backend.map(_double, [1])
+        backend.close()
+        assert backend.worker_pids() == [None, None]
+        with pytest.raises(RuntimeError, match="closed"):
+            backend.map(_double, [1])
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,353 @@
+"""The scheduler federation's correctness bar.
+
+- ``--shards 1`` is *bit-identical* to the centralized scheduler:
+  placements and decision-trace events match exactly (property-tested
+  over generated workloads, mirroring ``test_soa_identity``);
+- N-shard runs are deterministic for a fixed (seed, N, partitioner);
+- the distributed (process) backend reproduces the inline backend's
+  placements through the delta-sync mirror protocol;
+- the round sequencer rejects duplicate / capacity / remote conflicts
+  and commits everything else;
+- starved stages are promoted to floating, and the conflict counters
+  are exported through the metrics registry.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.cluster import Cluster
+from repro.federation import (
+    CONFLICT_KINDS,
+    FederatedScheduler,
+    FederationConfig,
+    RoundSequencer,
+)
+from repro.obs.registry import Registry
+from repro.obs.trace import DecisionTrace
+from repro.resources import DEFAULT_MODEL
+from repro.schedulers.tetris import TetrisConfig, TetrisScheduler
+from repro.sim.engine import Engine, EngineConfig
+from repro.workload.trace import materialize_trace
+from repro.workload.tracegen import WorkloadSuiteConfig, generate_workload_suite
+
+from conftest import make_simple_job
+
+
+def _workload(seed, num_jobs=8, horizon=150.0):
+    return generate_workload_suite(
+        WorkloadSuiteConfig(
+            num_jobs=num_jobs,
+            task_scale=0.05,
+            arrival_horizon=horizon,
+            seed=seed,
+        )
+    )
+
+
+def _run(
+    trace,
+    seed=0,
+    num_machines=8,
+    shards=None,
+    backend="inline",
+    spill_after=15.0,
+    decision_trace=None,
+    metrics=None,
+    partitioner="rack",
+):
+    """Run the trace; shards=None means the bare centralized scheduler."""
+    cluster = Cluster(num_machines, machines_per_rack=4, seed=seed)
+    jobs = materialize_trace(trace, cluster, seed=seed)
+    scheduler = TetrisScheduler(TetrisConfig())
+    fed = None
+    if shards is not None:
+        fed = FederatedScheduler(
+            scheduler,
+            FederationConfig(
+                num_shards=shards,
+                backend=backend,
+                partitioner=partitioner,
+                spill_after=spill_after,
+            ),
+        )
+        if backend == "process":
+            from repro.experiments.harness import ExperimentConfig
+
+            fed.provide_workload(
+                trace,
+                ExperimentConfig(
+                    num_machines=num_machines,
+                    machines_per_rack=4,
+                    seed=seed,
+                ),
+            )
+        scheduler = fed
+    engine = Engine(
+        cluster,
+        scheduler,
+        jobs,
+        config=EngineConfig(seed=seed),
+        decision_trace=decision_trace,
+        metrics=metrics,
+    )
+    try:
+        engine.run()
+    finally:
+        if fed is not None:
+            fed.close()
+    assert all(j.is_finished for j in jobs)
+    return [
+        (task.job.name, task.stage.name, task.index, machine_id, time)
+        for (task, machine_id, time, _booked) in engine.placement_log
+    ]
+
+
+def _runnable_job(num_tasks=3, **kw):
+    job = make_simple_job(num_tasks=num_tasks, **kw)
+    job.arrive()
+    job.note_task_finished()  # releases the first wave
+    return job
+
+
+# -- the standing invariant: one shard == centralized -----------------------
+
+class TestSingleShardIdentity:
+    @given(st.integers(0, 10_000))
+    @settings(deadline=None, max_examples=5)
+    def test_placements_bit_identical(self, seed):
+        trace = _workload(seed=seed % 997)
+        want = _run(trace, seed=seed % 31)
+        assert len(want) > 0
+        got = _run(trace, seed=seed % 31, shards=1)
+        assert got == want
+
+    def test_decision_stream_bit_identical(self):
+        trace = _workload(seed=29)
+        with DecisionTrace() as ref_sink:
+            _run(trace, decision_trace=ref_sink)
+            want = ref_sink.events()
+        with DecisionTrace() as got_sink:
+            _run(trace, shards=1, decision_trace=got_sink)
+            got = got_sink.events()
+        assert len(want) > 0
+        assert got == want
+
+    def test_facade_reports_inner_name(self):
+        fed = FederatedScheduler(TetrisScheduler())
+        assert fed.name == "tetris"
+
+
+# -- N-shard behaviour ------------------------------------------------------
+
+class TestShardedRuns:
+    @pytest.mark.parametrize("shards", [2, 3])
+    @pytest.mark.parametrize("partitioner", ["rack", "contiguous"])
+    def test_deterministic_for_fixed_config(self, shards, partitioner):
+        trace = _workload(seed=11)
+        first = _run(trace, shards=shards, partitioner=partitioner)
+        second = _run(trace, shards=shards, partitioner=partitioner)
+        assert len(first) > 0
+        assert first == second
+
+    def test_all_work_places_under_sharding(self):
+        """Every task of every job runs to completion — routing plus the
+        spill path leave no stage stranded on an overloaded shard."""
+        trace = _workload(seed=5, num_jobs=10)
+        placements = _run(trace, shards=4, spill_after=5.0)
+        want = sum(ts.num_tasks for tj in trace for ts in tj.stages)
+        assert len({p[:3] for p in placements}) == want
+
+    def test_conflict_metrics_exported(self):
+        registry = Registry()
+        trace = _workload(seed=7)
+        _run(trace, shards=3, metrics=registry)
+        snap = registry.snapshot()
+        assert snap["repro_federation_shards"]["values"][""] == 3
+        for name in (
+            "repro_federation_proposals_total",
+            "repro_federation_commits_total",
+            "repro_federation_conflicts_total",
+            "repro_federation_retries_total",
+            "repro_federation_aborts_total",
+            "repro_federation_spills_total",
+            "repro_federation_commit_seconds",
+        ):
+            assert name in snap, name
+        for kind in CONFLICT_KINDS:
+            assert (
+                f"kind={kind}"
+                in snap["repro_federation_conflicts_total"]["values"]
+            )
+        proposals = snap["repro_federation_proposals_total"]["values"][""]
+        commits = snap["repro_federation_commits_total"]["values"][""]
+        assert proposals >= commits > 0
+
+    def test_rejects_non_tetris_scheduler(self):
+        from repro.schedulers.capacity import CapacityScheduler
+
+        with pytest.raises(ValueError, match="tetris"):
+            FederatedScheduler(CapacityScheduler())
+
+
+# -- distributed (process) backend ------------------------------------------
+
+class TestProcessBackend:
+    def test_matches_inline_placements(self):
+        """The delta-synced worker mirrors propose exactly what in-process
+        shards propose: end-to-end placements agree across backends."""
+        trace = _workload(seed=13, num_jobs=6, horizon=100.0)
+        inline = _run(trace, shards=2, backend="inline")
+        process = _run(trace, shards=2, backend="process")
+        assert len(inline) > 0
+        assert process == inline
+
+    def test_requires_workload_spec(self):
+        fed = FederatedScheduler(
+            TetrisScheduler(),
+            FederationConfig(num_shards=2, backend="process"),
+        )
+        fed.bind(Cluster(4, machines_per_rack=2, seed=0))
+        with pytest.raises(RuntimeError, match="provide_workload"):
+            fed.schedule(0.0, [0, 1])
+
+    def test_rejects_tracker(self):
+        from repro.estimation.tracker import ResourceTracker
+
+        cluster = Cluster(4, machines_per_rack=2, seed=0)
+        fed = FederatedScheduler(
+            TetrisScheduler(),
+            FederationConfig(num_shards=2, backend="process"),
+        )
+        with pytest.raises(ValueError, match="tracker"):
+            fed.bind(cluster, tracker=ResourceTracker(cluster))
+
+
+# -- the round sequencer ----------------------------------------------------
+
+class TestRoundSequencer:
+    def _cluster(self):
+        return Cluster(2, machines_per_rack=2, seed=3)
+
+    def test_commits_and_rejects_duplicates(self):
+        cluster = self._cluster()
+        job = _runnable_job()
+        task = job.dag.stages[0].tasks[0]
+        seq = RoundSequencer(cluster)
+        booked = task.demands.copy()
+        assert seq.offer(task, 0, booked) is None
+        assert seq.offer(task, 1, booked) == "duplicate"
+        assert [p.task for p in seq.committed] == [task]
+
+    def test_rejects_non_runnable(self):
+        cluster = self._cluster()
+        job = _runnable_job()
+        task = job.dag.stages[0].tasks[0]
+        task.mark_running(0, 0.0)
+        seq = RoundSequencer(cluster)
+        assert seq.offer(task, 0, task.demands.copy()) == "duplicate"
+
+    def test_capacity_replay_catches_stale_fits(self):
+        cluster = self._cluster()
+        job = _runnable_job(num_tasks=2)
+        a, b = job.dag.stages[0].tasks[:2]
+        # each one alone fits; together they oversubscribe the machine
+        big = cluster.machine_capacity() * 0.6
+        seq = RoundSequencer(cluster, replay_fit=True)
+        assert seq.offer(a, 0, big.copy()) is None
+        assert seq.offer(b, 0, big.copy()) == "capacity"
+        # without replay (inline shards plan sequentially against the
+        # live state) the same offer is accepted
+        seq2 = RoundSequencer(cluster, replay_fit=False)
+        assert seq2.offer(a, 0, big.copy()) is None
+        assert seq2.offer(b, 0, big.copy()) is None
+
+    def test_remote_grants_respect_global_headroom(self):
+        cluster = self._cluster()
+        job = _runnable_job(num_tasks=2)
+        a, b = job.dag.stages[0].tasks[:2]
+        free = cluster.machine(1).free_clamped_view()
+        headroom = min(free.get("netout"), free.get("diskr"))
+        seq = RoundSequencer(cluster)
+        small = DEFAULT_MODEL.vector(cpu=0.1, mem=0.1)
+        # first grant consumes most of machine 1's outbound headroom
+        assert seq.offer(a, 0, small.copy(),
+                         grants=[(1, headroom * 0.7)]) is None
+        # a second grant that alone would fit is rejected globally
+        assert seq.offer(b, 0, small.copy(),
+                         grants=[(1, headroom * 0.7)]) == "remote"
+        assert seq.remote_total[1] == pytest.approx(headroom * 0.7)
+
+    def test_base_remote_ledger_charged(self):
+        cluster = self._cluster()
+        job = _runnable_job()
+        task = job.dag.stages[0].tasks[0]
+        free = cluster.machine(1).free_clamped_view()
+        headroom = min(free.get("netout"), free.get("diskr"))
+        seq = RoundSequencer(cluster, base_remote={1: headroom * 0.9})
+        small = DEFAULT_MODEL.vector(cpu=0.1, mem=0.1)
+        assert seq.offer(task, 0, small.copy(),
+                         grants=[(1, headroom * 0.2)]) == "remote"
+
+
+# -- spill promotion --------------------------------------------------------
+
+class TestSpillPromotion:
+    def test_starved_stage_floats_to_all_shards(self):
+        cluster = Cluster(4, machines_per_rack=2, seed=1)
+        fed = FederatedScheduler(
+            TetrisScheduler(),
+            FederationConfig(num_shards=2, spill_after=10.0),
+        )
+        fed.bind(cluster)
+        job = _runnable_job()
+        fed.on_job_arrival(job, 0.0)
+        stage = job.dag.stages[0]
+        home = fed._route(stage)
+        assert stage.stage_id in fed.inners[home].index._entries
+        # within the window: not floating yet
+        fed._promote_starved(9.0)
+        assert stage.stage_id not in fed._floating
+        fed._promote_starved(10.5)
+        assert stage.stage_id in fed._floating
+        for inner in fed.inners:
+            assert stage.stage_id in inner.index._entries
+
+    def test_commit_resets_the_clock(self):
+        cluster = Cluster(4, machines_per_rack=2, seed=1)
+        fed = FederatedScheduler(
+            TetrisScheduler(),
+            FederationConfig(num_shards=2, spill_after=10.0),
+        )
+        fed.bind(cluster)
+        job = _runnable_job()
+        fed.on_job_arrival(job, 0.0)
+        stage = job.dag.stages[0]
+        fed._note_commit(stage.tasks[0], 8.0)
+        fed._promote_starved(12.0)  # 4s since last progress: stays home
+        assert stage.stage_id not in fed._floating
+
+    def test_spill_disabled(self):
+        cluster = Cluster(4, machines_per_rack=2, seed=1)
+        fed = FederatedScheduler(
+            TetrisScheduler(),
+            FederationConfig(num_shards=2, spill_after=None),
+        )
+        fed.bind(cluster)
+        job = _runnable_job()
+        fed.on_job_arrival(job, 0.0)
+        fed._promote_starved(1e9)
+        assert not fed._floating
+
+
+class TestFederationConfig:
+    def test_validates(self):
+        with pytest.raises(ValueError, match="num_shards"):
+            FederationConfig(num_shards=0)
+        with pytest.raises(ValueError, match="backend"):
+            FederationConfig(backend="threads")
+        with pytest.raises(ValueError, match="spill_after"):
+            FederationConfig(spill_after=0.0)
+
+    def test_conflict_kinds_closed(self):
+        assert CONFLICT_KINDS == ("duplicate", "capacity", "remote")

@@ -1,0 +1,183 @@
+"""Tests for the federation acceptance gate and the shard-stamp rules.
+
+The gate is the CI tripwire for the federation's whole value
+proposition (faster rounds, same packing), so its arithmetic —
+calibration rescaling, the speedup threshold, the fidelity tolerance —
+and its refusal conditions are pinned against synthetic profiles built
+from the real scenario registry.
+"""
+
+import pytest
+
+from repro.bench.detect import _shards_of, compare_profiles
+from repro.bench.profile import SCHEMA
+from repro.bench.scenarios import get_scenario
+from repro.federation.gate import GATE_METRIC, gate_profiles, main
+
+
+def _metric(value, kind="timing", direction="lower", unit="ms"):
+    return {
+        "kind": kind,
+        "direction": direction,
+        "unit": unit,
+        "value": float(value),
+        "samples": [float(value)],
+    }
+
+
+def _profile(
+    scenario="cluster-xl",
+    shards=None,
+    round_ms=20.0,
+    makespan=1000.0,
+    mean_jct=200.0,
+    calibration=0.01,
+    fingerprint=None,
+):
+    meta = {
+        "git_sha": "deadbeef",
+        "git_dirty": False,
+        "host": "test",
+        "platform": "test",
+        "python": "3",
+        "config_fingerprint": (
+            fingerprint
+            if fingerprint is not None
+            else get_scenario(scenario).config_fingerprint()
+        ),
+        "calibration_seconds": calibration,
+        "repeats": 1,
+        "kernel_backend": "numpy",
+    }
+    if shards is not None:
+        meta["shards"] = shards
+    return {
+        "schema": SCHEMA,
+        "scenario": scenario,
+        "kind": "trace",
+        "created_unix": 1_000.0,
+        "meta": meta,
+        "metrics": {
+            GATE_METRIC: _metric(round_ms),
+            "makespan": _metric(makespan, kind="fidelity", unit="s"),
+            "mean_jct": _metric(mean_jct, kind="fidelity", unit="s"),
+        },
+        "phases": {},
+        "registry": {},
+    }
+
+
+def _sharded(**kwargs):
+    kwargs.setdefault("scenario", "cluster-xl-sharded")
+    kwargs.setdefault("shards", 4)
+    return _profile(**kwargs)
+
+
+class TestGateProfiles:
+    def test_passes_on_speedup_and_fidelity(self):
+        result = gate_profiles(
+            _profile(round_ms=30.0),
+            _sharded(round_ms=10.0, makespan=1020.0, mean_jct=204.0),
+        )
+        assert result.speedup == pytest.approx(3.0)
+        assert result.speedup_ok and result.fidelity_ok and result.ok
+
+    def test_fails_below_min_speedup(self):
+        result = gate_profiles(
+            _profile(round_ms=30.0), _sharded(round_ms=20.0)
+        )
+        assert result.speedup == pytest.approx(1.5)
+        assert not result.speedup_ok
+        assert not result.ok
+        assert "FAIL" in result.render()
+
+    def test_fails_outside_fidelity_tolerance(self):
+        result = gate_profiles(
+            _profile(round_ms=30.0),
+            _sharded(round_ms=10.0, mean_jct=220.0),  # +10% JCT
+        )
+        assert result.speedup_ok
+        assert not result.fidelity_ok
+        assert not result.ok
+
+    def test_better_fidelity_never_fails(self):
+        result = gate_profiles(
+            _profile(round_ms=30.0),
+            _sharded(round_ms=10.0, makespan=900.0, mean_jct=150.0),
+            fidelity_tolerance=0.0,
+        )
+        assert result.fidelity_ok
+
+    def test_calibration_rescales_baseline(self):
+        # candidate host is 2x slower (larger calibration spin time):
+        # the baseline's 20ms reads as 40ms on the candidate's host, so
+        # a 20ms sharded round is a genuine 2x
+        result = gate_profiles(
+            _profile(round_ms=20.0, calibration=0.01),
+            _sharded(round_ms=20.0, calibration=0.02),
+        )
+        assert result.baseline_ms_rescaled == pytest.approx(40.0)
+        assert result.speedup == pytest.approx(2.0)
+
+    def test_rejects_centralized_candidate(self):
+        with pytest.raises(ValueError, match="centralized"):
+            gate_profiles(_profile(), _profile())
+
+    def test_rejects_sharded_baseline(self):
+        with pytest.raises(ValueError, match="baseline profile is sharded"):
+            gate_profiles(_sharded(), _sharded())
+
+    def test_rejects_different_workloads(self):
+        from dataclasses import replace as dc_replace
+
+        sharded_smoke = dc_replace(get_scenario("smoke"), shards=4)
+        smoke = _profile(
+            scenario="smoke",
+            shards=4,
+            fingerprint=sharded_smoke.config_fingerprint(),
+        )
+        with pytest.raises(ValueError, match="different workloads"):
+            gate_profiles(_profile(), smoke)
+
+    def test_rejects_drifted_scenario_definition(self):
+        stale = _sharded(fingerprint="0123456789abcdef")
+        with pytest.raises(ValueError, match="re-capture"):
+            gate_profiles(_profile(), stale)
+
+    def test_main_verdict_exit_codes(self, tmp_path, capsys):
+        from repro.bench.profile import dump_json
+
+        base = tmp_path / "base.json"
+        cand = tmp_path / "cand.json"
+        dump_json(_profile(round_ms=30.0), base)
+        dump_json(_sharded(round_ms=10.0), cand)
+        assert main(["--baseline", str(base), "--candidate", str(cand)]) == 0
+        assert "PASS" in capsys.readouterr().out
+        assert main([
+            "--baseline", str(base), "--candidate", str(cand),
+            "--min-speedup", "4.0",
+        ]) == 1
+        assert main(["--baseline", str(base), "--candidate",
+                     str(tmp_path / "missing.json")]) == 2
+
+
+class TestShardStamp:
+    def test_missing_stamp_reads_centralized(self):
+        assert _shards_of(_profile()) == 1
+        assert _shards_of(_sharded()) == 4
+        assert _shards_of({"meta": {"shards": "garbage"}}) == 1
+
+    def test_compare_never_crosses_shard_configs(self):
+        """Same scenario and fingerprint but different shard stamps must
+        refuse: the timing delta would be the execution mode."""
+        base = _profile()
+        cur = _profile()
+        cur["meta"]["shards"] = 4
+        result = compare_profiles(base, cur)
+        assert result.config_mismatch
+        assert any("shard-count mismatch" in n for n in result.notes)
+
+    def test_same_shard_config_compares(self):
+        base = _profile(shards=4)
+        cur = _profile(shards=4)
+        assert not compare_profiles(base, cur).config_mismatch

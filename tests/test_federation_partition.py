@@ -1,0 +1,159 @@
+"""Property tests for the federation's machine/stage partitioners.
+
+Pinned invariants (the federation is only correct if these hold):
+
+- **coverage** — every machine lands in exactly one shard, for any
+  cluster shape and shard count;
+- **cross-process determinism** — assignments are pure functions of
+  their inputs: no ``hash()`` (randomized per process), no RNG, no
+  clock.  The stable stage hash is checked against frozen values so a
+  refactor that silently changes routing (and with it every N-shard
+  run's placements) fails loudly;
+- **locality-group preservation** — the rack partitioner never splits
+  a rack across shards;
+- **stage routing** — replica-majority wins, ties break to the
+  smallest shard id, and input-free stages spread by the stable hash.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.cluster import Cluster
+from repro.federation import (
+    machine_to_shard,
+    partition_machines,
+    partitioner_names,
+    route_stage,
+    stable_stage_hash,
+)
+from repro.workload.stage import Stage
+from repro.workload.task import TaskInput
+
+from conftest import make_task
+
+shapes = st.tuples(
+    st.integers(min_value=1, max_value=64),   # machines
+    st.integers(min_value=1, max_value=16),   # machines per rack
+    st.integers(min_value=1, max_value=12),   # shards
+)
+
+
+class TestPartitioners:
+    @pytest.mark.parametrize("name", partitioner_names())
+    @given(shape=shapes)
+    @settings(deadline=None, max_examples=60)
+    def test_every_machine_in_exactly_one_shard(self, name, shape):
+        machines, per_rack, shards = shape
+        cluster = Cluster(machines, machines_per_rack=per_rack, seed=0)
+        assignment = partition_machines(cluster, shards, name)
+        assert len(assignment) == shards
+        flat = [m for shard in assignment for m in shard]
+        assert sorted(flat) == list(range(machines))  # exactly once
+
+    @pytest.mark.parametrize("name", partitioner_names())
+    @given(shape=shapes)
+    @settings(deadline=None, max_examples=30)
+    def test_deterministic_pure_function(self, name, shape):
+        """Same inputs, same assignment — and building the cluster twice
+        (fresh object identities, fresh dict orders) changes nothing."""
+        machines, per_rack, shards = shape
+        a = partition_machines(
+            Cluster(machines, machines_per_rack=per_rack, seed=0),
+            shards, name,
+        )
+        b = partition_machines(
+            Cluster(machines, machines_per_rack=per_rack, seed=0),
+            shards, name,
+        )
+        assert a == b
+
+    @given(shape=shapes)
+    @settings(deadline=None, max_examples=60)
+    def test_rack_partitioner_never_splits_racks(self, shape):
+        machines, per_rack, shards = shape
+        cluster = Cluster(machines, machines_per_rack=per_rack, seed=0)
+        assignment = partition_machines(cluster, shards, "rack")
+        owner = machine_to_shard(assignment)
+        topo = cluster.topology
+        for rack_id in range(topo.num_racks):
+            owners = {owner[m] for m in topo.rack_members(rack_id)}
+            assert len(owners) == 1, f"rack {rack_id} split across {owners}"
+
+    def test_contiguous_is_balanced(self):
+        cluster = Cluster(10, machines_per_rack=4, seed=0)
+        assignment = partition_machines(cluster, 3, "contiguous")
+        sizes = sorted(len(s) for s in assignment)
+        assert sizes == [3, 3, 4]
+        for shard in assignment:
+            assert shard == list(range(shard[0], shard[0] + len(shard)))
+
+    def test_unknown_partitioner_names_choices(self):
+        cluster = Cluster(4, machines_per_rack=2, seed=0)
+        with pytest.raises(KeyError, match="contiguous"):
+            partition_machines(cluster, 2, "striped")
+
+    def test_machine_to_shard_inverts(self):
+        assert machine_to_shard([[0, 2], [1, 3]]) == {
+            0: 0, 2: 0, 1: 1, 3: 1,
+        }
+
+
+class TestStableStageHash:
+    def test_frozen_values(self):
+        """Golden values: a change here silently re-routes every stage
+        with no input locality, changing all N-shard placements."""
+        assert stable_stage_hash("job-a", "map") == 0x224C7290C38A64E4
+        assert stable_stage_hash("job-a", "reduce") == 0x91889519ED0ACF4D
+
+    def test_distinct_identities_distinct_hashes(self):
+        seen = {
+            stable_stage_hash(f"job-{i}", s)
+            for i in range(50)
+            for s in ("map", "reduce")
+        }
+        assert len(seen) == 100
+
+    @given(st.text(max_size=20), st.text(max_size=20))
+    @settings(deadline=None, max_examples=50)
+    def test_pure_and_non_negative(self, job, stage):
+        value = stable_stage_hash(job, stage)
+        assert value == stable_stage_hash(job, stage)
+        assert 0 <= value < 2 ** 64
+
+
+class TestRouteStage:
+    def _stage(self, name="map", inputs_per_task=()):
+        tasks = [
+            make_task(inputs=[TaskInput(64.0, locs) for locs in task_locs])
+            for task_locs in inputs_per_task
+        ] or [make_task()]
+        stage = Stage(name, tasks)
+
+        class _FakeJob:
+            name = "job-x"
+
+        stage.job = _FakeJob()
+        return stage
+
+    def test_majority_replica_owner_wins(self):
+        shard_of = {0: 0, 1: 0, 2: 1, 3: 1}
+        stage = self._stage(inputs_per_task=[[(0, 2)], [(2, 3)], [(3,)]])
+        # replica votes: shard 0 gets 1 (machine 0), shard 1 gets 4
+        assert route_stage(stage, shard_of, 2) == 1
+
+    def test_tie_breaks_to_smallest_shard(self):
+        shard_of = {0: 0, 1: 1}
+        stage = self._stage(inputs_per_task=[[(0,)], [(1,)]])
+        assert route_stage(stage, shard_of, 2) == 0
+
+    def test_no_replicas_falls_back_to_stable_hash(self):
+        stage = self._stage()
+        want = stable_stage_hash("job-x", "map") % 4
+        assert route_stage(stage, {}, 4) == want
+
+    def test_unknown_machines_ignored(self):
+        """Replica machines outside the partition (e.g. retired ids)
+        don't crash routing; they just don't vote."""
+        stage = self._stage(inputs_per_task=[[(99,)]])
+        want = stable_stage_hash("job-x", "map") % 3
+        assert route_stage(stage, {0: 0}, 3) == want

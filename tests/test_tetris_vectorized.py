@@ -27,7 +27,7 @@ from repro.cluster.cluster import Cluster
 from repro.estimation.estimator import NoisyEstimator, ProfilingEstimator
 from repro.estimation.tracker import ResourceTracker
 from repro.resources import DEFAULT_MODEL
-from repro.schedulers.tetris import TetrisConfig, TetrisScheduler
+from repro.schedulers.tetris import GrantLedger, TetrisConfig, TetrisScheduler
 from repro.sim.engine import Engine, EngineConfig
 from repro.workload.trace import materialize_trace
 from repro.workload.tracegen import WorkloadSuiteConfig, generate_workload_suite
@@ -339,7 +339,7 @@ class TestRemoteLedger:
     def test_release_clamps_drift(self):
         scheduler = TetrisScheduler()
         # grants whose floats do not sum back exactly: 0.1 * 3 != 0.3
-        scheduler._remote_granted = {5: 0.1 + 0.1 + 0.1}
+        scheduler._remote_granted = GrantLedger({5: 0.1 + 0.1 + 0.1})
         scheduler._remote_by_task = {1: [(5, 0.3)]}
         scheduler._release_remote_grants(1)
         assert scheduler._remote_granted == {}
